@@ -1,0 +1,19 @@
+//! Ablation study: what do DOT's group moves and σ = δt/δc ordering buy,
+//! measured against the exhaustive-search optimum on the TPC-H subset?
+
+use dot_bench::{experiments, TPCH_SCALE};
+
+fn main() {
+    let rows = experiments::ablation_comparison(TPCH_SCALE, 0.5);
+    println!("Ablation — move granularity x score ordering, TPC-H subset, SLA 0.5\n");
+    println!("{:<26}{:>18}{:>14}", "configuration", "objective (c)", "vs optimal");
+    for r in &rows {
+        match (r.objective_cents, r.vs_optimal) {
+            (Some(o), Some(g)) => println!("{:<26}{:>18.4}{:>13.2}x", r.config, o, g),
+            _ => println!("{:<26}{:>18}{:>14}", r.config, "infeasible", "-"),
+        }
+    }
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("serialize"));
+    }
+}

@@ -1,0 +1,132 @@
+//! Run every experiment in sequence, print each table/figure, and write
+//! machine-readable JSON artifacts under `results/`.
+//!
+//! `cargo run --release -p dot-bench --bin all [-- --scale 20 --warehouses 300]`
+
+use dot_bench::{experiments, render, TPCC_WAREHOUSES, TPCH_SCALE};
+use std::fs;
+use std::path::Path;
+
+fn arg(name: &str, default: f64) -> f64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn save<T: serde::Serialize>(dir: &Path, name: &str, value: &T) {
+    let path = dir.join(format!("{name}.json"));
+    fs::write(&path, serde_json::to_string_pretty(value).expect("serialize"))
+        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+}
+
+fn main() {
+    let scale = arg("--scale", TPCH_SCALE);
+    let warehouses = arg("--warehouses", TPCC_WAREHOUSES);
+    let dir = Path::new("results");
+    fs::create_dir_all(dir).expect("create results/");
+
+    println!("=== Table 1 ===");
+    let t1 = experiments::table1();
+    print!("{}", render::table1(&t1));
+    save(dir, "table1", &t1);
+
+    println!("\n=== Table 2 ===");
+    let t2 = experiments::table2();
+    print!("{}", render::table2(&t2));
+    save(dir, "table2", &t2);
+
+    println!("\n=== Figure 3 (original TPC-H, SLA 0.5) ===");
+    let fig3 = experiments::dss_comparison(experiments::DssWorkloadKind::Original, 0.5, scale);
+    print!("{}", render::dss_comparison(&fig3));
+    save(dir, "fig3", &fig3);
+
+    println!("=== Figure 4 (DOT layouts) ===");
+    for b in &fig3 {
+        println!("--- {} ---", b.box_name);
+        if let Some(dot) = experiments::find(&b.evaluations, "DOT") {
+            print!("{}", render::placements(&dot.placements));
+        }
+    }
+
+    println!("\n=== Figure 5 (modified TPC-H, SLA 0.5) ===");
+    let fig5 = experiments::dss_comparison(experiments::DssWorkloadKind::Modified, 0.5, scale);
+    print!("{}", render::dss_comparison(&fig5));
+    save(dir, "fig5", &fig5);
+
+    println!("=== Figure 6 (DOT layouts) ===");
+    for b in &fig5 {
+        println!("--- {} ---", b.box_name);
+        if let Some(dot) = experiments::find(&b.evaluations, "DOT") {
+            print!("{}", render::placements(&dot.placements));
+            println!("INLJ share: {:.0}%", dot.inlj_percent);
+        }
+    }
+
+    println!("\n=== Figure 7 (modified TPC-H, SLA 0.25) ===");
+    let fig7 = experiments::dss_comparison(experiments::DssWorkloadKind::Modified, 0.25, scale);
+    print!("{}", render::dss_comparison(&fig7));
+    save(dir, "fig7", &fig7);
+
+    println!("=== §4.4.3 (ES vs DOT, TPC-H subset) ===");
+    let es_tpch = experiments::es_vs_dot_tpch(scale, 0.5);
+    print!("{}", render::es_vs_dot(&es_tpch));
+    save(dir, "es_vs_dot_tpch", &es_tpch);
+
+    println!("\n=== Figure 8 (TPC-C) ===");
+    let fig8 = experiments::tpcc_comparison(warehouses, &[0.5, 0.25, 0.125]);
+    print!("{}", render::tpcc_comparison(&fig8));
+    save(dir, "fig8", &fig8);
+
+    println!("=== Table 3 (DOT TPC-C layouts, Box 2) ===");
+    let t3 = experiments::tpcc_layouts(warehouses, &[0.5, 0.25, 0.125]);
+    for (sla, placements) in &t3 {
+        println!("--- relative SLA {sla} ---");
+        print!("{}", render::placements(placements));
+    }
+    save(dir, "table3", &t3);
+
+    println!("\n=== Figure 9 (ES vs DOT, TPC-C) ===");
+    let fig9 = experiments::es_vs_dot_tpcc(warehouses, 0.25, &[None, Some(21.0)]);
+    print!("{}", render::es_vs_dot(&fig9));
+    save(dir, "fig9", &fig9);
+
+    println!("\n=== §5.1 (generalized provisioning) ===");
+    let gen = experiments::generalized_provisioning(scale, 0.5);
+    for o in &gen.all {
+        match &o.outcome.estimate {
+            Some(est) => println!(
+                "{:<10} TOC {:>10.4} cents/pass",
+                o.pool_name, est.toc_cents_per_pass
+            ),
+            None => println!("{:<10} infeasible", o.pool_name),
+        }
+    }
+    if let Some(w) = gen.winning() {
+        println!("winner: {}", w.pool_name);
+    }
+
+    println!("\n=== §5.2 (discrete cost model) ===");
+    let disc = experiments::discrete_cost_sweep(scale, 0.5, &[0.0, 0.25, 0.5, 0.75, 1.0]);
+    for r in &disc {
+        match r.toc_cents_per_pass {
+            Some(t) => println!("alpha {:<5} TOC {:>10.4}  classes used {}", r.alpha, t, r.classes_used),
+            None => println!("alpha {:<5} infeasible", r.alpha),
+        }
+    }
+    save(dir, "discrete", &disc);
+
+    println!("\n=== Ablation ===");
+    let abl = experiments::ablation_comparison(scale, 0.5);
+    for r in &abl {
+        match (r.objective_cents, r.vs_optimal) {
+            (Some(o), Some(g)) => println!("{:<26}{:>14.4}{:>10.2}x", r.config, o, g),
+            _ => println!("{:<26}{:>14}", r.config, "infeasible"),
+        }
+    }
+    save(dir, "ablation", &abl);
+
+    println!("\nall artifacts saved under results/");
+}

@@ -1,0 +1,13 @@
+//! §4.4.3: DOT vs exhaustive search on the 11-template TPC-H subset
+//! (8 objects) with capacity sweeps on the HDD-backed classes.
+
+use dot_bench::{experiments, render, TPCH_SCALE};
+
+fn main() {
+    let rows = experiments::es_vs_dot_tpch(TPCH_SCALE, 0.5);
+    println!("§4.4.3 — heuristics vs exhaustive search, TPC-H subset, SLA 0.5\n");
+    print!("{}", render::es_vs_dot(&rows));
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("serialize"));
+    }
+}

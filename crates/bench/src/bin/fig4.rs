@@ -1,0 +1,22 @@
+//! Figure 4: DOT's recommended data layouts for Box 1 and Box 2 on the
+//! original TPC-H workload at relative SLA 0.5 (§4.4.1).
+
+use dot_bench::{experiments, render, TPCH_SCALE};
+
+fn main() {
+    let results = experiments::dss_comparison(
+        experiments::DssWorkloadKind::Original,
+        0.5,
+        TPCH_SCALE,
+    );
+    println!("Figure 4 — DOT layouts, original TPC-H, relative SLA 0.5\n");
+    for b in &results {
+        println!("--- {} ---", b.box_name);
+        if let Some(dot) = experiments::find(&b.evaluations, "DOT") {
+            print!("{}", render::placements(&dot.placements));
+        } else {
+            println!("(infeasible)");
+        }
+        println!();
+    }
+}

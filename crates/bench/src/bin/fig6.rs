@@ -1,0 +1,23 @@
+//! Figure 6: DOT's layouts for the modified TPC-H workload at relative
+//! SLA 0.5 (§4.4.2).
+
+use dot_bench::{experiments, render, TPCH_SCALE};
+
+fn main() {
+    let results = experiments::dss_comparison(
+        experiments::DssWorkloadKind::Modified,
+        0.5,
+        TPCH_SCALE,
+    );
+    println!("Figure 6 — DOT layouts, modified TPC-H, relative SLA 0.5\n");
+    for b in &results {
+        println!("--- {} ---", b.box_name);
+        if let Some(dot) = experiments::find(&b.evaluations, "DOT") {
+            print!("{}", render::placements(&dot.placements));
+            println!("INLJ share: {:.0}%", dot.inlj_percent);
+        } else {
+            println!("(infeasible)");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,17 @@
+//! Figure 7: cost/performance on the modified TPC-H workload at relative
+//! SLA 0.25 (§4.4.2).
+
+use dot_bench::{experiments, render, TPCH_SCALE};
+
+fn main() {
+    let results = experiments::dss_comparison(
+        experiments::DssWorkloadKind::Modified,
+        0.25,
+        TPCH_SCALE,
+    );
+    println!("Figure 7 — modified TPC-H workload, relative SLA 0.25\n");
+    print!("{}", render::dss_comparison(&results));
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", serde_json::to_string_pretty(&results).expect("serialize"));
+    }
+}

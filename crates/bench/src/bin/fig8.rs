@@ -1,0 +1,13 @@
+//! Figure 8: TPC-C tpmC vs TOC for the simple layouts and DOT at relative
+//! SLAs 0.5 / 0.25 / 0.125 (§4.5.2).
+
+use dot_bench::{experiments, render, TPCC_WAREHOUSES};
+
+fn main() {
+    let results = experiments::tpcc_comparison(TPCC_WAREHOUSES, &[0.5, 0.25, 0.125]);
+    println!("Figure 8 — TPC-C, 300 warehouses, 300 connections\n");
+    print!("{}", render::tpcc_comparison(&results));
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", serde_json::to_string_pretty(&results).expect("serialize"));
+    }
+}

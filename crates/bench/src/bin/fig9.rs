@@ -1,0 +1,13 @@
+//! Figure 9: ES vs DOT on the full TPC-C workload (Box 2) without and with
+//! an H-SSD capacity limit, with SLA relaxation until feasible (§4.5.3).
+
+use dot_bench::{experiments, render, TPCC_WAREHOUSES};
+
+fn main() {
+    let rows = experiments::es_vs_dot_tpcc(TPCC_WAREHOUSES, 0.25, &[None, Some(21.0)]);
+    println!("Figure 9 — ES vs DOT, TPC-C on Box 2\n");
+    print!("{}", render::es_vs_dot(&rows));
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("serialize"));
+    }
+}

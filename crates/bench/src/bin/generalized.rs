@@ -1,0 +1,22 @@
+//! §5.1: the generalized provisioning problem — pick the TOC-optimal storage
+//! configuration from a set of options by running DOT on each.
+
+use dot_bench::{experiments, TPCH_SCALE};
+
+fn main() {
+    let choice = experiments::generalized_provisioning(TPCH_SCALE, 0.5);
+    println!("§5.1 — generalized provisioning, original TPC-H, SLA 0.5\n");
+    for o in &choice.all {
+        match &o.outcome.estimate {
+            Some(est) => println!(
+                "{:<10} TOC {:>10.4} cents/pass  ({} layouts investigated)",
+                o.pool_name, est.toc_cents_per_pass, o.outcome.layouts_investigated
+            ),
+            None => println!("{:<10} infeasible", o.pool_name),
+        }
+    }
+    match choice.winning() {
+        Some(w) => println!("\nrecommended configuration: {}", w.pool_name),
+        None => println!("\nno feasible configuration"),
+    }
+}

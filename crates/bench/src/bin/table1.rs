@@ -1,0 +1,13 @@
+//! Table 1: storage prices and four-pattern I/O profiles of the five
+//! storage classes at concurrency 1 and 300 (§2.1, §3.5.1).
+
+use dot_bench::{experiments, render};
+
+fn main() {
+    let rows = experiments::table1();
+    println!("Table 1 — cost and I/O profiles of the storage classes\n");
+    print!("{}", render::table1(&rows));
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("serialize"));
+    }
+}

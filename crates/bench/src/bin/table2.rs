@@ -1,0 +1,12 @@
+//! Table 2: storage device specifications (§4.1).
+
+use dot_bench::{experiments, render};
+
+fn main() {
+    let rows = experiments::table2();
+    println!("Table 2 — storage class specifications\n");
+    print!("{}", render::table2(&rows));
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("serialize"));
+    }
+}

@@ -1,0 +1,14 @@
+//! Table 3: DOT's TPC-C layouts on Box 2 under relative SLAs 0.5 / 0.25 /
+//! 0.125 (§4.5.2).
+
+use dot_bench::{experiments, render, TPCC_WAREHOUSES};
+
+fn main() {
+    let layouts = experiments::tpcc_layouts(TPCC_WAREHOUSES, &[0.5, 0.25, 0.125]);
+    println!("Table 3 — DOT layouts under different relative SLAs (Box 2, TPC-C)\n");
+    for (sla, placements) in &layouts {
+        println!("--- relative SLA = {sla} ---");
+        print!("{}", render::placements(placements));
+        println!();
+    }
+}

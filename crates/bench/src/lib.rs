@@ -1,0 +1,33 @@
+//! # dot-bench
+//!
+//! The experiment harness: one function (and one binary) per table and
+//! figure of the paper's evaluation (§4–§5). Each function returns
+//! structured results that the binaries render as text tables and
+//! (optionally) dump as JSON for EXPERIMENTS.md bookkeeping.
+//!
+//! | Paper artifact | Function | Binary |
+//! |---|---|---|
+//! | Table 1 | [`experiments::table1`] | `table1` |
+//! | Table 2 | [`experiments::table2`] | `table2` |
+//! | Fig 3 / Fig 4 | [`experiments::dss_comparison`] (original, SLA 0.5) | `fig3`, `fig4` |
+//! | Fig 5 / Fig 6 | [`experiments::dss_comparison`] (modified, SLA 0.5) | `fig5`, `fig6` |
+//! | Fig 7 | [`experiments::dss_comparison`] (modified, SLA 0.25) | `fig7` |
+//! | §4.4.3 ES vs DOT | [`experiments::es_vs_dot_tpch`] | `es_vs_dot` |
+//! | Fig 8 | [`experiments::tpcc_comparison`] | `fig8` |
+//! | Table 3 | [`experiments::tpcc_layouts`] | `table3` |
+//! | Fig 9 | [`experiments::es_vs_dot_tpcc`] | `fig9` |
+//! | §5.1 | [`experiments::generalized_provisioning`] | `generalized` |
+//! | §5.2 | [`experiments::discrete_cost_sweep`] | `discrete` |
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod experiments;
+pub mod render;
+
+/// Default TPC-H scale factor used by the harness. The paper uses 20
+/// (~30 GB); the harness accepts smaller factors for quick runs.
+pub const TPCH_SCALE: f64 = 20.0;
+
+/// Default TPC-C warehouse count (~30 GB), as in the paper.
+pub const TPCC_WAREHOUSES: f64 = 300.0;

@@ -1,0 +1,142 @@
+//! Plain-text rendering of experiment results, paper-style.
+
+use crate::experiments::{DssBoxResult, EsVsDotRow, Table1Row, Table2Row, TpccBoxResult};
+use dot_core::report::LayoutEvaluation;
+
+/// Render Table 1 in the paper's orientation (classes as columns).
+pub fn table1(rows: &[Table1Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<28}", "metric"));
+    for r in rows {
+        out.push_str(&format!("{:>14}", r.class));
+    }
+    out.push('\n');
+    let line = |label: &str, f: &dyn Fn(&Table1Row) -> String| {
+        let mut s = format!("{label:<28}");
+        for r in rows {
+            s.push_str(&format!("{:>14}", f(r)));
+        }
+        s.push('\n');
+        s
+    };
+    out.push_str(&line("TOC/GB/hour (cents, paper)", &|r| {
+        format!("{:.2e}", r.published_price)
+    }));
+    out.push_str(&line("TOC/GB/hour (cents, model)", &|r| {
+        format!("{:.2e}", r.computed_price)
+    }));
+    let pats = ["SeqRead ms/IO", "RandRead ms/IO", "SeqWrite ms/row", "RandWrite ms/row"];
+    for (i, p) in pats.iter().enumerate() {
+        out.push_str(&line(p, &|r| {
+            format!("{:.3} ({:.3})", r.at_c1[i], r.at_c300[i])
+        }));
+    }
+    out
+}
+
+/// Render Table 2.
+pub fn table2(rows: &[Table2Row]) -> String {
+    let mut out = format!(
+        "{:<24}{:>10}{:>14}{:>14}{:>12}{:>10}\n",
+        "model", "kind", "capacity GB", "interface", "price $", "watts"
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<24}{:>10}{:>14}{:>14}{:>12}{:>10}\n",
+            r.model, r.kind, r.capacity_gb, r.interface, r.purchase_usd, r.power_watts
+        ));
+    }
+    out
+}
+
+/// Render one evaluation row of a DSS figure.
+fn dss_eval_row(e: &LayoutEvaluation) -> String {
+    format!(
+        "{:<26}{:>14.1}{:>16.4}{:>10.0}%{:>10.1}%\n",
+        e.label, e.response_time_s, e.toc_cents_per_pass, e.psr_percent, e.inlj_percent
+    )
+}
+
+/// Render a Fig 3/5/7-style comparison.
+pub fn dss_comparison(results: &[DssBoxResult]) -> String {
+    let mut out = String::new();
+    for b in results {
+        out.push_str(&format!("== {} ==\n", b.box_name));
+        out.push_str(&format!(
+            "{:<26}{:>14}{:>16}{:>11}{:>11}\n",
+            "layout", "resp time s", "TOC cents/pass", "PSR", "INLJ"
+        ));
+        for e in &b.evaluations {
+            out.push_str(&dss_eval_row(e));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a Fig 4/6/Table 3-style placement listing.
+pub fn placements(placements: &[(String, String)]) -> String {
+    let mut by_class: std::collections::BTreeMap<&str, Vec<&str>> = Default::default();
+    for (obj, class) in placements {
+        by_class.entry(class).or_default().push(obj);
+    }
+    let mut out = String::new();
+    for (class, objs) in by_class {
+        out.push_str(&format!("{class}:\n"));
+        for o in objs {
+            out.push_str(&format!("    {o}\n"));
+        }
+    }
+    out
+}
+
+/// Render an ES-vs-DOT comparison (§4.4.3 / Fig 9).
+pub fn es_vs_dot(rows: &[EsVsDotRow]) -> String {
+    let mut out = format!(
+        "{:<8}{:<22}{:>9}{:>13}{:>13}{:>11}{:>11}{:>12}{:>12}\n",
+        "box", "capacity", "SLA", "DOT TOC", "ES TOC", "DOT s", "ES s", "DOT #", "ES #"
+    );
+    for r in rows {
+        let fmt_toc = |e: &Option<LayoutEvaluation>| {
+            e.as_ref()
+                .map(|e| format!("{:.4}", e.objective_cents))
+                .unwrap_or_else(|| "infeas.".into())
+        };
+        out.push_str(&format!(
+            "{:<8}{:<22}{:>9.3}{:>13}{:>13}{:>11.3}{:>11.3}{:>12}{:>12}\n",
+            r.box_name,
+            r.capacity_label,
+            r.final_sla,
+            fmt_toc(&r.dot),
+            fmt_toc(&r.es),
+            r.dot_seconds,
+            r.es_seconds,
+            r.dot_investigated,
+            r.es_investigated
+        ));
+    }
+    out
+}
+
+/// Render a Fig 8-style TPC-C comparison.
+pub fn tpcc_comparison(results: &[TpccBoxResult]) -> String {
+    let mut out = String::new();
+    for b in results {
+        out.push_str(&format!("== {} ==\n", b.box_name));
+        out.push_str(&format!(
+            "{:<26}{:>12}{:>18}{:>20}\n",
+            "layout", "tpmC", "TOC cents (1h)", "TOC cents/1k tasks"
+        ));
+        for e in &b.evaluations {
+            out.push_str(&format!(
+                "{:<26}{:>12.0}{:>18.4}{:>20.4}\n",
+                e.label,
+                e.throughput_tasks_per_hour / 60.0,
+                e.objective_cents,
+                e.toc_cents_per_task * 1000.0
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}

@@ -1,0 +1,208 @@
+//! Regression tests for the paper's headline shapes, run at reduced scale
+//! (SF 2 TPC-H, 20-warehouse TPC-C) so the suite stays fast. The full-scale
+//! numbers live in EXPERIMENTS.md and regenerate via `--bin all`.
+
+use dot_bench::experiments::{self, DssWorkloadKind};
+
+const SF: f64 = 2.0;
+const WAREHOUSES: f64 = 20.0;
+
+fn find<'e>(
+    evals: &'e [dot_core::report::LayoutEvaluation],
+    label: &str,
+) -> &'e dot_core::report::LayoutEvaluation {
+    experiments::find(evals, label).unwrap_or_else(|| panic!("missing {label}"))
+}
+
+#[test]
+fn table1_prices_recompute_within_tolerance() {
+    for row in experiments::table1() {
+        let err = (row.computed_price - row.published_price).abs() / row.published_price;
+        assert!(err < 0.10, "{}: {err:.3}", row.class);
+    }
+}
+
+#[test]
+fn fig3_shape_dot_wins_with_full_psr() {
+    for b in experiments::dss_comparison(DssWorkloadKind::Original, 0.5, SF) {
+        let premium = find(&b.evaluations, "All H-SSD");
+        let dot = find(&b.evaluations, "DOT");
+        // DOT: >3x cheaper, PSR 100%.
+        assert!(
+            premium.toc_cents_per_pass / dot.toc_cents_per_pass > 3.0,
+            "{}: saving too small",
+            b.box_name
+        );
+        assert!((dot.psr_percent - 100.0).abs() < 1e-9);
+        // Cheap simple layouts break the SLA.
+        let cheap = b
+            .evaluations
+            .iter()
+            .find(|e| e.label == "All HDD" || e.label == "All HDD RAID 0")
+            .expect("cheap layout");
+        assert!(cheap.psr_percent < 100.0, "{}: cheap layout met SLA", b.box_name);
+        // OA is more expensive than DOT.
+        let oa = find(&b.evaluations, "OA");
+        assert!(oa.toc_cents_per_pass > dot.toc_cents_per_pass);
+    }
+}
+
+#[test]
+fn fig5_shape_modified_workload_pins_to_premium() {
+    for b in experiments::dss_comparison(DssWorkloadKind::Modified, 0.5, SF) {
+        let premium = find(&b.evaluations, "All H-SSD");
+        let dot = find(&b.evaluations, "DOT");
+        assert!((dot.psr_percent - 100.0).abs() < 1e-9);
+        // DOT saves, but modestly: the tight SLA pins the bulk on H-SSD.
+        assert!(dot.toc_cents_per_pass <= premium.toc_cents_per_pass);
+        assert!(
+            dot.toc_cents_per_pass > premium.toc_cents_per_pass * 0.5,
+            "{}: saving implausibly large for SLA 0.5",
+            b.box_name
+        );
+        // INLJ share is substantial on the DOT layout (paper: ~50%).
+        assert!(dot.inlj_percent > 30.0, "{}: INLJ {}%", b.box_name, dot.inlj_percent);
+    }
+}
+
+#[test]
+fn fig7_shape_relaxed_sla_unlocks_bulk_moves() {
+    for b in experiments::dss_comparison(DssWorkloadKind::Modified, 0.25, SF) {
+        let premium = find(&b.evaluations, "All H-SSD");
+        let dot = find(&b.evaluations, "DOT");
+        assert!((dot.psr_percent - 100.0).abs() < 1e-9);
+        assert!(
+            premium.toc_cents_per_pass / dot.toc_cents_per_pass > 2.0,
+            "{}: saving {:.2}x too small at SLA 0.25",
+            b.box_name,
+            premium.toc_cents_per_pass / dot.toc_cents_per_pass
+        );
+    }
+}
+
+#[test]
+fn inlj_share_falls_as_sla_relaxes() {
+    // §4.4.2's plan-flip observation: tightening placement onto the H-SSD
+    // buys INLJs; relaxing the SLA trades them back for hash joins.
+    let tight = experiments::dss_comparison(DssWorkloadKind::Modified, 0.5, SF);
+    let loose = experiments::dss_comparison(DssWorkloadKind::Modified, 0.25, SF);
+    for (t, l) in tight.iter().zip(&loose) {
+        let t_inlj = find(&t.evaluations, "DOT").inlj_percent;
+        let l_inlj = find(&l.evaluations, "DOT").inlj_percent;
+        assert!(
+            l_inlj <= t_inlj,
+            "{}: INLJ share rose from {t_inlj}% to {l_inlj}% as the SLA relaxed",
+            t.box_name
+        );
+    }
+}
+
+#[test]
+fn es_vs_dot_gap_and_speed() {
+    let rows = experiments::es_vs_dot_tpch(SF, 0.5);
+    assert_eq!(rows.len(), 8);
+    for r in &rows {
+        let (Some(dot), Some(es)) = (&r.dot, &r.es) else {
+            panic!("{} {}: infeasible", r.box_name, r.capacity_label);
+        };
+        // ES optimal, DOT close (the paper: within 16% in most cases; we
+        // allow 50% per-row here and check the aggregate below).
+        assert!(dot.objective_cents >= es.objective_cents - 1e-12);
+        assert!(
+            dot.objective_cents <= es.objective_cents * 1.5,
+            "{} {}: gap too large",
+            r.box_name,
+            r.capacity_label
+        );
+        assert!(r.dot_investigated * 10 < r.es_investigated);
+    }
+    // Aggregate: at SF 2 the paper's absolute capacity limits are loose
+    // relative to the ~2.5 GB database, so the geometry differs from the
+    // SF 20 runs recorded in EXPERIMENTS.md (7/8 within 6% there). Still,
+    // half the rows must match the paper's 16% bound.
+    let close = rows
+        .iter()
+        .filter(|r| {
+            let (d, e) = (r.dot.as_ref().unwrap(), r.es.as_ref().unwrap());
+            d.objective_cents <= e.objective_cents * 1.16
+        })
+        .count();
+    assert!(close >= 4, "only {close}/8 rows within 16% of ES");
+}
+
+#[test]
+fn fig8_shape_toc_falls_as_sla_relaxes_and_floors_hold() {
+    for b in experiments::tpcc_comparison(WAREHOUSES, &[0.5, 0.25, 0.125]) {
+        let premium = find(&b.evaluations, "All H-SSD");
+        let mut last = f64::INFINITY;
+        for ratio in [0.5, 0.25, 0.125] {
+            let dot = find(&b.evaluations, &format!("DOT {ratio}"));
+            assert!(dot.objective_cents <= last + 1e-9, "{}", b.box_name);
+            assert!(
+                dot.throughput_tasks_per_hour >= ratio * premium.throughput_tasks_per_hour - 1e-6,
+                "{}: floor violated at {ratio}",
+                b.box_name
+            );
+            last = dot.objective_cents;
+        }
+        // At the loosest SLA the saving is substantial (paper: ~3x).
+        let loosest = find(&b.evaluations, "DOT 0.125");
+        assert!(
+            premium.objective_cents / loosest.objective_cents > 1.5,
+            "{}: only {:.2}x saving at SLA 0.125",
+            b.box_name,
+            premium.objective_cents / loosest.objective_cents
+        );
+    }
+}
+
+#[test]
+fn table3_shape_objects_migrate_as_sla_relaxes() {
+    let layouts = experiments::tpcc_layouts(WAREHOUSES, &[0.5, 0.25, 0.125]);
+    let on_premium = |placements: &[(String, String)]| {
+        placements.iter().filter(|(_, c)| c == "H-SSD").count()
+    };
+    let counts: Vec<usize> = layouts.iter().map(|(_, p)| on_premium(p)).collect();
+    assert!(counts[0] >= counts[1] && counts[1] >= counts[2], "{counts:?}");
+    assert!(counts[2] < counts[0], "no migration across SLAs: {counts:?}");
+}
+
+#[test]
+fn fig9_shape_es_close_capacity_forces_relaxation() {
+    // Scale the paper's 21 GB H-SSD cap (0.7x the 30 GB database) to the
+    // reduced warehouse count.
+    let db_gb = dot_workloads::tpcc::schema(WAREHOUSES).total_size_gb();
+    let rows = experiments::es_vs_dot_tpcc(WAREHOUSES, 0.25, &[None, Some(db_gb * 0.7)]);
+    // Unlimited: both feasible at the requested SLA, near-equal TOC.
+    let free = &rows[0];
+    assert_eq!(free.final_sla, 0.25);
+    let (d, e) = (free.dot.as_ref().unwrap(), free.es.as_ref().unwrap());
+    assert!(d.objective_cents <= e.objective_cents * 1.35);
+    // Capped: the SLA relaxed, and both solvers still produced layouts.
+    let capped = &rows[1];
+    assert!(capped.final_sla < 0.25);
+    assert!(capped.dot.is_some() && capped.es.is_some());
+}
+
+#[test]
+fn discrete_model_consolidates() {
+    let rows = experiments::discrete_cost_sweep(SF, 0.5, &[0.0, 1.0]);
+    assert!(rows[1].classes_used <= rows[0].classes_used);
+}
+
+#[test]
+fn ablation_dot_config_is_best() {
+    let rows = experiments::ablation_comparison(SF, 0.5);
+    let dot = rows
+        .iter()
+        .find(|r| r.config == "Group/TimePerCost")
+        .unwrap();
+    let worst = rows
+        .iter()
+        .filter(|r| r.config != "ExhaustiveSearch")
+        .filter_map(|r| r.vs_optimal)
+        .fold(0.0f64, f64::max);
+    let dot_gap = dot.vs_optimal.expect("feasible");
+    assert!(dot_gap <= worst + 1e-12);
+    assert!(dot_gap < 1.2, "DOT config {dot_gap:.2}x off optimal");
+}

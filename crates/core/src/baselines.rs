@@ -1,0 +1,212 @@
+//! The comparison layouts of §4.2: the six "simple" layouts and the Object
+//! Advisor (OA) of Canim et al. as the paper characterizes it.
+
+use crate::problem::Problem;
+use dot_dbms::{exec, Layout, ObjectKind};
+use dot_storage::ClassId;
+
+/// `All <class>`: every object on the named class, if it exists in the pool.
+pub fn all_on(problem: &Problem<'_>, class_name: &str) -> Option<Layout> {
+    let class = problem.pool.class_by_name(class_name)?;
+    Some(Layout::uniform(class.id, problem.schema.object_count()))
+}
+
+/// `Index H-SSD Data L-SSD` (§4.2): index objects on the H-SSD, everything
+/// else on the box's L-SSD variant (bare on Box 1, RAID 0 on Box 2).
+pub fn index_hssd_data_lssd(problem: &Problem<'_>) -> Option<Layout> {
+    let hssd = problem.pool.class_by_name("H-SSD")?.id;
+    let lssd = problem
+        .pool
+        .classes()
+        .iter()
+        .find(|c| c.name.starts_with("L-SSD"))?
+        .id;
+    let assignment: Vec<ClassId> = problem
+        .schema
+        .objects()
+        .iter()
+        .map(|o| if o.kind == ObjectKind::Index { hssd } else { lssd })
+        .collect();
+    Some(Layout::from_assignment(assignment))
+}
+
+/// All simple layouts available on the problem's pool, labelled as in the
+/// paper's figures.
+pub fn simple_layouts(problem: &Problem<'_>) -> Vec<(String, Layout)> {
+    let mut out = Vec::new();
+    for class in problem.pool.classes() {
+        out.push((
+            format!("All {}", class.name),
+            Layout::uniform(class.id, problem.schema.object_count()),
+        ));
+    }
+    if let Some(l) = index_hssd_data_lssd(problem) {
+        out.push(("Index H-SSD Data L-SSD".to_owned(), l));
+    }
+    out
+}
+
+/// The Object Advisor of Canim et al. (VLDB'09), reproduced with the two
+/// properties the paper contrasts against (§6):
+///
+/// 1. it **maximizes workload performance**, not TOC: objects are ranked by
+///    I/O-time benefit per GB and greedily promoted to the fastest class
+///    until its capacity runs out;
+/// 2. its profiling is **not layout-aware**: I/O statistics are collected
+///    once, with plans chosen for the all-on-cheapest layout, and never
+///    refreshed — so it misses plan flips that placement would enable
+///    (e.g. an index that is dead under HDD plans earns no benefit and
+///    stays behind, even though promoting it would unlock index scans).
+pub fn object_advisor(problem: &Problem<'_>) -> Layout {
+    let order = problem.pool.ids_by_price_desc();
+    let fastest = order[0];
+    let cheapest = *order.last().expect("non-empty pool");
+    let schema = problem.schema;
+    let pool = problem.pool;
+
+    // One-shot profile on the all-on-cheapest layout.
+    let base = Layout::uniform(cheapest, schema.object_count());
+    let run = exec::estimate_workload(
+        &problem.workload.queries,
+        schema,
+        &base,
+        pool,
+        &problem.cfg,
+    );
+
+    let tau_cheap = &pool.class_unchecked(cheapest).profile;
+    let tau_fast = &pool.class_unchecked(fastest).profile;
+    let c = problem.cfg.concurrency;
+
+    let mut ranked: Vec<(usize, f64)> = run
+        .cost
+        .io
+        .iter()
+        .enumerate()
+        .map(|(i, counts)| {
+            let t_cheap = tau_cheap.service_time_ms(counts, c);
+            let t_fast = tau_fast.service_time_ms(counts, c);
+            let size = schema.objects()[i].size_gb;
+            (i, (t_cheap - t_fast) / size)
+        })
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("benefits are finite"));
+
+    let fast_capacity = pool.class_unchecked(fastest).capacity_gb;
+    let mut used = 0.0;
+    let mut layout = base;
+    for (i, benefit) in ranked {
+        if benefit <= 0.0 {
+            break;
+        }
+        let size = schema.objects()[i].size_gb;
+        if used + size < fast_capacity {
+            layout.place(dot_dbms::ObjectId(i), fastest);
+            used += size;
+        }
+    }
+    layout
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dot_dbms::EngineConfig;
+    use dot_storage::catalog;
+    use dot_workloads::{synth, SlaSpec};
+
+    fn setup() -> (
+        dot_dbms::Schema,
+        dot_storage::StoragePool,
+        dot_workloads::Workload,
+    ) {
+        let s = synth::bench_schema(5_000_000.0, 120.0);
+        let pool = catalog::box2();
+        let w = synth::mixed_workload(&s);
+        (s, pool, w)
+    }
+
+    #[test]
+    fn simple_layouts_cover_all_classes_plus_split() {
+        let (s, pool, w) = setup();
+        let p = crate::Problem::new(&s, &pool, &w, SlaSpec::relative(0.5), EngineConfig::dss());
+        let layouts = simple_layouts(&p);
+        // 3 classes + the index/data split.
+        assert_eq!(layouts.len(), 4);
+        assert!(layouts.iter().any(|(n, _)| n == "All H-SSD"));
+        assert!(layouts.iter().any(|(n, _)| n == "Index H-SSD Data L-SSD"));
+    }
+
+    #[test]
+    fn index_data_split_separates_kinds() {
+        let (s, pool, w) = setup();
+        let p = crate::Problem::new(&s, &pool, &w, SlaSpec::relative(0.5), EngineConfig::dss());
+        let l = index_hssd_data_lssd(&p).unwrap();
+        let hssd = pool.class_by_name("H-SSD").unwrap().id;
+        for o in s.objects() {
+            if o.kind == ObjectKind::Index {
+                assert_eq!(l.class_of(o.id), hssd);
+            } else {
+                assert_ne!(l.class_of(o.id), hssd);
+            }
+        }
+    }
+
+    #[test]
+    fn all_on_unknown_class_is_none() {
+        let (s, pool, w) = setup();
+        let p = crate::Problem::new(&s, &pool, &w, SlaSpec::relative(0.5), EngineConfig::dss());
+        assert!(all_on(&p, "No Such Class").is_none());
+        assert!(all_on(&p, "HDD").is_some());
+    }
+
+    #[test]
+    fn object_advisor_promotes_hot_objects_within_capacity() {
+        let (s, pool, w) = setup();
+        let p = crate::Problem::new(&s, &pool, &w, SlaSpec::relative(0.5), EngineConfig::dss());
+        let l = object_advisor(&p);
+        let fastest = pool.most_expensive();
+        // The hot heap moves to the fastest class (it fits).
+        let heap = s.table_by_name("a").unwrap().object;
+        assert_eq!(l.class_of(heap), fastest);
+        assert!(l.fits(&s, &pool));
+    }
+
+    #[test]
+    fn object_advisor_leaves_cold_objects_behind() {
+        // A never-accessed table earns zero benefit and stays on the
+        // cheapest class.
+        let s = dot_dbms::SchemaBuilder::new("hotcold")
+            .table("hot", 1_000_000.0, 120.0)
+            .primary_index(8.0)
+            .table("cold", 1_000_000.0, 120.0)
+            .primary_index(8.0)
+            .build();
+        let pool = catalog::box2();
+        let hot = s.table_by_name("hot").unwrap().id;
+        let queries = vec![dot_dbms::query::QuerySpec::read(
+            "hot_scan",
+            dot_dbms::query::ReadOp::of(dot_dbms::query::Rel::Scan(
+                dot_dbms::query::ScanSpec::full(hot),
+            )),
+        )];
+        let w = dot_workloads::Workload::dss("hotcold", queries);
+        let p = crate::Problem::new(&s, &pool, &w, SlaSpec::relative(0.5), EngineConfig::dss());
+        let l = object_advisor(&p);
+        let cheapest = *pool.ids_by_price_desc().last().unwrap();
+        assert_eq!(l.class_of(s.table_by_name("cold").unwrap().object), cheapest);
+        assert_eq!(l.class_of(s.table_by_name("hot").unwrap().object), pool.most_expensive());
+    }
+
+    #[test]
+    fn object_advisor_respects_capacity() {
+        let (s, pool0, w) = setup();
+        let mut pool = pool0;
+        // Premium class smaller than the heap: OA must keep it off.
+        let heap_gb = s.table_by_name("a").unwrap().size_gb();
+        pool.set_capacity("H-SSD", heap_gb * 0.5);
+        let p = crate::Problem::new(&s, &pool, &w, SlaSpec::relative(0.5), EngineConfig::dss());
+        let l = object_advisor(&p);
+        assert!(l.fits(&s, &pool));
+    }
+}

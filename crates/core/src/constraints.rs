@@ -1,0 +1,187 @@
+//! Performance and capacity constraints (§2.4, §4.3).
+//!
+//! The paper expresses SLAs *relative to the best case*: a layout must keep
+//! each query within `1/ratio` of its response time on the all-premium
+//! layout (DSS), or keep throughput above `ratio` of the all-premium
+//! throughput (OLTP). Constraints are derived once from `L_0` and then
+//! checked against every candidate's estimate.
+
+use crate::problem::Problem;
+use crate::toc::{estimate_toc, TocEstimate};
+use dot_dbms::Layout;
+use dot_workloads::spec::{performance_satisfaction_ratio, PerfMetric};
+use dot_workloads::SlaSpec;
+use serde::{Deserialize, Serialize};
+
+/// Derived constraints for one problem instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Constraints {
+    /// Per-query response caps in ms (DSS workloads).
+    pub response_caps_ms: Option<Vec<f64>>,
+    /// Throughput floor in tasks/hour (OLTP workloads).
+    pub throughput_floor: Option<f64>,
+    /// The reference (all-premium) estimate the caps were derived from.
+    pub reference: TocEstimate,
+    /// The SLA the caps encode.
+    pub sla: SlaSpec,
+}
+
+/// Derive constraints from the premium layout under the problem's SLA.
+pub fn derive(problem: &Problem<'_>) -> Constraints {
+    derive_with_sla(problem, problem.sla)
+}
+
+/// Derive constraints for an explicit SLA (used by the relaxation loop).
+pub fn derive_with_sla(problem: &Problem<'_>, sla: SlaSpec) -> Constraints {
+    let reference = estimate_toc(problem, &problem.premium_layout());
+    from_reference(problem, reference, sla)
+}
+
+/// Build constraints from an existing reference estimate (e.g. a *measured*
+/// premium run during validation).
+pub fn from_reference(
+    problem: &Problem<'_>,
+    reference: TocEstimate,
+    sla: SlaSpec,
+) -> Constraints {
+    match problem.workload.metric {
+        PerfMetric::ResponseTime => Constraints {
+            response_caps_ms: Some(
+                reference
+                    .per_query_ms
+                    .iter()
+                    .map(|&t| sla.response_cap_ms(t))
+                    .collect(),
+            ),
+            throughput_floor: None,
+            reference,
+            sla,
+        },
+        PerfMetric::Throughput => Constraints {
+            response_caps_ms: None,
+            throughput_floor: Some(sla.throughput_floor(reference.throughput_tasks_per_hour)),
+            reference,
+            sla,
+        },
+    }
+}
+
+impl Constraints {
+    /// The paper's `feasible({L_new, C}, {T', T})`: capacity constraints on
+    /// the layout plus performance constraints on its estimate.
+    pub fn satisfied(&self, problem: &Problem<'_>, layout: &Layout, est: &TocEstimate) -> bool {
+        if !layout.fits(problem.schema, problem.pool) {
+            return false;
+        }
+        self.performance_satisfied(est)
+    }
+
+    /// Performance constraints only (no capacity check).
+    pub fn performance_satisfied(&self, est: &TocEstimate) -> bool {
+        if let Some(caps) = &self.response_caps_ms {
+            if est
+                .per_query_ms
+                .iter()
+                .zip(caps)
+                .any(|(t, cap)| t > cap)
+            {
+                return false;
+            }
+        }
+        if let Some(floor) = self.throughput_floor {
+            if est.throughput_tasks_per_hour < floor {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Performance satisfaction ratio (§4.3): fraction of queries meeting
+    /// their caps. For throughput workloads this is 1.0/0.0 on the floor
+    /// (the paper: "the throughput performance itself serves as such an
+    /// indicator").
+    pub fn psr(&self, est: &TocEstimate) -> f64 {
+        match (&self.response_caps_ms, self.throughput_floor) {
+            (Some(caps), _) => performance_satisfaction_ratio(&est.per_query_ms, caps),
+            (None, Some(floor)) => {
+                if est.throughput_tasks_per_hour >= floor {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            (None, None) => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dot_dbms::EngineConfig;
+    use dot_storage::catalog;
+    use dot_workloads::{synth, tpcc};
+
+    #[test]
+    fn response_caps_scale_with_sla() {
+        let s = synth::bench_schema(2_000_000.0, 120.0);
+        let pool = catalog::box2();
+        let w = synth::mixed_workload(&s);
+        let p = crate::Problem::new(&s, &pool, &w, SlaSpec::relative(0.5), EngineConfig::dss());
+        let c = derive(&p);
+        let caps = c.response_caps_ms.as_ref().unwrap();
+        for (cap, t) in caps.iter().zip(&c.reference.per_query_ms) {
+            assert!((cap - t * 2.0).abs() < 1e-9);
+        }
+        assert!(c.throughput_floor.is_none());
+        // The premium layout trivially satisfies its own derived caps.
+        assert!(c.satisfied(&p, &p.premium_layout(), &c.reference));
+        assert_eq!(c.psr(&c.reference), 1.0);
+    }
+
+    #[test]
+    fn throughput_floor_for_oltp() {
+        let s = tpcc::schema(5.0);
+        let pool = catalog::box2();
+        let w = tpcc::workload(&s);
+        let p = crate::Problem::new(&s, &pool, &w, SlaSpec::relative(0.25), EngineConfig::oltp());
+        let c = derive(&p);
+        assert!(c.response_caps_ms.is_none());
+        let floor = c.throughput_floor.unwrap();
+        assert!(
+            (floor - 0.25 * c.reference.throughput_tasks_per_hour).abs() < 1e-9
+        );
+        assert!(c.performance_satisfied(&c.reference));
+    }
+
+    #[test]
+    fn slow_layout_fails_tight_sla() {
+        let s = synth::bench_schema(2_000_000.0, 120.0);
+        let pool = catalog::box2();
+        let w = synth::mixed_workload(&s);
+        let p = crate::Problem::new(&s, &pool, &w, SlaSpec::relative(0.9), EngineConfig::dss());
+        let c = derive(&p);
+        let hdd = dot_dbms::Layout::uniform(
+            pool.class_by_name("HDD").unwrap().id,
+            s.object_count(),
+        );
+        let est = crate::toc::estimate_toc(&p, &hdd);
+        assert!(!c.performance_satisfied(&est));
+        assert!(c.psr(&est) < 1.0);
+    }
+
+    #[test]
+    fn capacity_violation_fails() {
+        let s = synth::bench_schema(2_000_000.0, 120.0);
+        let mut pool = catalog::box2();
+        pool.set_capacity("H-SSD", 1e-4);
+        let w = synth::mixed_workload(&s);
+        let p = crate::Problem::new(&s, &pool, &w, SlaSpec::relative(0.5), EngineConfig::dss());
+        let c = derive(&p);
+        let premium = p.premium_layout();
+        let est = crate::toc::estimate_toc(&p, &premium);
+        assert!(!c.satisfied(&p, &premium, &est));
+        // ...even though performance is fine.
+        assert!(c.performance_satisfied(&est));
+    }
+}

@@ -1,0 +1,421 @@
+//! Exhaustive search (ES) — the optimality baseline of §4.4.3 and §4.5.3.
+//!
+//! Two variants:
+//!
+//! * [`exhaustive_search`] — the literal `M^N` enumeration the paper
+//!   describes, evaluating every layout through the same storage-aware
+//!   planner DOT uses. Tractable only for small object sets (the paper uses
+//!   8 TPC-H objects → 3^8 = 6561 layouts; the full 16-object set would be
+//!   43 million). Parallelized over the first object's class with crossbeam.
+//! * [`exhaustive_search_additive`] — an exact branch-and-bound over
+//!   group placements for **throughput workloads with placement-stable
+//!   plans** (TPC-C, §4.5.1): there the planner's cost vector does not
+//!   depend on the layout, so workload time decomposes additively over
+//!   groups and the full space can be searched with suffix-bound pruning.
+//!   This is how the paper's ES completes the 19-object TPC-C search in
+//!   minutes rather than years.
+
+use crate::constraints::Constraints;
+use crate::problem::{LayoutCostModel, Problem};
+use crate::toc::{estimate_toc, TocEstimate};
+use dot_dbms::Layout;
+use dot_profiler::baseline::group_placements;
+use dot_profiler::WorkloadProfile;
+use dot_storage::ClassId;
+use dot_workloads::spec::PerfMetric;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Result of an exhaustive search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EsOutcome {
+    /// Best feasible layout found, if any.
+    pub layout: Option<Layout>,
+    /// Its estimate.
+    pub estimate: Option<TocEstimate>,
+    /// Complete layouts evaluated.
+    pub layouts_investigated: usize,
+    /// Wall-clock time.
+    #[serde(skip, default)]
+    pub elapsed: Duration,
+}
+
+/// Enumerate all `M^N` layouts, evaluating each with the planner-based
+/// `estimateTOC`, and return the feasible layout with minimum TOC.
+///
+/// Work is split over the first object's class across threads; each thread
+/// runs its own odometer over the remaining objects.
+pub fn exhaustive_search(problem: &Problem<'_>, cons: &Constraints) -> EsOutcome {
+    let start = Instant::now();
+    let n = problem.schema.object_count();
+    let classes: Vec<ClassId> = problem.pool.ids().collect();
+    let m = classes.len();
+    assert!(m >= 1 && n >= 1);
+
+    struct Best {
+        layout: Option<Layout>,
+        estimate: Option<TocEstimate>,
+        toc: f64,
+        evaluated: usize,
+    }
+
+    let evaluate_branch = |first: ClassId| -> Best {
+        let mut best = Best {
+            layout: None,
+            estimate: None,
+            toc: f64::INFINITY,
+            evaluated: 0,
+        };
+        // Odometer over objects 1..n (object 0 fixed to `first`).
+        let mut digits = vec![0usize; n.saturating_sub(1)];
+        loop {
+            let mut assignment = Vec::with_capacity(n);
+            assignment.push(first);
+            assignment.extend(digits.iter().map(|&d| classes[d]));
+            let layout = Layout::from_assignment(assignment);
+            best.evaluated += 1;
+            // Cheap capacity pre-check before paying for planning.
+            if layout.fits(problem.schema, problem.pool) {
+                let est = estimate_toc(problem, &layout);
+                if cons.performance_satisfied(&est) && est.objective_cents < best.toc {
+                    best.toc = est.objective_cents;
+                    best.layout = Some(layout);
+                    best.estimate = Some(est);
+                }
+            }
+            // Advance the odometer.
+            let mut i = 0;
+            loop {
+                if i == digits.len() {
+                    return best;
+                }
+                digits[i] += 1;
+                if digits[i] < m {
+                    break;
+                }
+                digits[i] = 0;
+                i += 1;
+            }
+        }
+    };
+
+    let results: Vec<Best> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = classes
+            .iter()
+            .map(|&first| scope.spawn(move |_| evaluate_branch(first)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("ES worker")).collect()
+    })
+    .expect("ES scope");
+
+    let mut layout = None;
+    let mut estimate: Option<TocEstimate> = None;
+    let mut toc = f64::INFINITY;
+    let mut evaluated = 0usize;
+    for b in results {
+        evaluated += b.evaluated;
+        if b.toc < toc {
+            toc = b.toc;
+            layout = b.layout;
+            estimate = b.estimate;
+        }
+    }
+    EsOutcome {
+        layout,
+        estimate,
+        layouts_investigated: evaluated,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Exact branch-and-bound search over group placements under the additive
+/// time model, for throughput workloads whose plans are placement-stable.
+///
+/// Under plan stability the per-group I/O time shares from the profile sum
+/// to the exact planner time, so this search visits (a pruned subset of)
+/// `Π_g M^{|g|}` placements and returns the true optimum — the layout ES
+/// would find — in a fraction of the time the literal enumeration needs.
+///
+/// # Panics
+/// Panics when called on a response-time workload (per-query caps do not
+/// decompose over groups) or a non-linear cost model.
+pub fn exhaustive_search_additive(
+    problem: &Problem<'_>,
+    profile: &WorkloadProfile,
+    cons: &Constraints,
+) -> EsOutcome {
+    assert_eq!(
+        problem.workload.metric,
+        PerfMetric::Throughput,
+        "additive ES requires a throughput workload"
+    );
+    assert_eq!(
+        problem.cost_model,
+        LayoutCostModel::Linear,
+        "additive ES requires the linear cost model"
+    );
+    let start = Instant::now();
+    let pool = problem.pool;
+    let schema = problem.schema;
+    let concurrency = problem.cfg.concurrency;
+
+    // Layout-independent CPU: reference stream time minus the premium
+    // placements' I/O shares.
+    let premium = pool.most_expensive();
+    let io_premium: f64 = profile
+        .groups
+        .iter()
+        .map(|g| {
+            g.io_time_share_ms(&vec![premium; g.objects.len()], pool, concurrency)
+                .expect("profile covers premium")
+        })
+        .sum();
+    let cpu_ms = (cons.reference.stream_time_ms - io_premium).max(0.0);
+
+    // Time cap from the throughput floor: T(t) >= floor  ⇔  t <= cap.
+    let time_cap_ms = match cons.throughput_floor {
+        Some(floor) if floor > 0.0 => {
+            problem.workload.concurrency as f64 * problem.workload.tasks_per_stream * 3_600_000.0
+                / floor
+        }
+        _ => f64::INFINITY,
+    };
+
+    // Per-group options: (placement, Δspace per class, cost, io time).
+    struct Option_ {
+        placement: Vec<ClassId>,
+        space: Vec<f64>,
+        cost: f64,
+        time_ms: f64,
+    }
+    let group_options: Vec<Vec<Option_>> = profile
+        .groups
+        .iter()
+        .map(|g| {
+            group_placements(pool, g.objects.len())
+                .into_iter()
+                .map(|p| {
+                    let mut space = vec![0.0; pool.len()];
+                    let mut cost = 0.0;
+                    for (obj, &class) in g.objects.iter().zip(&p) {
+                        let gb = schema.object(*obj).size_gb;
+                        space[class.0] += gb;
+                        cost += pool.class_unchecked(class).price_cents_per_gb_hour * gb;
+                    }
+                    let time_ms = g
+                        .io_time_share_ms(&p, pool, concurrency)
+                        .expect("profile covers every placement");
+                    Option_ {
+                        placement: p,
+                        space,
+                        cost,
+                        time_ms,
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    // Suffix lower bounds for pruning.
+    let n_groups = group_options.len();
+    let mut min_cost_rest = vec![0.0; n_groups + 1];
+    let mut min_time_rest = vec![0.0; n_groups + 1];
+    for i in (0..n_groups).rev() {
+        let min_c = group_options[i]
+            .iter()
+            .map(|o| o.cost)
+            .fold(f64::INFINITY, f64::min);
+        let min_t = group_options[i]
+            .iter()
+            .map(|o| o.time_ms)
+            .fold(f64::INFINITY, f64::min);
+        min_cost_rest[i] = min_cost_rest[i + 1] + min_c;
+        min_time_rest[i] = min_time_rest[i + 1] + min_t;
+    }
+
+    let caps = pool.capacity_vector();
+    struct Search<'s> {
+        options: &'s [Vec<Option_>],
+        min_cost_rest: &'s [f64],
+        min_time_rest: &'s [f64],
+        caps: &'s [f64],
+        cpu_ms: f64,
+        time_cap_ms: f64,
+        best_toc: f64,
+        best_choice: Vec<usize>,
+        choice: Vec<usize>,
+        leaves: usize,
+    }
+    impl Search<'_> {
+        fn dfs(&mut self, i: usize, cost: f64, time: f64, space: &mut [f64]) {
+            if time + self.min_time_rest[i] + self.cpu_ms > self.time_cap_ms {
+                return;
+            }
+            // Objective: layout cost (the OLTP TOC is C(L) over a fixed
+            // measurement period — see TocEstimate::objective_cents).
+            let cost_bound = cost + self.min_cost_rest[i];
+            if cost_bound >= self.best_toc {
+                return;
+            }
+            if i == self.options.len() {
+                self.leaves += 1;
+                self.best_toc = cost;
+                self.best_choice = self.choice.clone();
+                return;
+            }
+            for (k, opt) in self.options[i].iter().enumerate() {
+                let mut violated = false;
+                for (j, d) in opt.space.iter().enumerate() {
+                    space[j] += d;
+                    if space[j] >= self.caps[j] {
+                        violated = true;
+                    }
+                }
+                if !violated {
+                    self.choice.push(k);
+                    self.dfs(i + 1, cost + opt.cost, time + opt.time_ms, space);
+                    self.choice.pop();
+                }
+                for (j, d) in opt.space.iter().enumerate() {
+                    space[j] -= d;
+                }
+            }
+        }
+    }
+
+    // The additive model is exact when plans are placement-stable, but
+    // page-sized tables may flip between a trivial scan and an index probe,
+    // introducing a sub-percent time error. Since cost minimization drives
+    // the optimum onto the time-cap boundary, verify the winner with the
+    // planner and tighten the cap slightly if it overshoots.
+    let mut cap = time_cap_ms;
+    let mut leaves_total = 0usize;
+    let mut result: (Option<Layout>, Option<TocEstimate>) = (None, None);
+    for _ in 0..10 {
+        let mut search = Search {
+            options: &group_options,
+            min_cost_rest: &min_cost_rest,
+            min_time_rest: &min_time_rest,
+            caps: &caps,
+            cpu_ms,
+            time_cap_ms: cap,
+            best_toc: f64::INFINITY,
+            best_choice: Vec::new(),
+            choice: Vec::new(),
+            leaves: 0,
+        };
+        let mut space = vec![0.0; pool.len()];
+        search.dfs(0, 0.0, 0.0, &mut space);
+        leaves_total += search.leaves;
+        if search.best_choice.len() != n_groups {
+            break; // infeasible under this cap
+        }
+        let mut assignment = vec![premium; schema.object_count()];
+        for (gi, &k) in search.best_choice.iter().enumerate() {
+            let opt = &group_options[gi][k];
+            for (obj, &class) in profile.groups[gi].objects.iter().zip(&opt.placement) {
+                assignment[obj.0] = class;
+            }
+        }
+        let layout = Layout::from_assignment(assignment);
+        let est = estimate_toc(problem, &layout);
+        if cons.performance_satisfied(&est) {
+            result = (Some(layout), Some(est));
+            break;
+        }
+        cap *= 0.98;
+    }
+    let (layout, estimate) = result;
+
+    EsOutcome {
+        layout,
+        estimate,
+        layouts_investigated: leaves_total,
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints;
+    use dot_dbms::EngineConfig;
+    use dot_profiler::{profile_workload, ProfileSource};
+    use dot_storage::catalog;
+    use dot_workloads::{synth, tpcc, SlaSpec};
+
+    #[test]
+    fn full_es_finds_optimum_and_dot_is_close() {
+        let s = synth::bench_schema(5_000_000.0, 120.0);
+        let pool = catalog::box2();
+        let w = synth::mixed_workload(&s);
+        let p = crate::Problem::new(&s, &pool, &w, SlaSpec::relative(0.5), EngineConfig::dss());
+        let cons = constraints::derive(&p);
+        let es = exhaustive_search(&p, &cons);
+        assert_eq!(es.layouts_investigated, 9); // 3^2 objects
+        let es_toc = es.estimate.as_ref().unwrap().toc_cents_per_pass;
+
+        let prof = profile_workload(&w, &s, &pool, &p.cfg, ProfileSource::Estimate);
+        let dot = crate::dot::optimize(&p, &prof, &cons);
+        let dot_toc = dot.estimate.unwrap().toc_cents_per_pass;
+        // ES is optimal: DOT can never beat it, and (per §4.4.3) stays close.
+        assert!(dot_toc >= es_toc - 1e-9);
+        assert!(dot_toc <= es_toc * 1.25, "dot {dot_toc} vs es {es_toc}");
+    }
+
+    #[test]
+    fn es_respects_capacity_constraints() {
+        let s = synth::bench_schema(5_000_000.0, 120.0);
+        let mut pool = catalog::box2();
+        // Make the premium class too small for the heap.
+        let heap_gb = s.table_by_name("a").unwrap().size_gb();
+        pool.set_capacity("H-SSD", heap_gb * 0.9);
+        let w = synth::mixed_workload(&s);
+        let p = crate::Problem::new(&s, &pool, &w, SlaSpec::relative(0.01), EngineConfig::dss());
+        let cons = constraints::derive(&p);
+        let es = exhaustive_search(&p, &cons);
+        let layout = es.layout.expect("loose SLA admits something");
+        assert!(layout.fits(&s, &pool));
+        let hssd = pool.class_by_name("H-SSD").unwrap().id;
+        let heap = s.table_by_name("a").unwrap().object;
+        assert_ne!(layout.class_of(heap), hssd);
+    }
+
+    #[test]
+    fn additive_es_matches_full_es_on_stable_plan_workload() {
+        // Small TPC-C instance: plans are placement-stable, so additive ES
+        // must find a layout with the same TOC as the literal enumeration
+        // would. We compare against full ES on a trimmed object count by
+        // using a tiny warehouse count (19 objects is too many for full ES,
+        // so instead we verify additive ES against DOT's premium reference
+        // invariants).
+        let s = tpcc::schema(5.0);
+        let pool = catalog::box2();
+        let w = tpcc::workload(&s);
+        let p = crate::Problem::new(&s, &pool, &w, SlaSpec::relative(0.25), EngineConfig::oltp());
+        let cons = constraints::derive(&p);
+        let prof = profile_workload(&w, &s, &pool, &p.cfg, ProfileSource::Estimate);
+        let es = exhaustive_search_additive(&p, &prof, &cons);
+        let est = es.estimate.expect("feasible");
+        // The optimum satisfies the constraints...
+        assert!(cons.satisfied(&p, es.layout.as_ref().unwrap(), &est));
+        // ...and beats (or ties) both DOT and the premium layout on the
+        // OLTP objective (layout cost over the fixed measurement period).
+        let dot = crate::dot::optimize(&p, &prof, &cons);
+        let dot_obj = dot.estimate.unwrap().objective_cents;
+        assert!(est.objective_cents <= dot_obj * 1.001);
+        assert!(est.objective_cents < cons.reference.objective_cents);
+    }
+
+    #[test]
+    #[should_panic(expected = "throughput workload")]
+    fn additive_es_rejects_response_time_workloads() {
+        let s = synth::bench_schema(1_000_000.0, 100.0);
+        let pool = catalog::box2();
+        let w = synth::mixed_workload(&s);
+        let p = crate::Problem::new(&s, &pool, &w, SlaSpec::relative(0.5), EngineConfig::dss());
+        let cons = constraints::derive(&p);
+        let prof = profile_workload(&w, &s, &pool, &p.cfg, ProfileSource::Estimate);
+        let _ = exhaustive_search_additive(&p, &prof, &cons);
+    }
+}

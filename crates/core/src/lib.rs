@@ -1,0 +1,85 @@
+//! # dot-core
+//!
+//! **DOT** — the TOC-minimizing data-layout optimizer of *Towards
+//! Cost-Effective Storage Provisioning for DBMSs* (VLDB 2011) — together
+//! with every comparator the paper evaluates against.
+//!
+//! The problem (§2.5): given database objects `O`, storage classes `D` with
+//! prices `P` and capacities `C`, and a workload `W` with performance
+//! constraints `T`, find the layout `L : O → D` minimizing the total
+//! operating cost `TOC = C(L) · t(L, W)` subject to capacity and SLA
+//! constraints.
+//!
+//! Modules, following the paper's structure:
+//!
+//! * [`problem`] — the problem statement plus the two layout-cost models
+//!   (linear §2.1, discrete-sized §5.2);
+//! * [`toc`] — `estimateTOC`: price a layout's workload behaviour through
+//!   the storage-aware planner (estimates) or the execution simulator
+//!   (validation test runs);
+//! * [`constraints`] — relative-SLA caps derived from the premium layout,
+//!   capacity checks, PSR;
+//! * [`moves`] — Procedure 2: object groups, per-group placement moves,
+//!   priority scores `σ = δ_time / δ_cost` (§3.3);
+//! * [`dot`] — Procedure 1 (the greedy move sweep) and the full pipeline of
+//!   Figure 2: profiling → optimization → validation → refinement, plus the
+//!   SLA-relaxation loop used when constraints are unsatisfiable (§4.5.3);
+//! * [`exhaustive`] — the ES comparator (§4.4.3/§4.5.3): full `M^N`
+//!   enumeration through the planner, and an additive branch-and-bound
+//!   variant for throughput workloads whose plans are placement-stable;
+//! * [`baselines`] — the six simple layouts of §4.2 and the Object Advisor
+//!   of Canim et al. as characterized in §6;
+//! * [`ablation`] — switchable design choices (group vs. object moves,
+//!   score orderings) for measuring what each of DOT's decisions buys;
+//! * [`generalized`] — §5.1: choose the best storage configuration from a
+//!   set of options by running DOT on each;
+//! * [`report`] — serializable evaluation records shared by the experiment
+//!   harness and the examples;
+//! * [`sweep`] — SLA and price sensitivity sweeps (the purchasing/capacity
+//!   planning direction §7 sketches as future work);
+//! * [`tenancy`] — multi-tenant colocation: several databases with distinct
+//!   SLAs jointly provisioned on one box (the paper's acknowledged
+//!   limitation, §1).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dot_core::{dot, problem::Problem};
+//! use dot_dbms::EngineConfig;
+//! use dot_storage::catalog;
+//! use dot_workloads::{spec::SlaSpec, synth};
+//!
+//! let schema = synth::bench_schema(20_000_000.0, 120.0);
+//! let pool = catalog::box2();
+//! let workload = synth::mixed_workload(&schema);
+//! let problem = Problem::new(&schema, &pool, &workload, SlaSpec::relative(0.5),
+//!                            EngineConfig::dss());
+//! let result = dot::run_pipeline(&problem, dot_profiler::ProfileSource::Estimate, 1);
+//! let outcome = result.outcome;
+//! let layout = outcome.layout.expect("feasible");
+//! // DOT found something cheaper than the all-premium initial layout.
+//! let premium = dot_dbms::Layout::uniform(pool.most_expensive(), schema.object_count());
+//! assert!(problem.layout_cost_cents_per_hour(&layout)
+//!     <= problem.layout_cost_cents_per_hour(&premium));
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod ablation;
+pub mod baselines;
+pub mod constraints;
+pub mod dot;
+pub mod exhaustive;
+pub mod generalized;
+pub mod moves;
+pub mod problem;
+pub mod report;
+pub mod sweep;
+pub mod tenancy;
+pub mod toc;
+
+pub use constraints::Constraints;
+pub use dot::{DotOutcome, PipelineResult};
+pub use problem::{LayoutCostModel, Problem};
+pub use toc::TocEstimate;

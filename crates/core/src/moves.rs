@@ -1,0 +1,200 @@
+//! Procedure 2 — `enumerateMoves`: object-group moves and their priority
+//! scores (§3.2, §3.3).
+//!
+//! A move `m(g, p)` relocates an entire object group `g` (a table plus its
+//! indices) to a placement `p ∈ D^{|g|}`. Considering whole-group placements
+//! captures table↔index interaction (the index-scan-vs-seq-scan flip), while
+//! placements across different groups are assumed independent — the paper's
+//! central complexity trade: `O(G · M^K)` moves instead of `O(M^N)` layouts.
+//!
+//! Each move is scored `σ[m] = δ_time[m] / δ_cost[m]` (Eq. 4): the I/O-time
+//! penalty per cent of hourly layout-cost saving, both measured against the
+//! all-premium initial layout `L_0`. Moves are applied in ascending-score
+//! order, so the cheapest performance per saved cent goes first.
+
+use crate::problem::Problem;
+use dot_dbms::{Layout, ObjectId};
+use dot_profiler::baseline::group_placements;
+use dot_profiler::WorkloadProfile;
+use dot_storage::ClassId;
+use serde::{Deserialize, Serialize};
+
+/// One candidate move `m(g, p)` with its score components.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Move {
+    /// Index of the group in [`WorkloadProfile::groups`].
+    pub group_index: usize,
+    /// The group's objects (position 0 = heap).
+    pub objects: Vec<ObjectId>,
+    /// Target placement, parallel to `objects`.
+    pub placement: Vec<ClassId>,
+    /// `δ_time[m] = T^p[g] − T^{p_0}[g]` (Eq. 2), ms.
+    pub delta_time_ms: f64,
+    /// `δ_cost[m] = C(L_0) − C(m(L_0))` (Eq. 3), cents/hour.
+    pub delta_cost: f64,
+    /// `σ[m] = δ_time / δ_cost` (Eq. 4).
+    pub score: f64,
+}
+
+impl Move {
+    /// Apply the move to a layout, returning `m(L)`.
+    pub fn apply(&self, layout: &Layout) -> Layout {
+        let mut l = layout.clone();
+        for (obj, &class) in self.objects.iter().zip(&self.placement) {
+            l.place(*obj, class);
+        }
+        l
+    }
+}
+
+/// Enumerate all moves `m(g, p)` for every group and placement, scored and
+/// sorted ascending by `σ` (Procedure 2). The identity placement (all
+/// objects staying on `d_1`) is skipped — it saves nothing.
+pub fn enumerate_moves(problem: &Problem<'_>, profile: &WorkloadProfile) -> Vec<Move> {
+    let premium = problem.pool.most_expensive();
+    let l0 = problem.premium_layout();
+    let c0 = problem.layout_cost_cents_per_hour(&l0);
+    let concurrency = problem.cfg.concurrency;
+
+    let mut moves = Vec::new();
+    for (gi, g) in profile.groups.iter().enumerate() {
+        let p0 = vec![premium; g.objects.len()];
+        let t0 = g
+            .io_time_share_ms(&p0, problem.pool, concurrency)
+            .expect("profile covers the premium placement");
+        for p in group_placements(problem.pool, g.objects.len()) {
+            if p.iter().all(|&c| c == premium) {
+                continue;
+            }
+            let tp = g
+                .io_time_share_ms(&p, problem.pool, concurrency)
+                .expect("profile covers every group placement");
+            // δ_cost via the problem's cost model so the discrete-sized
+            // extension (§5.2) scores consistently.
+            let mut moved = l0.clone();
+            for (obj, &class) in g.objects.iter().zip(&p) {
+                moved.place(*obj, class);
+            }
+            let delta_cost = c0 - problem.layout_cost_cents_per_hour(&moved);
+            if delta_cost <= 0.0 {
+                continue;
+            }
+            let delta_time_ms = tp - t0;
+            moves.push(Move {
+                group_index: gi,
+                objects: g.objects.clone(),
+                placement: p,
+                delta_time_ms,
+                delta_cost,
+                score: delta_time_ms / delta_cost,
+            });
+        }
+    }
+    moves.sort_by(|a, b| {
+        a.score
+            .partial_cmp(&b.score)
+            .expect("scores are finite")
+            .then(a.group_index.cmp(&b.group_index))
+            .then(a.placement.cmp(&b.placement))
+    });
+    moves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dot_dbms::EngineConfig;
+    use dot_profiler::{profile_workload, ProfileSource};
+    use dot_storage::catalog;
+    use dot_workloads::{synth, SlaSpec};
+
+    fn setup() -> (
+        dot_dbms::Schema,
+        dot_storage::StoragePool,
+        dot_workloads::Workload,
+    ) {
+        let s = synth::bench_schema(5_000_000.0, 120.0);
+        let pool = catalog::box2();
+        let w = synth::mixed_workload(&s);
+        (s, pool, w)
+    }
+
+    #[test]
+    fn moves_cover_all_non_identity_placements() {
+        let (s, pool, w) = setup();
+        let p = crate::Problem::new(&s, &pool, &w, SlaSpec::relative(0.5), EngineConfig::dss());
+        let prof = profile_workload(&w, &s, &pool, &p.cfg, ProfileSource::Estimate);
+        let moves = enumerate_moves(&p, &prof);
+        // One group of size 2 (table + pkey): 3^2 − 1 = 8 non-identity
+        // placements, all of which save cost (every other class is cheaper).
+        assert_eq!(moves.len(), 8);
+        let unique: std::collections::HashSet<_> =
+            moves.iter().map(|m| m.placement.clone()).collect();
+        assert_eq!(unique.len(), 8);
+    }
+
+    #[test]
+    fn moves_sorted_ascending_by_score() {
+        let (s, pool, w) = setup();
+        let p = crate::Problem::new(&s, &pool, &w, SlaSpec::relative(0.5), EngineConfig::dss());
+        let prof = profile_workload(&w, &s, &pool, &p.cfg, ProfileSource::Estimate);
+        let moves = enumerate_moves(&p, &prof);
+        for pair in moves.windows(2) {
+            assert!(pair[0].score <= pair[1].score);
+        }
+    }
+
+    #[test]
+    fn delta_cost_is_positive_and_consistent() {
+        let (s, pool, w) = setup();
+        let p = crate::Problem::new(&s, &pool, &w, SlaSpec::relative(0.5), EngineConfig::dss());
+        let prof = profile_workload(&w, &s, &pool, &p.cfg, ProfileSource::Estimate);
+        let l0 = p.premium_layout();
+        let c0 = p.layout_cost_cents_per_hour(&l0);
+        for m in enumerate_moves(&p, &prof) {
+            assert!(m.delta_cost > 0.0);
+            let applied = m.apply(&l0);
+            let saved = c0 - p.layout_cost_cents_per_hour(&applied);
+            assert!((saved - m.delta_cost).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn apply_moves_only_the_group() {
+        let (s, pool, w) = setup();
+        let p = crate::Problem::new(&s, &pool, &w, SlaSpec::relative(0.5), EngineConfig::dss());
+        let prof = profile_workload(&w, &s, &pool, &p.cfg, ProfileSource::Estimate);
+        let l0 = p.premium_layout();
+        let m = &enumerate_moves(&p, &prof)[0];
+        let applied = m.apply(&l0);
+        for o in s.objects() {
+            if m.objects.contains(&o.id) {
+                let k = m.objects.iter().position(|x| *x == o.id).unwrap();
+                assert_eq!(applied.class_of(o.id), m.placement[k]);
+            } else {
+                assert_eq!(applied.class_of(o.id), l0.class_of(o.id));
+            }
+        }
+    }
+
+    #[test]
+    fn cheap_slow_moves_score_higher_than_cheap_fast_moves() {
+        // Moving the heavily-read group to the HDD must score worse (higher
+        // σ) than moving it to the L-SSD RAID 0, which is nearly as cheap
+        // per saved cent but far less painful.
+        let (s, pool, w) = setup();
+        let p = crate::Problem::new(&s, &pool, &w, SlaSpec::relative(0.5), EngineConfig::dss());
+        let prof = profile_workload(&w, &s, &pool, &p.cfg, ProfileSource::Estimate);
+        let hdd = pool.class_by_name("HDD").unwrap().id;
+        let lraid = pool.class_by_name("L-SSD RAID 0").unwrap().id;
+        let moves = enumerate_moves(&p, &prof);
+        let score_of = |class: ClassId| {
+            moves
+                .iter()
+                .find(|m| m.placement.iter().all(|&c| c == class))
+                .map(|m| m.score)
+                .unwrap()
+        };
+        assert!(score_of(hdd) > score_of(lraid));
+    }
+}

@@ -1,0 +1,215 @@
+//! Parameter sweeps: SLA and price sensitivity of DOT's recommendations.
+//!
+//! The paper's conclusion points at exactly this use: "extending the DOT
+//! framework to help make purchasing and capacity planning decisions; for
+//! example, by running DOT iteratively to determine the TOC and SLA
+//! performance of different hardware configurations under consideration"
+//! (§7). These helpers run DOT across a grid of SLAs or perturbed prices
+//! and return the resulting cost/performance curves.
+
+use crate::constraints;
+use crate::dot;
+use crate::problem::Problem;
+use dot_dbms::{EngineConfig, Schema};
+use dot_profiler::{profile_workload, ProfileSource, WorkloadProfile};
+use dot_storage::StoragePool;
+use dot_workloads::{SlaSpec, Workload};
+use serde::Serialize;
+
+/// One point of an SLA sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct SlaPoint {
+    /// The relative SLA ratio.
+    pub ratio: f64,
+    /// DOT's objective (cents), if feasible.
+    pub objective_cents: Option<f64>,
+    /// Hourly layout cost (cents), if feasible.
+    pub layout_cost_cents_per_hour: Option<f64>,
+    /// Objects placed off the premium class.
+    pub objects_moved: usize,
+}
+
+/// Run DOT at each SLA ratio and report the cost/placement trajectory —
+/// the data behind Fig 8's "TOC decreases as the SLA relaxes" and Table 3's
+/// migration gradient. The profile is built once and reused (it is
+/// SLA-independent).
+pub fn sla_sweep(
+    schema: &Schema,
+    pool: &StoragePool,
+    workload: &Workload,
+    cfg: EngineConfig,
+    ratios: &[f64],
+    source: ProfileSource,
+) -> Vec<SlaPoint> {
+    let profile = profile_workload(workload, schema, pool, &cfg, source);
+    ratios
+        .iter()
+        .map(|&ratio| {
+            let problem = Problem::new(schema, pool, workload, SlaSpec::relative(ratio), cfg);
+            point_for(&problem, &profile, ratio)
+        })
+        .collect()
+}
+
+fn point_for(problem: &Problem<'_>, profile: &WorkloadProfile, ratio: f64) -> SlaPoint {
+    let cons = constraints::derive(problem);
+    let outcome = dot::optimize(problem, profile, &cons);
+    let premium = problem.pool.most_expensive();
+    match (&outcome.layout, &outcome.estimate) {
+        (Some(layout), Some(est)) => SlaPoint {
+            ratio,
+            objective_cents: Some(est.objective_cents),
+            layout_cost_cents_per_hour: Some(est.layout_cost_cents_per_hour),
+            objects_moved: problem
+                .schema
+                .objects()
+                .iter()
+                .filter(|o| layout.class_of(o.id) != premium)
+                .count(),
+        },
+        _ => SlaPoint {
+            ratio,
+            objective_cents: None,
+            layout_cost_cents_per_hour: None,
+            objects_moved: 0,
+        },
+    }
+}
+
+/// One point of a price-sensitivity sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct PricePoint {
+    /// Multiplier applied to the perturbed class's price.
+    pub factor: f64,
+    /// Perturbed price (cents/GB/hour).
+    pub price_cents_per_gb_hour: f64,
+    /// DOT's objective (cents), if feasible.
+    pub objective_cents: Option<f64>,
+    /// GB placed on the perturbed class by the recommendation.
+    pub gb_on_class: f64,
+}
+
+/// Re-run DOT with the named class's price scaled by each factor — "how far
+/// would flash have to fall for DOT to move the fact table there?" Profiles
+/// depend on placement, not price, so one profile serves all factors.
+#[allow(clippy::too_many_arguments)] // a sweep is inherently a wide config
+pub fn price_sensitivity(
+    schema: &Schema,
+    base_pool: &StoragePool,
+    workload: &Workload,
+    sla: SlaSpec,
+    cfg: EngineConfig,
+    class_name: &str,
+    factors: &[f64],
+    source: ProfileSource,
+) -> Vec<PricePoint> {
+    let base_price = base_pool
+        .class_by_name(class_name)
+        .unwrap_or_else(|| panic!("unknown class {class_name}"))
+        .price_cents_per_gb_hour;
+    factors
+        .iter()
+        .map(|&factor| {
+            let mut pool = base_pool.clone();
+            let price = base_price * factor;
+            pool.set_price(class_name, price);
+            let problem = Problem::new(schema, &pool, workload, sla, cfg);
+            let cons = constraints::derive(&problem);
+            let profile = profile_workload(workload, schema, &pool, &cfg, source);
+            let outcome = dot::optimize(&problem, &profile, &cons);
+            let class_id = pool.class_by_name(class_name).expect("still present").id;
+            match (&outcome.layout, &outcome.estimate) {
+                (Some(layout), Some(est)) => PricePoint {
+                    factor,
+                    price_cents_per_gb_hour: price,
+                    objective_cents: Some(est.objective_cents),
+                    gb_on_class: layout.space_per_class(schema, &pool)[class_id.0],
+                },
+                _ => PricePoint {
+                    factor,
+                    price_cents_per_gb_hour: price,
+                    objective_cents: None,
+                    gb_on_class: 0.0,
+                },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dot_storage::catalog;
+    use dot_workloads::tpch;
+
+    #[test]
+    fn sla_sweep_is_monotone_in_cost_and_moves() {
+        let schema = tpch::subset_schema(2.0);
+        let workload = tpch::subset_workload(&schema);
+        let pool = catalog::box2();
+        let points = sla_sweep(
+            &schema,
+            &pool,
+            &workload,
+            EngineConfig::dss(),
+            &[0.9, 0.5, 0.25, 0.1],
+            ProfileSource::Estimate,
+        );
+        assert_eq!(points.len(), 4);
+        let mut last_cost = f64::INFINITY;
+        for p in &points {
+            let c = p.layout_cost_cents_per_hour.expect("feasible");
+            assert!(c <= last_cost + 1e-9, "cost rose as SLA relaxed");
+            last_cost = c;
+        }
+        // Looser SLAs move at least as many objects.
+        assert!(points.last().unwrap().objects_moved >= points[0].objects_moved);
+    }
+
+    #[test]
+    fn cheap_premium_attracts_data() {
+        // Scale the H-SSD price down until it is nearly free: DOT should
+        // leave (more) data on it; scale it up 10x: less data on it.
+        let schema = tpch::subset_schema(2.0);
+        let workload = tpch::subset_workload(&schema);
+        let pool = catalog::box2();
+        let points = price_sensitivity(
+            &schema,
+            &pool,
+            &workload,
+            SlaSpec::relative(0.25),
+            EngineConfig::dss(),
+            "H-SSD",
+            &[0.001, 1.0, 10.0],
+            ProfileSource::Estimate,
+        );
+        let nearly_free = points[0].gb_on_class;
+        let expensive = points[2].gb_on_class;
+        assert!(
+            nearly_free >= expensive,
+            "free H-SSD holds {nearly_free} GB < expensive holds {expensive} GB"
+        );
+        // At ~zero price everything should sit on the premium class.
+        assert!((nearly_free - schema.total_size_gb()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_points_are_reported_not_panicked() {
+        let schema = tpch::subset_schema(2.0);
+        let workload = tpch::subset_workload(&schema);
+        let mut pool = catalog::box2();
+        pool.set_capacity("H-SSD", 0.001); // nothing fits anywhere premium
+        pool.set_capacity("HDD", 0.001);
+        pool.set_capacity("L-SSD RAID 0", 0.001);
+        let points = sla_sweep(
+            &schema,
+            &pool,
+            &workload,
+            EngineConfig::dss(),
+            &[0.5],
+            ProfileSource::Estimate,
+        );
+        assert!(points[0].objective_cents.is_none());
+        assert_eq!(points[0].objects_moved, 0);
+    }
+}

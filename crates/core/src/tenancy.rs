@@ -1,0 +1,367 @@
+//! Multi-tenant provisioning: several customers' databases sharing one box.
+//!
+//! The paper's introduction motivates exactly this setting — "multiple
+//! different workloads may share resources on the same physical box and
+//! provisioning the workload requires taking into account physical
+//! constraints" — and then §1 scopes it out ("ignored multi-tenancy") as
+//! future work. This module supplies the natural construction: *colocate*
+//! tenants by disjoint-union of their schemas and concatenation of their
+//! query streams, derive per-query caps from each tenant's own relative
+//! SLA, and run the unmodified DOT machinery on the combined problem. The
+//! shared capacity constraints and the shared premium class do the rest.
+//!
+//! Only response-time (DSS) tenants are supported: per-query caps compose
+//! across tenants, a single shared throughput floor does not.
+
+use crate::constraints::Constraints;
+use crate::dot::{self, DotOutcome};
+use crate::problem::Problem;
+use crate::toc::estimate_toc;
+use dot_dbms::query::{Op, QuerySpec, Rel};
+use dot_dbms::{EngineConfig, IndexId, Schema, SchemaBuilder, TableId};
+use dot_profiler::{profile_workload, ProfileSource};
+use dot_storage::StoragePool;
+use dot_workloads::spec::PerfMetric;
+use dot_workloads::{SlaSpec, Workload};
+
+/// One tenant: a database, its workload, and its own relative SLA.
+#[derive(Debug, Clone)]
+pub struct Tenant {
+    /// Tenant name; prefixes object names in the merged schema.
+    pub name: String,
+    /// Tenant schema (tables and indices only; temp/log objects are not
+    /// supported in colocation).
+    pub schema: Schema,
+    /// Tenant workload (must be response-time metric).
+    pub workload: Workload,
+    /// The tenant's relative SLA.
+    pub sla: SlaSpec,
+}
+
+/// A colocated problem: merged schema and workload, plus bookkeeping to
+/// attribute objects and queries back to tenants.
+#[derive(Debug, Clone)]
+pub struct Colocation {
+    /// The merged schema (`tenant.object` naming).
+    pub schema: Schema,
+    /// The concatenated workload.
+    pub workload: Workload,
+    /// For each tenant: `(first query index, query count)` in the merged
+    /// workload.
+    pub query_spans: Vec<(usize, usize)>,
+    /// Per-query SLA ratios, parallel to `workload.queries`.
+    pub query_slas: Vec<f64>,
+    /// Tenant names, in input order.
+    pub tenant_names: Vec<String>,
+}
+
+/// Merge tenants into one provisioning problem.
+///
+/// # Panics
+/// Panics if any tenant has a throughput-metric workload or declares
+/// temp/log objects.
+pub fn colocate(tenants: &[Tenant]) -> Colocation {
+    assert!(!tenants.is_empty(), "need at least one tenant");
+    let mut builder = SchemaBuilder::new("colocated");
+    let mut table_offsets = Vec::with_capacity(tenants.len());
+    let mut index_offsets = Vec::with_capacity(tenants.len());
+    let mut table_count = 0usize;
+    let mut index_count = 0usize;
+    for t in tenants {
+        assert_eq!(
+            t.workload.metric,
+            PerfMetric::ResponseTime,
+            "tenant {}: only response-time workloads colocate",
+            t.name
+        );
+        assert!(
+            t.schema.temp_object().is_none() && t.schema.log_object().is_none(),
+            "tenant {}: temp/log objects are not supported in colocation",
+            t.name
+        );
+        table_offsets.push(table_count);
+        index_offsets.push(index_count);
+        for table in t.schema.tables() {
+            builder = builder
+                .clustered_by_default(table.clustered)
+                .table(&format!("{}.{}", t.name, table.name), table.rows, table.row_bytes);
+            table_count += 1;
+            for idx in t.schema.indexes_of(table.id) {
+                // Preserve index semantics (primary flag, correlation).
+                if idx.primary {
+                    builder = builder.primary_index(idx.key_bytes);
+                } else {
+                    builder = builder.correlated_index(
+                        &format!("{}.{}", t.name, idx.name),
+                        idx.key_bytes,
+                        idx.correlation,
+                    );
+                }
+                index_count += 1;
+            }
+        }
+    }
+    let schema = builder.build();
+
+    // Index ids in the merged schema follow per-table declaration order,
+    // which differs from each tenant's dense index order; build explicit
+    // per-tenant index maps by name.
+    let mut queries = Vec::new();
+    let mut query_spans = Vec::new();
+    let mut query_slas = Vec::new();
+    for (ti, t) in tenants.iter().enumerate() {
+        let map_table = |id: TableId| -> TableId {
+            let name = format!("{}.{}", t.name, t.schema.table(id).name);
+            schema
+                .table_by_name(&name)
+                .unwrap_or_else(|| panic!("merged table {name}"))
+                .id
+        };
+        let map_index = |id: IndexId| -> IndexId {
+            let src = t.schema.index(id);
+            let name = if src.primary {
+                format!("{}.{}_pkey", t.name, t.schema.table(src.table).name)
+            } else {
+                format!("{}.{}", t.name, src.name)
+            };
+            schema
+                .index_by_name(&name)
+                .unwrap_or_else(|| panic!("merged index {name}"))
+                .id
+        };
+        let start = queries.len();
+        for q in &t.workload.queries {
+            queries.push(remap_query(q, &map_table, &map_index, &t.name));
+            query_slas.push(t.sla.ratio);
+        }
+        query_spans.push((start, t.workload.queries.len()));
+        let _ = ti;
+    }
+    let workload = Workload::dss("colocated", queries);
+    Colocation {
+        schema,
+        workload,
+        query_spans,
+        query_slas,
+        tenant_names: tenants.iter().map(|t| t.name.clone()).collect(),
+    }
+}
+
+fn remap_query(
+    q: &QuerySpec,
+    map_table: &impl Fn(TableId) -> TableId,
+    map_index: &impl Fn(IndexId) -> IndexId,
+    tenant: &str,
+) -> QuerySpec {
+    let mut out = q.clone();
+    out.name = format!("{tenant}.{}", q.name);
+    for op in &mut out.ops {
+        match op {
+            Op::Read(r) => remap_rel(&mut r.rel, map_table, map_index),
+            Op::Insert(i) => i.table = map_table(i.table),
+            Op::Update(u) => {
+                u.table = map_table(u.table);
+                u.via = u.via.map(map_index);
+            }
+        }
+    }
+    out
+}
+
+fn remap_rel(
+    rel: &mut Rel,
+    map_table: &impl Fn(TableId) -> TableId,
+    map_index: &impl Fn(IndexId) -> IndexId,
+) {
+    match rel {
+        Rel::Scan(s) => {
+            s.table = map_table(s.table);
+            s.index = s.index.map(map_index);
+        }
+        Rel::Join(j) => {
+            remap_rel(&mut j.outer, map_table, map_index);
+            j.inner.table = map_table(j.inner.table);
+            j.inner.index = j.inner.index.map(map_index);
+            j.inner_index = j.inner_index.map(map_index);
+        }
+    }
+}
+
+/// Result of a multi-tenant provisioning run.
+#[derive(Debug, Clone)]
+pub struct TenancyOutcome {
+    /// The merged problem's optimization outcome.
+    pub outcome: DotOutcome,
+    /// Per-tenant PSR under the recommendation (parallel to tenant order).
+    pub tenant_psr: Vec<f64>,
+}
+
+/// Provision all tenants jointly on `pool`: merge, derive per-query caps
+/// from each tenant's own SLA against the shared premium reference, and run
+/// DOT on the combined problem.
+pub fn provision(
+    colocation: &Colocation,
+    pool: &StoragePool,
+    cfg: EngineConfig,
+    source: ProfileSource,
+) -> TenancyOutcome {
+    // The per-tenant SLA is irrelevant to Problem's own field (caps are
+    // built manually below); use the tightest for documentation purposes.
+    let tightest = colocation
+        .query_slas
+        .iter()
+        .cloned()
+        .fold(1.0f64, f64::min);
+    let problem = Problem::new(
+        &colocation.schema,
+        pool,
+        &colocation.workload,
+        SlaSpec::relative(tightest),
+        cfg,
+    );
+    // Per-query caps with per-tenant ratios.
+    let reference = estimate_toc(&problem, &problem.premium_layout());
+    let caps: Vec<f64> = reference
+        .per_query_ms
+        .iter()
+        .zip(&colocation.query_slas)
+        .map(|(t, ratio)| t / ratio)
+        .collect();
+    let cons = Constraints {
+        response_caps_ms: Some(caps),
+        throughput_floor: None,
+        reference,
+        sla: SlaSpec::relative(tightest),
+    };
+    let profile = profile_workload(
+        &colocation.workload,
+        &colocation.schema,
+        pool,
+        &cfg,
+        source,
+    );
+    let outcome = dot::optimize(&problem, &profile, &cons);
+    let tenant_psr = match (&outcome.estimate, &cons.response_caps_ms) {
+        (Some(est), Some(caps)) => colocation
+            .query_spans
+            .iter()
+            .map(|&(start, len)| {
+                let times = &est.per_query_ms[start..start + len];
+                let caps = &caps[start..start + len];
+                dot_workloads::spec::performance_satisfaction_ratio(times, caps)
+            })
+            .collect(),
+        _ => vec![0.0; colocation.query_spans.len()],
+    };
+    TenancyOutcome { outcome, tenant_psr }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dot_storage::catalog;
+    use dot_workloads::{synth, tpch};
+
+    fn tenants() -> Vec<Tenant> {
+        let a_schema = tpch::subset_schema(1.0);
+        let a_workload = tpch::subset_workload(&a_schema);
+        let b_schema = synth::bench_schema(2_000_000.0, 120.0);
+        let b_workload = dot_workloads::Workload::dss(
+            "b",
+            vec![synth::seq_read_query(&b_schema), synth::rand_read_query(&b_schema, 500.0)],
+        );
+        vec![
+            Tenant {
+                name: "analytics".into(),
+                schema: a_schema,
+                workload: a_workload,
+                sla: SlaSpec::relative(0.25),
+            },
+            Tenant {
+                name: "serving".into(),
+                schema: b_schema,
+                workload: b_workload,
+                sla: SlaSpec::relative(0.9),
+            },
+        ]
+    }
+
+    #[test]
+    fn colocation_merges_objects_and_queries() {
+        let ts = tenants();
+        let c = colocate(&ts);
+        let expected_objects: usize = ts.iter().map(|t| t.schema.object_count()).sum();
+        assert_eq!(c.schema.object_count(), expected_objects);
+        let expected_queries: usize = ts.iter().map(|t| t.workload.queries.len()).sum();
+        assert_eq!(c.workload.queries.len(), expected_queries);
+        assert_eq!(c.query_slas.len(), expected_queries);
+        // Names are tenant-prefixed and unique.
+        assert!(c.schema.table_by_name("analytics.lineitem").is_some());
+        assert!(c.schema.table_by_name("serving.a").is_some());
+        assert!(c.schema.index_by_name("analytics.lineitem_pkey").is_some());
+        // Remapped queries validate against the merged schema.
+        for q in &c.workload.queries {
+            q.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn remapped_queries_touch_the_right_tenant_objects() {
+        use dot_dbms::{planner, EngineConfig, Layout};
+        let ts = tenants();
+        let c = colocate(&ts);
+        let pool = catalog::box2();
+        let layout = Layout::uniform(pool.most_expensive(), c.schema.object_count());
+        let cfg = EngineConfig::dss();
+        // The serving tenant's scan query must charge I/O only to serving
+        // objects.
+        let (start, len) = c.query_spans[1];
+        let serving_queries = &c.workload.queries[start..start + len];
+        let planned = planner::plan_workload(serving_queries, &c.schema, &layout, &pool, &cfg);
+        for p in &planned {
+            for (i, counts) in p.cost.io.iter().enumerate() {
+                if !counts.is_zero() {
+                    let name = &c.schema.objects()[i].name;
+                    assert!(
+                        name.starts_with("serving."),
+                        "{} charged by serving query {}",
+                        name,
+                        p.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn joint_provisioning_respects_each_tenants_sla() {
+        let ts = tenants();
+        let c = colocate(&ts);
+        let pool = catalog::box2();
+        let result = provision(&c, &pool, EngineConfig::dss(), ProfileSource::Estimate);
+        let layout = result.outcome.layout.as_ref().expect("feasible");
+        assert!(layout.fits(&c.schema, &pool));
+        for (psr, name) in result.tenant_psr.iter().zip(&c.tenant_names) {
+            assert!((*psr - 1.0).abs() < 1e-12, "tenant {name} PSR {psr}");
+        }
+        // The loose-SLA analytics tenant's bulk data leaves the premium
+        // class while the tight-SLA serving tenant's hot table stays.
+        let premium = pool.most_expensive();
+        let lineitem = c.schema.table_by_name("analytics.lineitem").unwrap();
+        assert_ne!(layout.class_of(lineitem.object), premium);
+    }
+
+    #[test]
+    #[should_panic(expected = "only response-time workloads")]
+    fn throughput_tenants_rejected() {
+        let s = dot_workloads::tpcc::schema(1.0);
+        let w = dot_workloads::tpcc::workload(&s);
+        let t = Tenant {
+            name: "oltp".into(),
+            schema: s,
+            workload: w,
+            sla: SlaSpec::relative(0.5),
+        };
+        let _ = colocate(&[t]);
+    }
+}

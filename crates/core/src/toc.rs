@@ -1,0 +1,149 @@
+//! `estimateTOC`: price a candidate layout (§2.1, §2.3).
+//!
+//! `TOC = C(L) · t(L, W)` where `t` is the workload execution time under
+//! the layout. Estimates go through the storage-aware planner; measured
+//! values (for validation) go through the execution simulator with the
+//! buffer pool engaged.
+
+use crate::problem::Problem;
+use dot_dbms::plan::PlanStats;
+use dot_dbms::{exec, Layout};
+use serde::{Deserialize, Serialize};
+
+/// Everything `estimateTOC` knows about one layout.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TocEstimate {
+    /// Hourly layout cost `C(L)` in cents (under the problem's cost model).
+    pub layout_cost_cents_per_hour: f64,
+    /// One stream's pass time in ms.
+    pub stream_time_ms: f64,
+    /// Single-execution response time per query, parallel to
+    /// `workload.queries`.
+    pub per_query_ms: Vec<f64>,
+    /// Workload throughput `T(L, W)` in tasks/hour.
+    pub throughput_tasks_per_hour: f64,
+    /// `C(L) · t(L, W)` in cents for one pass of the workload.
+    pub toc_cents_per_pass: f64,
+    /// `C(L) / T(L, W)` in cents per task — the paper's headline unit.
+    pub toc_cents_per_task: f64,
+    /// The quantity DOT minimizes, in cents. For response-time (DSS)
+    /// workloads this is `C(L) · t(L, W)` — hardware cost over the time the
+    /// workload occupies it. For throughput (OLTP) workloads the paper runs
+    /// a **fixed measurement period** (one hour, §4.5), so the objective is
+    /// `C(L) · 1 h`: minimize layout cost subject to the throughput floor.
+    pub objective_cents: f64,
+    /// Plan statistics (INLJ share etc., §4.4.2).
+    pub plan_stats: PlanStats,
+}
+
+impl TocEstimate {
+    fn from_run(problem: &Problem<'_>, layout: &Layout, run: exec::RunResult) -> TocEstimate {
+        let layout_cost = problem.layout_cost_cents_per_hour(layout);
+        let throughput = problem.workload.throughput_tasks_per_hour(run.stream_time_ms);
+        let hours = problem.workload.execution_hours(run.stream_time_ms);
+        let toc_cents_per_pass = layout_cost * hours;
+        let objective_cents = match problem.workload.metric {
+            dot_workloads::spec::PerfMetric::ResponseTime => toc_cents_per_pass,
+            // §4.5: OLTP runs a fixed 1-hour measurement period.
+            dot_workloads::spec::PerfMetric::Throughput => layout_cost,
+        };
+        TocEstimate {
+            layout_cost_cents_per_hour: layout_cost,
+            stream_time_ms: run.stream_time_ms,
+            per_query_ms: run.queries.iter().map(|q| q.time_ms).collect(),
+            throughput_tasks_per_hour: throughput,
+            toc_cents_per_pass,
+            toc_cents_per_task: if throughput > 0.0 {
+                layout_cost / throughput
+            } else {
+                f64::INFINITY
+            },
+            objective_cents,
+            plan_stats: run.stats,
+        }
+    }
+}
+
+/// Estimate the TOC of `layout` through the storage-aware planner (the
+/// optimization phase's inner loop — deterministic, cache-blind).
+pub fn estimate_toc(problem: &Problem<'_>, layout: &Layout) -> TocEstimate {
+    let run = exec::estimate_workload(
+        &problem.workload.queries,
+        problem.schema,
+        layout,
+        problem.pool,
+        &problem.cfg,
+    );
+    TocEstimate::from_run(problem, layout, run)
+}
+
+/// Measure the TOC of `layout` with a simulated test run (the validation
+/// phase): buffer pool engaged, seeded run-to-run variation.
+pub fn measure_toc(problem: &Problem<'_>, layout: &Layout, seed: u64) -> TocEstimate {
+    let run = exec::simulate_workload(
+        &problem.workload.queries,
+        problem.schema,
+        layout,
+        problem.pool,
+        &problem.cfg,
+        seed,
+    );
+    TocEstimate::from_run(problem, layout, run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dot_dbms::EngineConfig;
+    use dot_storage::catalog;
+    use dot_workloads::{synth, SlaSpec};
+
+    fn setup() -> (dot_dbms::Schema, dot_storage::StoragePool, dot_workloads::Workload) {
+        let s = synth::bench_schema(5_000_000.0, 120.0);
+        let pool = catalog::box2();
+        let w = synth::mixed_workload(&s);
+        (s, pool, w)
+    }
+
+    #[test]
+    fn premium_layout_is_fast_but_expensive() {
+        let (s, pool, w) = setup();
+        let p = crate::Problem::new(&s, &pool, &w, SlaSpec::relative(0.5), EngineConfig::dss());
+        let premium = estimate_toc(&p, &p.premium_layout());
+        let hdd = dot_dbms::Layout::uniform(
+            pool.class_by_name("HDD").unwrap().id,
+            s.object_count(),
+        );
+        let cheap = estimate_toc(&p, &hdd);
+        assert!(premium.stream_time_ms < cheap.stream_time_ms);
+        assert!(premium.layout_cost_cents_per_hour > cheap.layout_cost_cents_per_hour);
+        assert_eq!(premium.per_query_ms.len(), w.queries.len());
+    }
+
+    #[test]
+    fn toc_units_are_consistent() {
+        let (s, pool, w) = setup();
+        let p = crate::Problem::new(&s, &pool, &w, SlaSpec::relative(0.5), EngineConfig::dss());
+        let est = estimate_toc(&p, &p.premium_layout());
+        // cents/pass = C(L) [c/h] * t [h].
+        let hours = est.stream_time_ms / 3_600_000.0;
+        assert!(
+            (est.toc_cents_per_pass - est.layout_cost_cents_per_hour * hours).abs() < 1e-12
+        );
+        // cents/task * tasks/hour = cents/hour.
+        assert!(
+            (est.toc_cents_per_task * est.throughput_tasks_per_hour
+                - est.layout_cost_cents_per_hour)
+                .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn measured_toc_is_reproducible_per_seed() {
+        let (s, pool, w) = setup();
+        let p = crate::Problem::new(&s, &pool, &w, SlaSpec::relative(0.5), EngineConfig::dss());
+        let l = p.premium_layout();
+        assert_eq!(measure_toc(&p, &l, 1), measure_toc(&p, &l, 1));
+    }
+}

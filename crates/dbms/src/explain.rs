@@ -1,0 +1,162 @@
+//! Human-readable plan and I/O explanations — the simulator's analogue of
+//! `EXPLAIN`.
+//!
+//! The paper leans on PostgreSQL's ability to "output query plans (without
+//! actually executing the plan)" (§3.5); this module gives the same
+//! inspection surface for the simulator: which operators were chosen, where
+//! the I/O lands per object and pattern, and how the time splits between
+//! I/O and CPU under a given layout.
+
+use crate::config::EngineConfig;
+use crate::layout::Layout;
+use crate::object::ObjectId;
+use crate::plan::PlannedQuery;
+use crate::schema::Schema;
+use dot_storage::{StoragePool, IO_TYPES};
+
+/// Render one planned query as an EXPLAIN-style report: operator choices,
+/// estimated time split, and per-object I/O rows sorted by time share.
+pub fn explain(
+    planned: &PlannedQuery,
+    schema: &Schema,
+    layout: &Layout,
+    pool: &StoragePool,
+    cfg: &EngineConfig,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{}  (est {:.1} ms", planned.name, planned.est_time_ms));
+    let io_ms = planned.cost.io_time_ms(layout, pool, cfg.concurrency);
+    out.push_str(&format!(
+        " = {:.1} ms I/O + {:.1} ms CPU)\n",
+        io_ms, planned.cost.cpu_ms
+    ));
+    out.push_str("  operators:\n");
+    for (tid, path) in &planned.access_paths {
+        out.push_str(&format!(
+            "    scan {:<16} via {}\n",
+            schema.table(*tid).name,
+            path.label()
+        ));
+    }
+    for join in &planned.joins {
+        out.push_str(&format!("    join {}\n", join.label()));
+    }
+    if planned.spilled {
+        out.push_str("    (spills to temp space)\n");
+    }
+    out.push_str("  I/O by object:\n");
+
+    // Sort objects by their time contribution under this layout.
+    let mut rows: Vec<(ObjectId, f64)> = planned
+        .cost
+        .io
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| !c.is_zero())
+        .map(|(i, c)| {
+            let class = pool.class_unchecked(layout.class_of(ObjectId(i)));
+            (ObjectId(i), class.profile.service_time_ms(c, cfg.concurrency))
+        })
+        .collect();
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite times"));
+    for (obj, time_ms) in rows {
+        let o = schema.object(obj);
+        let class = pool.class_unchecked(layout.class_of(obj));
+        let counts = &planned.cost.io[obj.0];
+        let mix: Vec<String> = IO_TYPES
+            .iter()
+            .filter(|&&t| counts[t] > 0.0)
+            .map(|&t| format!("{}={:.0}", t.label(), counts[t]))
+            .collect();
+        out.push_str(&format!(
+            "    {:<20} on {:<14} {:>10.1} ms  [{}]\n",
+            o.name,
+            class.name,
+            time_ms,
+            mix.join(" ")
+        ));
+    }
+    out
+}
+
+/// Render a whole planned workload with a summary header.
+pub fn explain_workload(
+    planned: &[PlannedQuery],
+    schema: &Schema,
+    layout: &Layout,
+    pool: &StoragePool,
+    cfg: &EngineConfig,
+) -> String {
+    let total_ms: f64 = planned.iter().map(|p| p.est_time_ms * p.weight).sum();
+    let mut out = format!(
+        "workload: {} queries, estimated stream time {:.1} s\n\n",
+        planned.len(),
+        total_ms / 1000.0
+    );
+    for p in planned {
+        out.push_str(&explain(p, schema, layout, pool, cfg));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner;
+    use crate::testkit;
+    use dot_storage::catalog;
+
+    #[test]
+    fn explain_contains_operators_and_objects() {
+        let s = testkit::two_table_schema();
+        let pool = catalog::box2();
+        let layout = Layout::uniform(pool.most_expensive(), s.object_count());
+        let cfg = EngineConfig::dss();
+        let q = testkit::probe_join_query(&s, 0.001);
+        let planned = planner::plan_query(&q, &s, &layout, &pool, &cfg);
+        let text = explain(&planned, &s, &layout, &pool, &cfg);
+        assert!(text.contains("probe_join"));
+        assert!(text.contains("join"));
+        assert!(text.contains("fact"), "mentions the probed table: {text}");
+        assert!(text.contains("H-SSD"));
+        assert!(text.contains("ms I/O"));
+    }
+
+    #[test]
+    fn workload_explain_sums_weights() {
+        let s = testkit::two_table_schema();
+        let pool = catalog::box2();
+        let layout = Layout::uniform(pool.most_expensive(), s.object_count());
+        let cfg = EngineConfig::dss();
+        let queries = vec![testkit::range_query(&s, 0.01).with_weight(3.0)];
+        let planned = planner::plan_workload(&queries, &s, &layout, &pool, &cfg);
+        let text = explain_workload(&planned, &s, &layout, &pool, &cfg);
+        assert!(text.starts_with("workload: 1 queries"));
+        assert!(text.contains("range"));
+    }
+
+    #[test]
+    fn spill_marker_appears() {
+        let s = testkit::two_table_schema();
+        let pool = catalog::box2();
+        let layout = Layout::uniform(pool.most_expensive(), s.object_count());
+        let mut cfg = EngineConfig::dss();
+        cfg.work_mem_gb = 1e-5;
+        let fact = s.table_by_name("fact").unwrap().id;
+        let dim = s.table_by_name("dim").unwrap().id;
+        let q = crate::query::QuerySpec::read(
+            "hj",
+            crate::query::ReadOp::of(crate::query::Rel::join(
+                crate::query::Rel::Scan(crate::query::ScanSpec::full(fact)),
+                crate::query::ScanSpec::full(dim),
+                1.0,
+                None,
+            )),
+        );
+        let planned = planner::plan_query(&q, &s, &layout, &pool, &cfg);
+        let text = explain(&planned, &s, &layout, &pool, &cfg);
+        assert!(text.contains("spills"));
+        assert!(text.contains("temp_space"));
+    }
+}

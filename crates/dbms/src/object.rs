@@ -1,0 +1,104 @@
+//! Database objects — the `O = {o_1, …, o_N}` of the problem definition.
+//!
+//! §2.2: "A database instance consists of a set of objects, such as
+//! individual tables, indices, temporary spaces or logs, that must be placed
+//! on one of the storage classes." Objects are the atoms of placement; the
+//! paper explicitly does not split or replicate them, and neither do we.
+
+use serde::{Deserialize, Serialize};
+
+/// Dense index of an object within its [`Schema`](crate::Schema).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ObjectId(pub usize);
+
+impl std::fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+/// What kind of thing an object is. Placement treats all kinds uniformly;
+/// the kind matters for grouping (a table groups with *its* indices, §3.2)
+/// and reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ObjectKind {
+    /// Base-table heap file.
+    Table,
+    /// Secondary or primary B+-tree index file.
+    Index,
+    /// Temporary/spill space used by sorts and hash joins.
+    Temp,
+    /// Write-ahead log. (The paper keeps logs on a separate OS disk in its
+    /// experiments; we model the object so alternative setups can place it.)
+    Log,
+}
+
+impl ObjectKind {
+    /// Human-readable label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            ObjectKind::Table => "table",
+            ObjectKind::Index => "index",
+            ObjectKind::Temp => "temp",
+            ObjectKind::Log => "log",
+        }
+    }
+}
+
+/// One placeable object: its identity, kind and resident size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DbObject {
+    /// Dense id within the schema.
+    pub id: ObjectId,
+    /// Name, e.g. `lineitem` or `lineitem_pkey` (the paper's convention of
+    /// suffixing primary indices with `_pkey`).
+    pub name: String,
+    /// Object kind.
+    pub kind: ObjectKind,
+    /// Resident size in GB — the `s_i` of §2.2 used by capacity constraints
+    /// and the layout cost.
+    pub size_gb: f64,
+}
+
+impl DbObject {
+    /// Validate physical plausibility.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.size_gb <= 0.0 || !self.size_gb.is_finite() {
+            return Err(format!("object {}: size must be positive", self.name));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(ObjectKind::Table.label(), "table");
+        assert_eq!(ObjectKind::Index.label(), "index");
+        assert_eq!(ObjectKind::Temp.label(), "temp");
+        assert_eq!(ObjectKind::Log.label(), "log");
+    }
+
+    #[test]
+    fn validation() {
+        let mut o = DbObject {
+            id: ObjectId(0),
+            name: "t".into(),
+            kind: ObjectKind::Table,
+            size_gb: 1.0,
+        };
+        assert!(o.validate().is_ok());
+        o.size_gb = 0.0;
+        assert!(o.validate().is_err());
+        o.size_gb = f64::INFINITY;
+        assert!(o.validate().is_err());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(ObjectId(7).to_string(), "o7");
+    }
+}

@@ -1,0 +1,502 @@
+//! Schema: table and index definitions with analytic storage statistics.
+//!
+//! The planner never touches data; it works from statistics, exactly like
+//! PostgreSQL's. Pages, B+-tree heights and leaf counts are derived
+//! analytically from row counts and widths, so any scale factor can be
+//! instantiated without generating data.
+
+use crate::object::{DbObject, ObjectId, ObjectKind};
+use crate::PAGE_BYTES;
+use serde::{Deserialize, Serialize};
+
+/// Dense index of a table within a [`Schema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TableId(pub usize);
+
+/// Dense index of an index within a [`Schema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct IndexId(pub usize);
+
+/// B+-tree fill factor used for leaf-page estimates (PostgreSQL default 90%,
+/// but indexes average ~70% after churn; we use 70%).
+const BTREE_FILL: f64 = 0.70;
+/// Per-entry overhead in a B+-tree page (item pointer + tuple header).
+const BTREE_ENTRY_OVERHEAD: f64 = 12.0;
+/// Per-row overhead in a heap page (tuple header + item pointer).
+const HEAP_ROW_OVERHEAD: f64 = 28.0;
+
+/// A base table and its heap-file statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableDef {
+    /// Dense id.
+    pub id: TableId,
+    /// Table name.
+    pub name: String,
+    /// Row count.
+    pub rows: f64,
+    /// Mean payload bytes per row (excluding heap overhead).
+    pub row_bytes: f64,
+    /// Backing heap object.
+    pub object: ObjectId,
+    /// Whether the heap is physically clustered on the primary key. The
+    /// paper reshuffles TPC-H tables so they are *not* clustered (§4.4);
+    /// clustering determines whether index-driven range fetches on the heap
+    /// are sequential or random.
+    pub clustered: bool,
+}
+
+impl TableDef {
+    /// Heap pages occupied.
+    pub fn pages(&self) -> f64 {
+        let rows_per_page = (PAGE_BYTES / (self.row_bytes + HEAP_ROW_OVERHEAD)).max(1.0);
+        (self.rows / rows_per_page).ceil().max(1.0)
+    }
+
+    /// Heap size in GB.
+    pub fn size_gb(&self) -> f64 {
+        self.pages() * PAGE_BYTES / 1e9
+    }
+}
+
+/// A B+-tree index and its statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IndexDef {
+    /// Dense id.
+    pub id: IndexId,
+    /// Index name (`<table>_pkey` for primaries, per the paper's figures).
+    pub name: String,
+    /// Indexed table.
+    pub table: TableId,
+    /// Key width in bytes.
+    pub key_bytes: f64,
+    /// Entries (== table rows for single-column non-partial indexes).
+    pub entries: f64,
+    /// True for the primary-key index.
+    pub primary: bool,
+    /// Backing index object.
+    pub object: ObjectId,
+    /// Correlation between index order and heap order in `[0, 1]`; 1.0 means
+    /// range scans through this index touch the heap sequentially. After the
+    /// paper's reshuffle this is ~0 for all TPC-H indexes.
+    pub correlation: f64,
+}
+
+impl IndexDef {
+    /// Entries per leaf page.
+    pub fn entries_per_leaf(&self) -> f64 {
+        (PAGE_BYTES * BTREE_FILL / (self.key_bytes + BTREE_ENTRY_OVERHEAD)).max(2.0)
+    }
+
+    /// Leaf-page count.
+    pub fn leaf_pages(&self) -> f64 {
+        (self.entries / self.entries_per_leaf()).ceil().max(1.0)
+    }
+
+    /// Tree height in page hops from root to leaf (a point probe reads this
+    /// many pages). Internal fanout is assumed equal to leaf fanout.
+    pub fn height(&self) -> f64 {
+        let fanout = self.entries_per_leaf();
+        let mut levels = 1.0;
+        let mut pages = self.leaf_pages();
+        while pages > 1.0 {
+            pages = (pages / fanout).ceil();
+            levels += 1.0;
+        }
+        levels
+    }
+
+    /// Index size in GB (leaf pages dominate; add ~2% for internal pages).
+    pub fn size_gb(&self) -> f64 {
+        self.leaf_pages() * 1.02 * PAGE_BYTES / 1e9
+    }
+}
+
+/// A complete database schema: tables, indices, and the dense object space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schema {
+    name: String,
+    tables: Vec<TableDef>,
+    indexes: Vec<IndexDef>,
+    objects: Vec<DbObject>,
+}
+
+impl Schema {
+    /// Schema display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All tables in id order.
+    pub fn tables(&self) -> &[TableDef] {
+        &self.tables
+    }
+
+    /// All indexes in id order.
+    pub fn indexes(&self) -> &[IndexDef] {
+        &self.indexes
+    }
+
+    /// All placeable objects in id order (tables, then indexes, then any
+    /// temp/log objects).
+    pub fn objects(&self) -> &[DbObject] {
+        &self.objects
+    }
+
+    /// Number of placeable objects `N`.
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Look up a table.
+    pub fn table(&self, id: TableId) -> &TableDef {
+        &self.tables[id.0]
+    }
+
+    /// Look up an index.
+    #[allow(clippy::should_implement_trait)] // domain term: a B+-tree index
+    pub fn index(&self, id: IndexId) -> &IndexDef {
+        &self.indexes[id.0]
+    }
+
+    /// Look up an object.
+    pub fn object(&self, id: ObjectId) -> &DbObject {
+        &self.objects[id.0]
+    }
+
+    /// Find a table by name.
+    pub fn table_by_name(&self, name: &str) -> Option<&TableDef> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+
+    /// Find an index by name.
+    pub fn index_by_name(&self, name: &str) -> Option<&IndexDef> {
+        self.indexes.iter().find(|i| i.name == name)
+    }
+
+    /// Find an object by name.
+    pub fn object_by_name(&self, name: &str) -> Option<&DbObject> {
+        self.objects.iter().find(|o| o.name == name)
+    }
+
+    /// Indexes defined on `table`, in id order.
+    pub fn indexes_of(&self, table: TableId) -> impl Iterator<Item = &IndexDef> + '_ {
+        self.indexes.iter().filter(move |i| i.table == table)
+    }
+
+    /// The table's primary-key index, if declared.
+    pub fn primary_index_of(&self, table: TableId) -> Option<&IndexDef> {
+        self.indexes_of(table).find(|i| i.primary)
+    }
+
+    /// The temp-space object, if the schema declared one.
+    pub fn temp_object(&self) -> Option<&DbObject> {
+        self.objects.iter().find(|o| o.kind == ObjectKind::Temp)
+    }
+
+    /// The log object, if the schema declared one.
+    pub fn log_object(&self) -> Option<&DbObject> {
+        self.objects.iter().find(|o| o.kind == ObjectKind::Log)
+    }
+
+    /// Total resident size of all objects in GB.
+    pub fn total_size_gb(&self) -> f64 {
+        self.objects.iter().map(|o| o.size_gb).sum()
+    }
+
+    /// Object groups per §3.2: one group per table, containing the table's
+    /// heap object followed by its index objects. Temp and log objects each
+    /// form singleton groups (they interact with everything, but the paper's
+    /// grouping keys on table↔index interaction only).
+    pub fn object_groups(&self) -> Vec<Vec<ObjectId>> {
+        let mut groups: Vec<Vec<ObjectId>> = Vec::with_capacity(self.tables.len());
+        for t in &self.tables {
+            let mut g = vec![t.object];
+            g.extend(self.indexes_of(t.id).map(|i| i.object));
+            groups.push(g);
+        }
+        for o in &self.objects {
+            if matches!(o.kind, ObjectKind::Temp | ObjectKind::Log) {
+                groups.push(vec![o.id]);
+            }
+        }
+        groups
+    }
+}
+
+/// Fluent builder for [`Schema`].
+///
+/// ```
+/// use dot_dbms::SchemaBuilder;
+/// let schema = SchemaBuilder::new("demo")
+///     .table("orders", 1_500_000.0, 100.0)
+///     .primary_index(8.0)
+///     .index("i_orders_custkey", 8.0)
+///     .table("customer", 150_000.0, 180.0)
+///     .primary_index(8.0)
+///     .temp_space(4.0)
+///     .build();
+/// assert_eq!(schema.tables().len(), 2);
+/// assert_eq!(schema.indexes().len(), 3);
+/// assert_eq!(schema.object_count(), 6); // 2 heaps + 3 indexes + temp
+/// ```
+#[derive(Debug)]
+pub struct SchemaBuilder {
+    name: String,
+    tables: Vec<TableDef>,
+    indexes: Vec<IndexDef>,
+    extra: Vec<(String, ObjectKind, f64)>,
+    clustered_default: bool,
+}
+
+impl SchemaBuilder {
+    /// Start building a schema.
+    pub fn new(name: &str) -> Self {
+        SchemaBuilder {
+            name: name.to_owned(),
+            tables: Vec::new(),
+            indexes: Vec::new(),
+            extra: Vec::new(),
+            clustered_default: false,
+        }
+    }
+
+    /// All subsequently added tables default to the given clustering.
+    pub fn clustered_by_default(mut self, clustered: bool) -> Self {
+        self.clustered_default = clustered;
+        self
+    }
+
+    /// Add a table with the given row count and mean payload row width.
+    pub fn table(mut self, name: &str, rows: f64, row_bytes: f64) -> Self {
+        assert!(rows > 0.0 && row_bytes > 0.0, "table {name}: bad stats");
+        let id = TableId(self.tables.len());
+        self.tables.push(TableDef {
+            id,
+            name: name.to_owned(),
+            rows,
+            row_bytes,
+            object: ObjectId(usize::MAX),
+            clustered: self.clustered_default,
+        });
+        self
+    }
+
+    fn last_table(&self) -> &TableDef {
+        self.tables.last().expect("declare a table first")
+    }
+
+    /// Declare the primary-key index of the most recently added table,
+    /// named `<table>_pkey` per the paper's convention.
+    pub fn primary_index(mut self, key_bytes: f64) -> Self {
+        let t = self.last_table();
+        let name = format!("{}_pkey", t.name);
+        let (table, entries) = (t.id, t.rows);
+        self.push_index(name, table, key_bytes, entries, true, 0.0);
+        self
+    }
+
+    /// Declare a secondary index on the most recently added table.
+    pub fn index(mut self, name: &str, key_bytes: f64) -> Self {
+        let t = self.last_table();
+        let (table, entries) = (t.id, t.rows);
+        self.push_index(name.to_owned(), table, key_bytes, entries, false, 0.0);
+        self
+    }
+
+    /// Declare a secondary index with an explicit heap correlation.
+    pub fn correlated_index(mut self, name: &str, key_bytes: f64, correlation: f64) -> Self {
+        let t = self.last_table();
+        let (table, entries) = (t.id, t.rows);
+        self.push_index(name.to_owned(), table, key_bytes, entries, false, correlation);
+        self
+    }
+
+    fn push_index(
+        &mut self,
+        name: String,
+        table: TableId,
+        key_bytes: f64,
+        entries: f64,
+        primary: bool,
+        correlation: f64,
+    ) {
+        assert!(key_bytes > 0.0, "index {name}: bad key width");
+        let id = IndexId(self.indexes.len());
+        self.indexes.push(IndexDef {
+            id,
+            name,
+            table,
+            key_bytes,
+            entries,
+            primary,
+            object: ObjectId(usize::MAX),
+            correlation,
+        });
+    }
+
+    /// Declare a temp-space object of the given size in GB.
+    pub fn temp_space(mut self, size_gb: f64) -> Self {
+        self.extra.push(("temp_space".into(), ObjectKind::Temp, size_gb));
+        self
+    }
+
+    /// Declare a write-ahead-log object of the given size in GB.
+    pub fn log(mut self, size_gb: f64) -> Self {
+        self.extra.push(("wal".into(), ObjectKind::Log, size_gb));
+        self
+    }
+
+    /// Finalize: assign dense object ids (heaps, then indexes, then extras)
+    /// and compute sizes.
+    pub fn build(mut self) -> Schema {
+        let mut objects = Vec::with_capacity(self.tables.len() + self.indexes.len());
+        for t in &mut self.tables {
+            let id = ObjectId(objects.len());
+            t.object = id;
+            objects.push(DbObject {
+                id,
+                name: t.name.clone(),
+                kind: ObjectKind::Table,
+                size_gb: t.size_gb(),
+            });
+        }
+        for i in &mut self.indexes {
+            let id = ObjectId(objects.len());
+            i.object = id;
+            objects.push(DbObject {
+                id,
+                name: i.name.clone(),
+                kind: ObjectKind::Index,
+                size_gb: i.size_gb(),
+            });
+        }
+        for (name, kind, size_gb) in &self.extra {
+            let id = ObjectId(objects.len());
+            objects.push(DbObject {
+                id,
+                name: name.clone(),
+                kind: *kind,
+                size_gb: *size_gb,
+            });
+        }
+        for o in &objects {
+            o.validate().expect("invalid object");
+        }
+        Schema {
+            name: self.name,
+            tables: self.tables,
+            indexes: self.indexes,
+            objects,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Schema {
+        SchemaBuilder::new("demo")
+            .table("lineitem", 6_000_000.0, 120.0)
+            .primary_index(12.0)
+            .index("i_lineitem_partkey", 8.0)
+            .table("orders", 1_500_000.0, 100.0)
+            .primary_index(8.0)
+            .temp_space(4.0)
+            .log(2.0)
+            .build()
+    }
+
+    #[test]
+    fn object_ids_are_dense_and_complete() {
+        let s = demo();
+        assert_eq!(s.object_count(), 2 + 3 + 2);
+        for (i, o) in s.objects().iter().enumerate() {
+            assert_eq!(o.id, ObjectId(i));
+        }
+        // Table and index objects point back correctly.
+        for t in s.tables() {
+            assert_eq!(s.object(t.object).name, t.name);
+        }
+        for i in s.indexes() {
+            assert_eq!(s.object(i.object).name, i.name);
+        }
+    }
+
+    #[test]
+    fn page_math_is_sane() {
+        let s = demo();
+        let li = s.table_by_name("lineitem").unwrap();
+        // 6M rows at ~148 B effective → ~55 rows/page → ~109k pages.
+        let pages = li.pages();
+        assert!(pages > 80_000.0 && pages < 130_000.0, "pages {pages}");
+        // Size ≈ pages * 8 KB.
+        assert!((li.size_gb() - pages * 8192.0 / 1e9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn btree_height_grows_logarithmically() {
+        let small = IndexDef {
+            id: IndexId(0),
+            name: "s".into(),
+            table: TableId(0),
+            key_bytes: 8.0,
+            entries: 100.0,
+            primary: true,
+            object: ObjectId(0),
+            correlation: 0.0,
+        };
+        assert_eq!(small.height(), 1.0);
+        let big = IndexDef {
+            entries: 100_000_000.0,
+            ..small.clone()
+        };
+        let h = big.height();
+        assert!((3.0..=4.0).contains(&h), "height {h}");
+        assert!(big.leaf_pages() > 100_000.0);
+    }
+
+    #[test]
+    fn groups_are_table_plus_its_indices() {
+        let s = demo();
+        let groups = s.object_groups();
+        // 2 table groups + temp + log singletons.
+        assert_eq!(groups.len(), 4);
+        let li = s.table_by_name("lineitem").unwrap();
+        let g0 = &groups[0];
+        assert_eq!(g0[0], li.object);
+        assert_eq!(g0.len(), 3); // heap + pkey + partkey index
+        assert_eq!(groups[1].len(), 2); // orders heap + pkey
+        assert_eq!(groups[2].len(), 1);
+        assert_eq!(groups[3].len(), 1);
+    }
+
+    #[test]
+    fn primary_index_lookup() {
+        let s = demo();
+        let orders = s.table_by_name("orders").unwrap();
+        let pk = s.primary_index_of(orders.id).unwrap();
+        assert_eq!(pk.name, "orders_pkey");
+        assert!(pk.primary);
+    }
+
+    #[test]
+    fn temp_and_log_objects_exist() {
+        let s = demo();
+        assert_eq!(s.temp_object().unwrap().kind, ObjectKind::Temp);
+        assert_eq!(s.log_object().unwrap().kind, ObjectKind::Log);
+    }
+
+    #[test]
+    fn total_size_sums_objects() {
+        let s = demo();
+        let total: f64 = s.objects().iter().map(|o| o.size_gb).sum();
+        assert!((s.total_size_gb() - total).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad stats")]
+    fn zero_row_table_panics() {
+        let _ = SchemaBuilder::new("bad").table("t", 0.0, 10.0);
+    }
+}

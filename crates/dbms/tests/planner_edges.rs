@@ -1,0 +1,189 @@
+//! Edge-case and adversarial tests for the planner and execution simulator.
+
+use dot_dbms::query::{InsertOp, Op, QuerySpec, ReadOp, Rel, ScanSpec, UpdateOp};
+use dot_dbms::{exec, planner, EngineConfig, Layout, SchemaBuilder};
+use dot_storage::{catalog, IoType};
+
+fn one_table() -> dot_dbms::Schema {
+    SchemaBuilder::new("edge")
+        .table("t", 1_000_000.0, 100.0)
+        .primary_index(8.0)
+        .build()
+}
+
+#[test]
+fn zero_selectivity_scan_is_cheap_but_not_free() {
+    let s = one_table();
+    let pool = catalog::box2();
+    let layout = Layout::uniform(pool.most_expensive(), s.object_count());
+    let cfg = EngineConfig::dss();
+    let t = s.table_by_name("t").unwrap().id;
+    let pk = s.index_by_name("t_pkey").unwrap().id;
+    let q = QuerySpec::read(
+        "empty",
+        ReadOp::of(Rel::Scan(ScanSpec::indexed(t, 0.0, pk))),
+    );
+    let planned = planner::plan_query(&q, &s, &layout, &pool, &cfg);
+    // Still descends the index (height + 1 leaf page minimum).
+    assert!(planned.cost.total_io().total() > 0.0);
+    assert!(planned.est_time_ms > 0.0);
+}
+
+#[test]
+fn full_selectivity_index_scan_loses_to_seq_scan_everywhere() {
+    let s = one_table();
+    let pool = catalog::box2();
+    let cfg = EngineConfig::dss();
+    let t = s.table_by_name("t").unwrap().id;
+    let pk = s.index_by_name("t_pkey").unwrap().id;
+    let q = QuerySpec::read("all", ReadOp::of(Rel::Scan(ScanSpec::indexed(t, 1.0, pk))));
+    for class in ["HDD", "L-SSD RAID 0", "H-SSD"] {
+        let layout = Layout::uniform(pool.class_by_name(class).unwrap().id, s.object_count());
+        let planned = planner::plan_query(&q, &s, &layout, &pool, &cfg);
+        assert_eq!(
+            planned.access_paths[0].1,
+            dot_dbms::plan::AccessPath::SeqScan,
+            "sel=1.0 must seq-scan on {class}"
+        );
+    }
+}
+
+#[test]
+fn clustered_table_prefers_index_ranges_earlier() {
+    // Same table, clustered vs unclustered: the clustered variant tolerates
+    // much larger index-served selectivities because heap fetches turn
+    // sequential.
+    let unclustered = one_table();
+    let clustered = SchemaBuilder::new("edge")
+        .clustered_by_default(true)
+        .table("t", 1_000_000.0, 100.0)
+        .primary_index(8.0)
+        .build();
+    let pool = catalog::box2();
+    let hdd = pool.class_by_name("HDD").unwrap().id;
+    let cfg = EngineConfig::dss();
+    let choice = |s: &dot_dbms::Schema, sel: f64| {
+        let t = s.table_by_name("t").unwrap().id;
+        let pk = s.index_by_name("t_pkey").unwrap().id;
+        let q = QuerySpec::read("r", ReadOp::of(Rel::Scan(ScanSpec::indexed(t, sel, pk))));
+        let layout = Layout::uniform(hdd, s.object_count());
+        planner::plan_query(&q, s, &layout, &pool, &cfg).access_paths[0].1
+    };
+    // At 1% on a spinning disk: unclustered must scan (Yao says ~7.5k
+    // random heap pages), clustered can afford the index range (the heap
+    // fetches turn sequential).
+    assert_eq!(choice(&unclustered, 0.01), dot_dbms::plan::AccessPath::SeqScan);
+    assert!(matches!(
+        choice(&clustered, 0.01),
+        dot_dbms::plan::AccessPath::IndexScan(_)
+    ));
+}
+
+#[test]
+fn update_without_index_still_writes() {
+    let s = one_table();
+    let pool = catalog::box2();
+    let layout = Layout::uniform(pool.most_expensive(), s.object_count());
+    let cfg = EngineConfig::oltp();
+    let t = s.table_by_name("t").unwrap();
+    let q = QuerySpec::transaction(
+        "u",
+        vec![Op::Update(UpdateOp {
+            table: t.id,
+            rows: 7.0,
+            via: None,
+            updates_indexed_key: true,
+        })],
+    );
+    let planned = planner::plan_query(&q, &s, &layout, &pool, &cfg);
+    assert_eq!(planned.cost.io[t.object.0][IoType::RandWrite], 7.0);
+    // Indexed-key update maintains the pkey.
+    let pk = s.index_by_name("t_pkey").unwrap();
+    assert_eq!(planned.cost.io[pk.object.0][IoType::RandWrite], 7.0);
+}
+
+#[test]
+fn deep_join_trees_plan_without_blowup() {
+    // Five-way left-deep join: planning stays linear and every join gets an
+    // algorithm.
+    let mut b = SchemaBuilder::new("deep");
+    for i in 0..5 {
+        b = b
+            .table(&format!("t{i}"), 100_000.0 * (i as f64 + 1.0), 100.0)
+            .primary_index(8.0);
+    }
+    let s = b.build();
+    let pool = catalog::box2();
+    let layout = Layout::uniform(pool.most_expensive(), s.object_count());
+    let cfg = EngineConfig::dss();
+    let mut rel = Rel::Scan(ScanSpec::filtered(s.table_by_name("t0").unwrap().id, 0.01));
+    for i in 1..5 {
+        let t = s.table_by_name(&format!("t{i}")).unwrap().id;
+        let pk = s.index_by_name(&format!("t{i}_pkey")).unwrap().id;
+        rel = Rel::join(rel, ScanSpec::full(t), 1.5, Some(pk));
+    }
+    let q = QuerySpec::read("deep", ReadOp::of(rel));
+    let planned = planner::plan_query(&q, &s, &layout, &pool, &cfg);
+    assert_eq!(planned.joins.len(), 4);
+    assert_eq!(planned.access_paths.len(), 5);
+}
+
+#[test]
+fn insert_only_workload_has_no_reads() {
+    let s = one_table();
+    let pool = catalog::box2();
+    let layout = Layout::uniform(pool.most_expensive(), s.object_count());
+    let cfg = EngineConfig::oltp();
+    let t = s.table_by_name("t").unwrap().id;
+    let q = QuerySpec::transaction(
+        "ins",
+        vec![Op::Insert(InsertOp {
+            table: t,
+            rows: 100.0,
+            sequential_keys: true,
+        })],
+    );
+    let run = exec::estimate_workload(&[q], &s, &layout, &pool, &cfg);
+    let io = run.cost.total_io();
+    assert_eq!(io.reads(), 0.0);
+    assert!(io.writes() >= 200.0); // heap + pkey
+}
+
+#[test]
+fn simulation_never_negative_and_bounded_by_estimate_envelope() {
+    let s = one_table();
+    let pool = catalog::box2();
+    let cfg = EngineConfig::dss();
+    let t = s.table_by_name("t").unwrap().id;
+    let q = QuerySpec::read("scan", ReadOp::of(Rel::Scan(ScanSpec::full(t))));
+    for class in ["HDD", "H-SSD"] {
+        let layout = Layout::uniform(pool.class_by_name(class).unwrap().id, s.object_count());
+        let est = exec::estimate_workload(std::slice::from_ref(&q), &s, &layout, &pool, &cfg);
+        for seed in 0..20 {
+            let sim =
+                exec::simulate_workload(std::slice::from_ref(&q), &s, &layout, &pool, &cfg, seed);
+            assert!(sim.stream_time_ms > 0.0);
+            assert!(sim.stream_time_ms <= est.stream_time_ms * 1.031);
+        }
+    }
+}
+
+#[test]
+fn concurrency_changes_effective_latencies() {
+    let s = one_table();
+    let pool = catalog::box2();
+    let hdd = pool.class_by_name("HDD").unwrap().id;
+    let layout = Layout::uniform(hdd, s.object_count());
+    let t = s.table_by_name("t").unwrap().id;
+    let pk = s.index_by_name("t_pkey").unwrap().id;
+    let q = QuerySpec::read(
+        "probe",
+        ReadOp::of(Rel::Scan(ScanSpec::indexed(t, 1e-5, pk))),
+    );
+    let t1 = planner::plan_query(&q, &s, &layout, &pool, &EngineConfig::dss()).est_time_ms;
+    let t300 =
+        planner::plan_query(&q, &s, &layout, &pool, &EngineConfig::oltp()).est_time_ms;
+    // HDD random reads get *faster* per request at high concurrency
+    // (Table 1: 13.32 -> 8.90 ms), so the point probe should too.
+    assert!(t300 < t1, "c=300 {t300} vs c=1 {t1}");
+}

@@ -1,0 +1,235 @@
+//! Workload profiles: the `X = {χ^p_r[o]}` table of §3.4.
+//!
+//! A profile records, for every object group `g` and every within-group
+//! placement `p ∈ D^{|g|}`, the accumulated I/O counts each object of `g`
+//! receives when the whole workload runs with that placement in force. The
+//! optimizer turns these into the *I/O time share* `T^p[g]` of Eq. 1 and the
+//! move scores of §3.3.
+
+use crate::baseline::{
+    baseline_layout, baseline_placements, group_arity, project_placement,
+};
+use dot_dbms::{exec, planner, EngineConfig, ObjectId, Schema};
+use dot_storage::{ClassId, IoCounts, StoragePool};
+use dot_workloads::Workload;
+use std::collections::HashMap;
+
+/// How profile counts are obtained (§3.4: "(a) an estimate computed by our
+/// extended query optimizer ... or (b) a sample test run").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfileSource {
+    /// Optimizer estimates — deterministic, cache-blind (TPC-H path, §4.4).
+    Estimate,
+    /// Simulated test run with the buffer pool engaged (TPC-C path, §4.5).
+    TestRun {
+        /// Noise seed for the simulated run.
+        seed: u64,
+    },
+}
+
+/// Profile of one object group across its placements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupProfile {
+    /// The group's objects (position 0 = heap, 1.. = indices).
+    pub objects: Vec<ObjectId>,
+    /// Per-placement accumulated counts, parallel to `objects`.
+    pub by_placement: HashMap<Vec<ClassId>, Vec<IoCounts>>,
+}
+
+impl GroupProfile {
+    /// Counts under a specific within-group placement.
+    pub fn counts(&self, placement: &[ClassId]) -> Option<&[IoCounts]> {
+        self.by_placement.get(placement).map(|v| v.as_slice())
+    }
+
+    /// The I/O time share `T^p[g] = Σ_{o∈g} Σ_r χ^p_r[o] · τ^{p[o]}_r`
+    /// (Eq. 1) at the given concurrency.
+    pub fn io_time_share_ms(
+        &self,
+        placement: &[ClassId],
+        pool: &StoragePool,
+        concurrency: u32,
+    ) -> Option<f64> {
+        let counts = self.by_placement.get(placement)?;
+        let mut total = 0.0;
+        for (k, c) in counts.iter().enumerate() {
+            let class = pool.class_unchecked(placement[k]);
+            total += class.profile.service_time_ms(c, concurrency);
+        }
+        Some(total)
+    }
+}
+
+/// The complete profile of a workload over a storage pool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadProfile {
+    /// One entry per object group, in [`Schema::object_groups`] order.
+    pub groups: Vec<GroupProfile>,
+    /// Group arity `K` used for the baselines.
+    pub arity: usize,
+    /// Number of baseline layouts enumerated (`M^K`).
+    pub baseline_count: usize,
+    /// Baselines actually profiled after plan-signature pruning.
+    pub profiled_count: usize,
+}
+
+impl WorkloadProfile {
+    /// The group profile containing `object`, if any.
+    pub fn group_of(&self, object: ObjectId) -> Option<(usize, &GroupProfile)> {
+        self.groups
+            .iter()
+            .enumerate()
+            .find(|(_, g)| g.objects.contains(&object))
+    }
+}
+
+/// Profile `workload` over every baseline layout of `pool` (§3.4), with
+/// plan-signature pruning: a baseline whose per-query physical plans are
+/// identical to an already-profiled baseline's reuses its counts instead of
+/// re-running. Since I/O counts are a pure function of the chosen plans,
+/// pruning is lossless for estimates and matches the paper's §4.5.1
+/// optimization for test runs (TPC-C collapses to one profiled layout).
+pub fn profile_workload(
+    workload: &Workload,
+    schema: &Schema,
+    pool: &StoragePool,
+    cfg: &EngineConfig,
+    source: ProfileSource,
+) -> WorkloadProfile {
+    let arity = group_arity(schema);
+    let placements = baseline_placements(pool, arity);
+    let groups = schema.object_groups();
+
+    let mut group_profiles: Vec<GroupProfile> = groups
+        .iter()
+        .map(|objs| GroupProfile {
+            objects: objs.clone(),
+            by_placement: HashMap::new(),
+        })
+        .collect();
+
+    // signature of all plans -> per-object counts from the profiled run
+    let mut seen: HashMap<String, Vec<IoCounts>> = HashMap::new();
+    let mut profiled = 0usize;
+
+    for p in &placements {
+        let layout = baseline_layout(schema, p);
+        let planned = planner::plan_workload(&workload.queries, schema, &layout, pool, cfg);
+        let signature: String = planned
+            .iter()
+            .map(|pl| pl.describe())
+            .collect::<Vec<_>>()
+            .join("|");
+        let io: Vec<IoCounts> = match seen.get(&signature) {
+            Some(io) => io.clone(),
+            None => {
+                profiled += 1;
+                let run = match source {
+                    ProfileSource::Estimate => {
+                        exec::estimate_workload(&workload.queries, schema, &layout, pool, cfg)
+                    }
+                    ProfileSource::TestRun { seed } => exec::simulate_workload(
+                        &workload.queries,
+                        schema,
+                        &layout,
+                        pool,
+                        cfg,
+                        seed,
+                    ),
+                };
+                seen.insert(signature, run.cost.io.clone());
+                run.cost.io
+            }
+        };
+        for gp in group_profiles.iter_mut() {
+            let key = project_placement(p, gp.objects.len());
+            let counts: Vec<IoCounts> = gp.objects.iter().map(|o| io[o.0]).collect();
+            gp.by_placement.insert(key, counts);
+        }
+    }
+
+    WorkloadProfile {
+        groups: group_profiles,
+        arity,
+        baseline_count: placements.len(),
+        profiled_count: profiled,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dot_storage::catalog;
+    use dot_workloads::{synth, tpcc};
+
+    fn synth_setup() -> (Schema, StoragePool, Workload, EngineConfig) {
+        let s = synth::bench_schema(2_000_000.0, 120.0);
+        let pool = catalog::box2();
+        let w = synth::mixed_workload(&s);
+        (s, pool, w, EngineConfig::dss())
+    }
+
+    #[test]
+    fn profile_covers_every_group_placement() {
+        let (s, pool, w, cfg) = synth_setup();
+        let prof = profile_workload(&w, &s, &pool, &cfg, ProfileSource::Estimate);
+        assert_eq!(prof.groups.len(), s.object_groups().len());
+        for g in &prof.groups {
+            let expected = pool.len().pow(g.objects.len() as u32);
+            assert_eq!(g.by_placement.len(), expected);
+        }
+    }
+
+    #[test]
+    fn io_time_share_prices_correctly() {
+        let (s, pool, w, cfg) = synth_setup();
+        let prof = profile_workload(&w, &s, &pool, &cfg, ProfileSource::Estimate);
+        let g = &prof.groups[0];
+        let hdd = pool.class_by_name("HDD").unwrap().id;
+        let hssd = pool.class_by_name("H-SSD").unwrap().id;
+        let key_hdd = vec![hdd; g.objects.len()];
+        let key_hssd = vec![hssd; g.objects.len()];
+        let t_hdd = g.io_time_share_ms(&key_hdd, &pool, 1).unwrap();
+        let t_hssd = g.io_time_share_ms(&key_hssd, &pool, 1).unwrap();
+        assert!(t_hdd > t_hssd, "hdd {t_hdd} vs hssd {t_hssd}");
+        assert!(g.io_time_share_ms(&[hdd; 9][..g.objects.len()], &pool, 1).is_some());
+        assert!(g.io_time_share_ms(&[], &pool, 1).is_none());
+    }
+
+    #[test]
+    fn pruning_collapses_tpcc_to_few_runs() {
+        // §4.5.1: all TPC-C plans are stable modulo the page-sized tables,
+        // so pruning must collapse the 27 baselines dramatically.
+        let s = tpcc::schema(20.0);
+        let pool = catalog::box2();
+        let w = tpcc::workload(&s);
+        let cfg = EngineConfig::oltp();
+        let prof = profile_workload(&w, &s, &pool, &cfg, ProfileSource::Estimate);
+        assert_eq!(prof.baseline_count, 27);
+        assert!(
+            prof.profiled_count <= prof.baseline_count / 2,
+            "profiled {} of {}",
+            prof.profiled_count,
+            prof.baseline_count
+        );
+    }
+
+    #[test]
+    fn group_lookup_by_object() {
+        let (s, pool, w, cfg) = synth_setup();
+        let prof = profile_workload(&w, &s, &pool, &cfg, ProfileSource::Estimate);
+        let heap = s.table_by_name("a").unwrap().object;
+        let (gi, g) = prof.group_of(heap).unwrap();
+        assert_eq!(g.objects[0], heap);
+        assert_eq!(gi, 0);
+        assert!(prof.group_of(ObjectId(999)).is_none());
+    }
+
+    #[test]
+    fn test_run_profile_is_reproducible() {
+        let (s, pool, w, cfg) = synth_setup();
+        let a = profile_workload(&w, &s, &pool, &cfg, ProfileSource::TestRun { seed: 5 });
+        let b = profile_workload(&w, &s, &pool, &cfg, ProfileSource::TestRun { seed: 5 });
+        assert_eq!(a, b);
+    }
+}

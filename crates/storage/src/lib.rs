@@ -1,0 +1,77 @@
+//! # dot-storage
+//!
+//! Heterogeneous storage-device model for the DOT reproduction
+//! (*Towards Cost-Effective Storage Provisioning for DBMSs*, VLDB 2011).
+//!
+//! This crate is the bottom layer of the stack. It models everything the
+//! paper's optimizer knows about hardware:
+//!
+//! * the four canonical DBMS I/O patterns — sequential read, random read,
+//!   sequential write, random write ([`IoType`]);
+//! * per-pattern, per-device service times under a given *degree of
+//!   concurrency* ([`IoProfile`]), anchored on the measured constants of the
+//!   paper's Table 1 and interpolated in log-space between the anchors;
+//! * the total-operating-cost price model (purchase cost amortized over the
+//!   device lifetime plus run-time energy, in cents/GB/hour — [`cost`]);
+//! * RAID-0 composition of identical devices behind a controller ([`raid`]);
+//! * the concrete device catalog of the paper — HDD, HDD RAID 0, low-end SSD,
+//!   L-SSD RAID 0, high-end SSD — and the two experimental machines
+//!   ("Box 1" / "Box 2") built from them ([`catalog`]).
+//!
+//! Everything above this crate consumes only [`StorageClass`] values grouped
+//! in a [`StoragePool`]: a price vector, a capacity vector, and a latency
+//! table. That is exactly the paper's interface between hardware and the DOT
+//! optimizer, which is why a simulated device layer preserves the published
+//! trade-off space (see DESIGN.md §2).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use dot_storage::{catalog, IoType};
+//!
+//! let pool = catalog::box2();
+//! let hssd = pool.class_by_name("H-SSD").unwrap();
+//! // Random reads on the high-end SSD are ~146x faster than on the plain HDD.
+//! let hdd = pool.class_by_name("HDD").unwrap();
+//! let speedup = hdd.profile.latency_ms(IoType::RandRead, 1)
+//!     / hssd.profile.latency_ms(IoType::RandRead, 1);
+//! assert!(speedup > 100.0);
+//! // ...but each byte stored on it costs ~487x more per hour.
+//! assert!(hssd.price_cents_per_gb_hour / hdd.price_cents_per_gb_hour > 400.0);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod catalog;
+pub mod cost;
+pub mod device;
+pub mod io;
+pub mod pool;
+pub mod profile;
+pub mod raid;
+
+pub use device::{ClassId, DeviceKind, DeviceSpec, StorageClass};
+pub use io::{IoCounts, IoType, IO_TYPES};
+pub use pool::StoragePool;
+pub use profile::IoProfile;
+
+/// Errors produced by the storage layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StorageError {
+    /// A storage class id was not present in the pool.
+    UnknownClass(ClassId),
+    /// A device parameter was out of its physical domain (e.g. zero capacity).
+    InvalidSpec(String),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::UnknownClass(id) => write!(f, "unknown storage class {id:?}"),
+            StorageError::InvalidSpec(msg) => write!(f, "invalid device spec: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}

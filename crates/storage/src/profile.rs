@@ -1,0 +1,184 @@
+//! Per-device I/O service-time profiles under varying degrees of concurrency.
+//!
+//! The paper benchmarks each storage class *from inside the DBMS* (§3.5.1)
+//! and reports, for every pattern, the effective time of one I/O operation at
+//! a degree of concurrency of 1 and of 300 (Table 1). DOT then uses the
+//! concurrency level appropriate to the workload (1 for the DSS runs, 300 for
+//! TPC-C). We keep the same two anchors per device and interpolate between
+//! them in log(concurrency) space, which matches the empirically sub-linear
+//! way queueing effects build up in the published numbers.
+
+use crate::io::{IoCounts, IoType};
+use serde::{Deserialize, Serialize};
+
+/// Concurrency anchor used by the paper's low-concurrency measurements.
+pub const CONCURRENCY_LOW: u32 = 1;
+/// Concurrency anchor used by the paper's OLTP measurements.
+pub const CONCURRENCY_HIGH: u32 = 300;
+
+/// Effective service times (ms per I/O operation) for the four patterns at
+/// the two measured concurrency anchors.
+///
+/// `at_c1[i]` / `at_c300[i]` are indexed by [`IoType::index`]. Read patterns
+/// are per page; write patterns are per row, exactly as in Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IoProfile {
+    /// ms per operation with a single DBMS thread.
+    pub at_c1: [f64; 4],
+    /// ms per operation with 300 concurrent DBMS threads.
+    pub at_c300: [f64; 4],
+}
+
+impl IoProfile {
+    /// Build a profile from `(SR, RR, SW, RW)` tuples at the two anchors.
+    pub fn from_anchors(at_c1: [f64; 4], at_c300: [f64; 4]) -> Self {
+        IoProfile { at_c1, at_c300 }
+    }
+
+    /// A profile whose service time is identical at both anchors (no
+    /// concurrency sensitivity). Useful for synthetic devices and tests.
+    pub fn flat(latencies: [f64; 4]) -> Self {
+        IoProfile {
+            at_c1: latencies,
+            at_c300: latencies,
+        }
+    }
+
+    /// Effective time of one I/O of type `io` (ms) at the given degree of
+    /// concurrency.
+    ///
+    /// Between the anchors we interpolate linearly in `ln(concurrency)`; the
+    /// anchors themselves are returned exactly, and levels outside `[1, 300]`
+    /// clamp to the nearest anchor. Log-space interpolation keeps the model
+    /// monotone between the anchors and avoids over-penalising moderate
+    /// concurrency, consistent with the measured behaviour (some devices get
+    /// *faster* per-request at high concurrency thanks to request overlap —
+    /// e.g. the HDD's random reads — and some get slower, e.g. the L-SSD's
+    /// random writes; both directions are preserved).
+    pub fn latency_ms(&self, io: IoType, concurrency: u32) -> f64 {
+        let i = io.index();
+        let lo = self.at_c1[i];
+        let hi = self.at_c300[i];
+        if concurrency <= CONCURRENCY_LOW {
+            return lo;
+        }
+        if concurrency >= CONCURRENCY_HIGH {
+            return hi;
+        }
+        let t = (concurrency as f64).ln() / (CONCURRENCY_HIGH as f64).ln();
+        lo + (hi - lo) * t
+    }
+
+    /// Total service time (ms) of an [`IoCounts`] vector at the given
+    /// concurrency: `Σ_r χ_r · τ_r(c)` — the paper's I/O time share (Eq. 1)
+    /// restricted to a single device.
+    pub fn service_time_ms(&self, counts: &IoCounts, concurrency: u32) -> f64 {
+        counts
+            .iter()
+            .map(|(io, n)| n * self.latency_ms(io, concurrency))
+            .sum()
+    }
+
+    /// Ratio of random-read to sequential-read latency — the "random access
+    /// penalty" that drives seq-scan vs index-scan plan choices.
+    pub fn random_read_penalty(&self, concurrency: u32) -> f64 {
+        self.latency_ms(IoType::RandRead, concurrency)
+            / self.latency_ms(IoType::SeqRead, concurrency)
+    }
+
+    /// Validate physical plausibility: every latency strictly positive.
+    pub fn validate(&self) -> Result<(), crate::StorageError> {
+        for (anchor, name) in [(&self.at_c1, "c=1"), (&self.at_c300, "c=300")] {
+            for (i, &v) in anchor.iter().enumerate() {
+                if v <= 0.0 || !v.is_finite() {
+                    return Err(crate::StorageError::InvalidSpec(format!(
+                        "latency[{i}] at {name} must be positive and finite, got {v}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> IoProfile {
+        // Shaped like the paper's HDD column: RR improves under concurrency,
+        // SR and writes degrade.
+        IoProfile::from_anchors([0.072, 13.32, 0.012, 10.15], [0.174, 8.903, 0.039, 8.124])
+    }
+
+    #[test]
+    fn anchors_are_exact() {
+        let p = sample();
+        assert_eq!(p.latency_ms(IoType::SeqRead, 1), 0.072);
+        assert_eq!(p.latency_ms(IoType::SeqRead, 300), 0.174);
+        assert_eq!(p.latency_ms(IoType::RandRead, 300), 8.903);
+    }
+
+    #[test]
+    fn clamps_outside_measured_range() {
+        let p = sample();
+        assert_eq!(p.latency_ms(IoType::RandRead, 0), 13.32);
+        assert_eq!(p.latency_ms(IoType::RandRead, 100_000), 8.903);
+    }
+
+    #[test]
+    fn interpolation_is_monotone_between_anchors() {
+        let p = sample();
+        let mut prev = p.latency_ms(IoType::SeqRead, 1);
+        for c in [2, 5, 10, 30, 100, 200, 299] {
+            let cur = p.latency_ms(IoType::SeqRead, c);
+            assert!(cur >= prev, "SR latency should not decrease with c");
+            prev = cur;
+        }
+        // And the decreasing direction (HDD random reads) is preserved too.
+        let mut prev = p.latency_ms(IoType::RandRead, 1);
+        for c in [2, 5, 10, 30, 100, 200, 299] {
+            let cur = p.latency_ms(IoType::RandRead, c);
+            assert!(cur <= prev, "RR latency should not increase with c");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn interpolation_stays_within_anchor_envelope() {
+        let p = sample();
+        for io in crate::IO_TYPES {
+            let (a, b) = (p.latency_ms(io, 1), p.latency_ms(io, 300));
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            for c in [3, 17, 42, 150, 250] {
+                let v = p.latency_ms(io, c);
+                assert!(v >= lo && v <= hi, "{io} at c={c}: {v} outside [{lo},{hi}]");
+            }
+        }
+    }
+
+    #[test]
+    fn service_time_accumulates_linearly() {
+        let p = IoProfile::flat([1.0, 10.0, 2.0, 20.0]);
+        let counts = IoCounts::new(100.0, 10.0, 50.0, 5.0);
+        let t = p.service_time_ms(&counts, 1);
+        assert!((t - (100.0 + 100.0 + 100.0 + 100.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_read_penalty_matches_ratio() {
+        let p = sample();
+        let pen = p.random_read_penalty(1);
+        assert!((pen - 13.32 / 0.072).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_rejects_nonpositive_latency() {
+        let mut p = sample();
+        p.at_c1[2] = 0.0;
+        assert!(p.validate().is_err());
+        p.at_c1[2] = f64::NAN;
+        assert!(p.validate().is_err());
+        assert!(sample().validate().is_ok());
+    }
+}

@@ -1,0 +1,90 @@
+//! Serialization round-trips and catalog consistency checks.
+
+use dot_storage::cost::CostModel;
+use dot_storage::raid::{raid0, Raid0Scaling, RaidController};
+use dot_storage::{catalog, IoType, StoragePool};
+
+#[test]
+fn pools_roundtrip_through_json() {
+    for pool in [catalog::box1(), catalog::box2(), catalog::full_pool()] {
+        let json = serde_json::to_string(&pool).expect("serialize");
+        let back: StoragePool = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(pool, back);
+    }
+}
+
+#[test]
+fn profiles_roundtrip_preserving_latencies() {
+    let p = catalog::hssd_profile();
+    let json = serde_json::to_string(&p).unwrap();
+    let back: dot_storage::IoProfile = serde_json::from_str(&json).unwrap();
+    for io in dot_storage::IO_TYPES {
+        for c in [1, 37, 300] {
+            assert_eq!(p.latency_ms(io, c), back.latency_ms(io, c));
+        }
+    }
+}
+
+#[test]
+fn synthetic_raid_widths_scale_sensibly() {
+    // Sequential bandwidth grows with stripe width; price per GB-hour falls
+    // (the controller amortizes over more capacity).
+    let model = CostModel::PAPER;
+    let widths = [2usize, 4, 8];
+    let mut last_sr = f64::INFINITY;
+    let mut last_price = f64::INFINITY;
+    for n in widths {
+        let class = raid0(
+            &format!("HDD RAID 0 x{n}"),
+            &catalog::hdd_spec(),
+            &catalog::hdd_profile(),
+            n,
+            RaidController::PAPER,
+            Raid0Scaling::CALIBRATED,
+            &model,
+        );
+        class.validate().unwrap();
+        let sr = class.profile.latency_ms(IoType::SeqRead, 1);
+        assert!(sr < last_sr, "x{n}: SR {sr} did not improve");
+        assert!(
+            class.price_cents_per_gb_hour < last_price,
+            "x{n}: price did not fall"
+        );
+        last_sr = sr;
+        last_price = class.price_cents_per_gb_hour;
+    }
+}
+
+#[test]
+fn full_pool_orders_match_catalog_constants() {
+    let pool = catalog::full_pool();
+    assert_eq!(pool.len(), 5);
+    for (class, &published) in pool.classes().iter().zip(catalog::PUBLISHED_PRICES.iter()) {
+        assert_eq!(class.price_cents_per_gb_hour, published);
+    }
+}
+
+#[test]
+fn price_and_capacity_edits_are_local() {
+    let mut pool = catalog::box2();
+    let before: Vec<f64> = pool.price_vector();
+    assert!(pool.set_price("HDD", 1.0));
+    let after = pool.price_vector();
+    // Only the HDD entry changed.
+    let changed: Vec<usize> = before
+        .iter()
+        .zip(&after)
+        .enumerate()
+        .filter(|(_, (a, b))| a != b)
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(changed.len(), 1);
+    assert_eq!(pool.class_by_name("HDD").unwrap().price_cents_per_gb_hour, 1.0);
+}
+
+#[test]
+#[should_panic(expected = "price must be positive")]
+fn nonpositive_price_rejected() {
+    let mut pool = catalog::box2();
+    pool.set_price("HDD", 0.0);
+}

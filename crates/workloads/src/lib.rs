@@ -1,0 +1,38 @@
+//! # dot-workloads
+//!
+//! Workload models for the DOT reproduction: the TPC-H-derived DSS workloads
+//! and the TPC-C-derived OLTP workload used throughout the paper's
+//! evaluation (§4), plus the SLA machinery of §2.4/§4.3.
+//!
+//! The paper consumes workloads purely through the planner: a workload is a
+//! set of concurrent query streams whose per-query I/O behaviour over
+//! database objects drives both TOC estimation and SLA checking. These
+//! modules therefore describe queries *declaratively* (join structure,
+//! predicate selectivities, DML row counts) and leave physical decisions to
+//! `dot-dbms`'s storage-aware planner:
+//!
+//! * [`spec`] — [`spec::Workload`] (streams × queries, concurrency,
+//!   performance metric) and [`spec::SlaSpec`] (the *relative SLA* of §4.3:
+//!   performance may degrade at most `1/ratio` versus the all-H-SSD layout);
+//! * [`tpch`] — schema and all 22 original query templates at any scale
+//!   factor, the paper's three DSS workloads (original 66-query, modified
+//!   100-query with the high-selectivity Q2/5/9/11/17 variants of Canim et
+//!   al., and the 11-template subset used for the exhaustive-search
+//!   comparison, §4.4.3) plus the 8-object subset schema;
+//! * [`tpcc`] — TPC-C schema at any warehouse count with the standard five
+//!   transactions and 45/43/4/4/4 mix, matching the paper's DBT-2 setup
+//!   (300 connections, §4.5);
+//! * [`ycsb`] — YCSB-style key-value mixes (not from the paper; the cloud
+//!   workload its introduction motivates);
+//! * [`synth`] — small synthetic workloads for tests and benchmarks.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod spec;
+pub mod synth;
+pub mod tpcc;
+pub mod ycsb;
+pub mod tpch;
+
+pub use spec::{PerfMetric, SlaSpec, Workload};

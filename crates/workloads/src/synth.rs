@@ -1,0 +1,116 @@
+//! Synthetic micro-workloads for tests, benchmarks, and the device
+//! calibration harness (Table 1's SR/RR/SW/RW microbenchmarks, §3.5.1).
+
+use crate::spec::Workload;
+use dot_dbms::query::{InsertOp, Op, QuerySpec, ReadOp, Rel, ScanSpec, UpdateOp};
+use dot_dbms::{Schema, SchemaBuilder};
+
+/// A single-table schema sized to `rows` rows of `row_bytes` bytes, with a
+/// primary index — the paper's per-thread benchmark table `A_i` (§3.5.1).
+pub fn bench_schema(rows: f64, row_bytes: f64) -> Schema {
+    SchemaBuilder::new("synth")
+        .table("a", rows, row_bytes)
+        .primary_index(8.0)
+        .build()
+}
+
+/// `select count(*) from A` — pure sequential read.
+pub fn seq_read_query(s: &Schema) -> QuerySpec {
+    let t = s.table_by_name("a").expect("synth schema").id;
+    QuerySpec::read("SR", ReadOp::of(Rel::Scan(ScanSpec::full(t))))
+}
+
+/// `select count(*) from A where id = ?` repeated `probes` times — pure
+/// random read through the primary index.
+pub fn rand_read_query(s: &Schema, probes: f64) -> QuerySpec {
+    let t = s.table_by_name("a").expect("synth schema");
+    let pk = s.index_by_name("a_pkey").expect("synth schema").id;
+    let sel = (probes / t.rows).min(1.0);
+    QuerySpec::read(
+        "RR",
+        ReadOp::of(Rel::Scan(ScanSpec {
+            table: t.id,
+            selectivity: sel,
+            index: Some(pk),
+            index_selectivity: sel,
+        })),
+    )
+}
+
+/// `insert into A ...` of `rows` rows — sequential write.
+pub fn seq_write_query(s: &Schema, rows: f64) -> QuerySpec {
+    let t = s.table_by_name("a").expect("synth schema").id;
+    QuerySpec::transaction(
+        "SW",
+        vec![Op::Insert(InsertOp {
+            table: t,
+            rows,
+            sequential_keys: true,
+        })],
+    )
+}
+
+/// `update A set a = ? where id = ?` of `rows` rows — random read + random
+/// write, exactly the paper's RW calibration shape.
+pub fn rand_write_query(s: &Schema, rows: f64) -> QuerySpec {
+    let t = s.table_by_name("a").expect("synth schema").id;
+    let pk = s.index_by_name("a_pkey").expect("synth schema").id;
+    QuerySpec::transaction(
+        "RW",
+        vec![Op::Update(UpdateOp {
+            table: t,
+            rows,
+            via: Some(pk),
+            updates_indexed_key: false,
+        })],
+    )
+}
+
+/// A balanced mixed workload touching all four patterns.
+pub fn mixed_workload(s: &Schema) -> Workload {
+    Workload::dss(
+        "synth-mixed",
+        vec![
+            seq_read_query(s),
+            rand_read_query(s, 1000.0),
+            seq_write_query(s, 1000.0),
+            rand_write_query(s, 1000.0),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dot_dbms::{exec, EngineConfig, Layout};
+    use dot_storage::{catalog, IoType};
+
+    #[test]
+    fn queries_produce_their_nominal_patterns() {
+        let s = bench_schema(1_000_000.0, 120.0);
+        let pool = catalog::box2();
+        let hssd = pool.class_by_name("H-SSD").unwrap().id;
+        let layout = Layout::uniform(hssd, s.object_count());
+        let cfg = EngineConfig::dss();
+
+        let sr = exec::estimate_workload(&[seq_read_query(&s)], &s, &layout, &pool, &cfg);
+        assert!(sr.cost.total_io()[IoType::SeqRead] > 0.0);
+        assert_eq!(sr.cost.total_io()[IoType::RandWrite], 0.0);
+
+        let rr = exec::estimate_workload(&[rand_read_query(&s, 100.0)], &s, &layout, &pool, &cfg);
+        assert!(rr.cost.total_io()[IoType::RandRead] > 0.0);
+
+        let sw = exec::estimate_workload(&[seq_write_query(&s, 10.0)], &s, &layout, &pool, &cfg);
+        assert!(sw.cost.total_io()[IoType::SeqWrite] >= 10.0);
+
+        let rw = exec::estimate_workload(&[rand_write_query(&s, 10.0)], &s, &layout, &pool, &cfg);
+        assert!(rw.cost.total_io()[IoType::RandWrite] >= 10.0);
+        assert!(rw.cost.total_io()[IoType::RandRead] >= 10.0);
+    }
+
+    #[test]
+    fn mixed_workload_validates() {
+        let s = bench_schema(100_000.0, 100.0);
+        mixed_workload(&s).validate(&s).unwrap();
+    }
+}

@@ -1,0 +1,691 @@
+//! TPC-H-derived DSS workloads (§4.4 of the paper).
+//!
+//! The paper runs three DSS workloads against a 30 GB scale-factor-20
+//! database whose tables were randomly reshuffled (so heaps are *not*
+//! clustered on their primary keys):
+//!
+//! * the **original** workload — 66 queries, three instances of each of the
+//!   22 TPC-H templates, sequentially executed, dominated by sequential-read
+//!   I/O (§4.4.1);
+//! * the **modified** workload — 100 queries from the five high-selectivity
+//!   variants of Q2/Q5/Q9/Q11/Q17 introduced by Canim et al. to emulate an
+//!   operational data store; extra key-range predicates make index paths
+//!   attractive, producing mixed random/sequential I/O (§4.4.2);
+//! * the **subset** workload — 33 queries from 11 templates touching only
+//!   `lineitem`, `orders`, `customer`, `part` and their primary indices
+//!   (8 objects), small enough for exhaustive search (§4.4.3).
+//!
+//! Templates are declarative [`QuerySpec`]s capturing each query's
+//! planner-visible structure: which tables it reads, with what selectivity,
+//! through which join graph, and which indices could serve predicates. Only
+//! primary-key indices exist, matching the paper's figures (every index in
+//! Fig. 4/6 is a `*_pkey`).
+
+use crate::spec::Workload;
+use dot_dbms::query::{QuerySpec, ReadOp, Rel, ScanSpec};
+use dot_dbms::{IndexId, Schema, SchemaBuilder, TableId};
+
+/// TPC-H table cardinalities per unit scale factor.
+const ROWS_PER_SF: [(&str, f64, f64, f64); 8] = [
+    // (name, rows per SF, payload bytes/row, pkey bytes)
+    ("region", 5.0, 120.0, 4.0),
+    ("nation", 25.0, 128.0, 4.0),
+    ("supplier", 10_000.0, 140.0, 8.0),
+    ("customer", 150_000.0, 160.0, 8.0),
+    ("part", 200_000.0, 155.0, 8.0),
+    ("partsupp", 800_000.0, 147.0, 12.0),
+    ("orders", 1_500_000.0, 114.0, 8.0),
+    ("lineitem", 6_000_000.0, 126.0, 12.0),
+];
+
+/// The fixed-cardinality tables (region, nation) do not scale with SF.
+fn rows_at(name: &str, per_sf: f64, sf: f64) -> f64 {
+    match name {
+        "region" | "nation" => per_sf,
+        _ => per_sf * sf,
+    }
+}
+
+/// Build the full 16-object TPC-H schema (8 tables + 8 primary indices) at
+/// the given scale factor. The paper's experiments use `sf = 20` (~30 GB
+/// with indices). Heaps are unclustered (the paper reshuffles them), and no
+/// temp object is declared: like the paper, spill space lives outside the
+/// provisioned classes.
+pub fn schema(scale_factor: f64) -> Schema {
+    assert!(scale_factor > 0.0);
+    let mut b = SchemaBuilder::new("tpch").clustered_by_default(false);
+    for &(name, per_sf, bytes, key) in &ROWS_PER_SF {
+        b = b
+            .table(name, rows_at(name, per_sf, scale_factor), bytes)
+            .primary_index(key);
+    }
+    b.build()
+}
+
+/// The 8-object subset schema of §4.4.3: `lineitem`, `orders`, `customer`,
+/// `part` and their primary indices, at the given scale factor.
+pub fn subset_schema(scale_factor: f64) -> Schema {
+    assert!(scale_factor > 0.0);
+    let mut b = SchemaBuilder::new("tpch-subset").clustered_by_default(false);
+    for &(name, per_sf, bytes, key) in &ROWS_PER_SF {
+        if matches!(name, "lineitem" | "orders" | "customer" | "part") {
+            b = b
+                .table(name, rows_at(name, per_sf, scale_factor), bytes)
+                .primary_index(key);
+        }
+    }
+    b.build()
+}
+
+/// Resolved handles into a TPC-H(-subset) schema.
+struct T {
+    lineitem: TableId,
+    orders: TableId,
+    customer: TableId,
+    part: TableId,
+    partsupp: Option<TableId>,
+    supplier: Option<TableId>,
+    l_pk: IndexId,
+    o_pk: IndexId,
+    c_pk: IndexId,
+    p_pk: IndexId,
+    ps_pk: Option<IndexId>,
+    s_pk: Option<IndexId>,
+    l_rows: f64,
+    o_rows: f64,
+}
+
+impl T {
+    fn resolve(s: &Schema) -> T {
+        let t = |n: &str| s.table_by_name(n).map(|t| t.id);
+        let i = |n: &str| s.index_by_name(n).map(|i| i.id);
+        T {
+            lineitem: t("lineitem").expect("tpch schema"),
+            orders: t("orders").expect("tpch schema"),
+            customer: t("customer").expect("tpch schema"),
+            part: t("part").expect("tpch schema"),
+            partsupp: t("partsupp"),
+            supplier: t("supplier"),
+            l_pk: i("lineitem_pkey").expect("tpch schema"),
+            o_pk: i("orders_pkey").expect("tpch schema"),
+            c_pk: i("customer_pkey").expect("tpch schema"),
+            p_pk: i("part_pkey").expect("tpch schema"),
+            ps_pk: i("partsupp_pkey"),
+            s_pk: i("supplier_pkey"),
+            l_rows: s.table_by_name("lineitem").expect("tpch schema").rows,
+            o_rows: s.table_by_name("orders").expect("tpch schema").rows,
+        }
+    }
+}
+
+fn read(name: &str, rel: Rel, agg_rows: f64, sort_rows: f64) -> QuerySpec {
+    QuerySpec::read(
+        name,
+        ReadOp::of(rel).with_agg(agg_rows).with_sort(sort_rows, 64.0),
+    )
+}
+
+/// Build TPC-H template `n` (1–22) against `schema`. Returns `None` when the
+/// template references tables absent from a subset schema.
+///
+/// Selectivities follow the TPC-H specification's predicate definitions
+/// (e.g. Q6 filters ~1.9% of `lineitem`, Q1 ~97%); join fan-outs follow the
+/// schema's fixed ratios (4 lineitems/order, 10 orders/customer, 4
+/// partsupps/part).
+pub fn query(s: &Schema, n: usize) -> Option<QuerySpec> {
+    let t = T::resolve(s);
+    let scan = ScanSpec::filtered;
+    let full = ScanSpec::full;
+    let q = match n {
+        // Q1: pricing summary — one big scan, heavy aggregation.
+        1 => read(
+            "Q1",
+            Rel::Scan(scan(t.lineitem, 0.97)),
+            t.l_rows * 0.97,
+            4.0,
+        ),
+        // Q2: minimum-cost supplier — selective part filter, then
+        // index-reachable partsupp and supplier lookups.
+        2 => {
+            let rel = Rel::join(
+                Rel::join(
+                    Rel::Scan(scan(t.part, 0.004)),
+                    full(t.partsupp?),
+                    4.0,
+                    t.ps_pk,
+                ),
+                full(t.supplier?),
+                1.0,
+                t.s_pk,
+            );
+            read("Q2", rel, 0.0, 100.0)
+        }
+        // Q3: shipping priority — customer/orders hash join (no custkey
+        // index), lineitem reachable through its pkey prefix.
+        3 => {
+            let rel = Rel::join(
+                Rel::join(
+                    Rel::Scan(scan(t.customer, 0.2)),
+                    scan(t.orders, 0.48),
+                    4.8,
+                    None,
+                ),
+                full(t.lineitem),
+                2.1,
+                Some(t.l_pk),
+            );
+            read("Q3", rel, t.o_rows * 0.96, 10.0)
+        }
+        // Q4: order priority checking — quarter of orders, EXISTS lineitem.
+        4 => {
+            let rel = Rel::join(
+                Rel::Scan(scan(t.orders, 0.038)),
+                full(t.lineitem),
+                1.0,
+                Some(t.l_pk),
+            );
+            read("Q4", rel, t.o_rows * 0.038, 5.0)
+        }
+        // Q5: local supplier volume — year of orders through the join chain.
+        5 => {
+            let rel = Rel::join(
+                Rel::join(
+                    Rel::join(
+                        Rel::Scan(scan(t.orders, 0.15)),
+                        full(t.lineitem),
+                        4.0,
+                        Some(t.l_pk),
+                    ),
+                    full(t.customer),
+                    1.0,
+                    Some(t.c_pk),
+                ),
+                full(t.supplier?),
+                0.2,
+                t.s_pk,
+            );
+            read("Q5", rel, t.o_rows * 0.15 * 4.0 * 0.2, 5.0)
+        }
+        // Q6: forecasting revenue change — the classic selective scan.
+        6 => read("Q6", Rel::Scan(scan(t.lineitem, 0.019)), t.l_rows * 0.019, 0.0),
+        // Q7: volume shipping — two years of lineitem through orders and
+        // customer, nation-pair filter.
+        7 => {
+            let rel = Rel::join(
+                Rel::join(
+                    Rel::Scan(scan(t.lineitem, 0.3)),
+                    full(t.orders),
+                    1.0,
+                    Some(t.o_pk),
+                ),
+                full(t.customer),
+                0.04,
+                Some(t.c_pk),
+            );
+            let _ = t.supplier?; // Q7 references supplier; absent in subset.
+            read("Q7", rel, t.l_rows * 0.3 * 0.04, 4.0)
+        }
+        // Q8: national market share — rare part type through lineitem.
+        8 => {
+            let rel = Rel::join(
+                Rel::join(
+                    Rel::join(
+                        Rel::Scan(scan(t.part, 0.0015)),
+                        full(t.lineitem),
+                        30.0,
+                        None,
+                    ),
+                    full(t.orders),
+                    0.3,
+                    Some(t.o_pk),
+                ),
+                full(t.customer),
+                0.2,
+                Some(t.c_pk),
+            );
+            let _ = t.supplier?;
+            read("Q8", rel, t.l_rows * 0.0015 * 9.0, 2.0)
+        }
+        // Q9: product type profit — part name LIKE, full join fan.
+        9 => {
+            let rel = Rel::join(
+                Rel::join(
+                    Rel::join(
+                        Rel::Scan(scan(t.part, 0.055)),
+                        full(t.lineitem),
+                        30.0,
+                        None,
+                    ),
+                    full(t.partsupp?),
+                    1.0,
+                    t.ps_pk,
+                ),
+                full(t.orders),
+                1.0,
+                Some(t.o_pk),
+            );
+            read("Q9", rel, t.l_rows * 0.055 * 30.0 / 30.0, 175.0)
+        }
+        // Q10: returned items — quarter of orders, returned lineitems.
+        10 => {
+            let rel = Rel::join(
+                Rel::join(
+                    Rel::Scan(scan(t.orders, 0.038)),
+                    full(t.lineitem),
+                    1.0,
+                    Some(t.l_pk),
+                ),
+                full(t.customer),
+                1.0,
+                Some(t.c_pk),
+            );
+            read("Q10", rel, t.o_rows * 0.038, 20.0)
+        }
+        // Q11: important stock — full partsupp with supplier-nation filter.
+        11 => {
+            let rel = Rel::join(
+                Rel::Scan(full(t.partsupp?)),
+                full(t.supplier?),
+                0.04,
+                t.s_pk,
+            );
+            read("Q11", rel, 0.0, 30_000.0)
+        }
+        // Q12: shipping modes — rare shipmode pair, orders by pkey.
+        12 => {
+            let rel = Rel::join(
+                Rel::Scan(scan(t.lineitem, 0.0052)),
+                full(t.orders),
+                1.0,
+                Some(t.o_pk),
+            );
+            read("Q12", rel, t.l_rows * 0.0052, 2.0)
+        }
+        // Q13: customer distribution — big customer/orders hash join.
+        13 => {
+            let rel = Rel::join(
+                Rel::Scan(full(t.customer)),
+                scan(t.orders, 0.98),
+                9.8,
+                None,
+            );
+            read("Q13", rel, t.o_rows * 0.98, 50.0)
+        }
+        // Q14: promotion effect — month of lineitem, part lookups.
+        14 => {
+            let rel = Rel::join(
+                Rel::Scan(scan(t.lineitem, 0.0124)),
+                full(t.part),
+                1.0,
+                Some(t.p_pk),
+            );
+            read("Q14", rel, t.l_rows * 0.0124, 0.0)
+        }
+        // Q15: top supplier — quarter of lineitem, supplier lookups.
+        15 => {
+            let rel = Rel::join(
+                Rel::Scan(scan(t.lineitem, 0.038)),
+                full(t.supplier?),
+                1.0,
+                t.s_pk,
+            );
+            read("Q15", rel, t.l_rows * 0.038, 1.0)
+        }
+        // Q16: parts/supplier relationship — full partsupp with part filter.
+        16 => {
+            let rel = Rel::join(
+                Rel::Scan(full(t.partsupp?)),
+                full(t.part),
+                0.11,
+                Some(t.p_pk),
+            );
+            read("Q16", rel, 0.0, 18_000.0)
+        }
+        // Q17: small-quantity-order revenue — rare part, lineitem hash join
+        // (no partkey index) plus the correlated aggregate re-read.
+        17 => {
+            let rel = Rel::join(
+                Rel::Scan(scan(t.part, 0.001)),
+                full(t.lineitem),
+                30.0,
+                None,
+            );
+            read("Q17", rel, t.l_rows * 0.001 * 30.0, 0.0)
+        }
+        // Q18: large-volume customer — full lineitem aggregate feeding rare
+        // order lookups.
+        18 => {
+            let rel = Rel::join(
+                Rel::join(
+                    Rel::Scan(full(t.lineitem)),
+                    full(t.orders),
+                    1e-5,
+                    Some(t.o_pk),
+                ),
+                full(t.customer),
+                1.0,
+                Some(t.c_pk),
+            );
+            read("Q18", rel, t.l_rows, 100.0)
+        }
+        // Q19: discounted revenue — brand/container/quantity disjunction.
+        19 => {
+            let rel = Rel::join(
+                Rel::Scan(scan(t.lineitem, 0.002)),
+                full(t.part),
+                0.2,
+                Some(t.p_pk),
+            );
+            read("Q19", rel, t.l_rows * 0.002 * 0.2, 0.0)
+        }
+        // Q20: potential part promotion.
+        20 => {
+            let rel = Rel::join(
+                Rel::join(
+                    Rel::Scan(scan(t.part, 0.011)),
+                    full(t.partsupp?),
+                    4.0,
+                    t.ps_pk,
+                ),
+                full(t.supplier?),
+                1.0,
+                t.s_pk,
+            );
+            read("Q20", rel, 0.0, 1_800.0)
+        }
+        // Q21: suppliers who kept orders waiting — nation's suppliers
+        // through lineitem (hash) and orders (pkey).
+        21 => {
+            let rel = Rel::join(
+                Rel::join(
+                    Rel::Scan(scan(t.supplier?, 0.04)),
+                    full(t.lineitem),
+                    300.0,
+                    None,
+                ),
+                full(t.orders),
+                0.49,
+                Some(t.o_pk),
+            );
+            read("Q21", rel, t.l_rows * 0.04 * 0.5, 100.0)
+        }
+        // Q22: global sales opportunity — customer anti-join against orders.
+        22 => {
+            let rel = Rel::join(
+                Rel::Scan(scan(t.customer, 0.25)),
+                full(t.orders),
+                0.1,
+                None,
+            );
+            read("Q22", rel, 0.0, 7.0)
+        }
+        _ => return None,
+    };
+    Some(q)
+}
+
+/// Templates of the modified (operational-data-store) workload: Q2, Q5, Q9,
+/// Q11 and Q17 with added key-range predicates on `partkey`, `orderkey`
+/// and/or `suppkey` (§4.4.2, after Canim et al.). The added predicates are
+/// servable by the primary-key indices, so the planner can trade sequential
+/// scans for random-read index paths when placement makes those cheap.
+pub fn modified_query(s: &Schema, n: usize) -> Option<QuerySpec> {
+    let t = T::resolve(s);
+    let q = match n {
+        2 => {
+            // Tight partkey range: a handful of parts, then pkey lookups.
+            let rel = Rel::join(
+                Rel::join(
+                    Rel::Scan(ScanSpec::indexed(t.part, 2e-5, t.p_pk)),
+                    ScanSpec::full(t.partsupp?),
+                    4.0,
+                    t.ps_pk,
+                ),
+                ScanSpec::full(t.supplier?),
+                1.0,
+                t.s_pk,
+            );
+            read("MQ2", rel, 0.0, 100.0)
+        }
+        5 => {
+            // Orderkey range on orders: a slice of orders drives lookups
+            // into lineitem, then customer and supplier. On premium storage
+            // the planner probes; on bulk storage it flips the lineitem leg
+            // to a hash join.
+            let rel = Rel::join(
+                Rel::join(
+                    Rel::join(
+                        Rel::Scan(ScanSpec {
+                            table: t.orders,
+                            selectivity: 3.5e-3,
+                            index: Some(t.o_pk),
+                            index_selectivity: 9e-3,
+                        }),
+                        ScanSpec::full(t.lineitem),
+                        4.0,
+                        Some(t.l_pk),
+                    ),
+                    ScanSpec::full(t.customer),
+                    1.0,
+                    Some(t.c_pk),
+                ),
+                ScanSpec::full(t.supplier?),
+                0.2,
+                t.s_pk,
+            );
+            read("MQ5", rel, 1_000.0, 5.0)
+        }
+        9 => {
+            // Partkey range plus the name filter, joined through lineitem
+            // (no partkey index: a hash join with a bulk scan) and into
+            // partsupp by its primary key — the modified workload's mix of
+            // one big sequential leg and random probe legs.
+            let rel = Rel::join(
+                Rel::join(
+                    Rel::Scan(ScanSpec {
+                        table: t.part,
+                        selectivity: 1.6e-4,
+                        index: Some(t.p_pk),
+                        index_selectivity: 3e-3,
+                    }),
+                    ScanSpec::full(t.lineitem),
+                    30.0,
+                    None,
+                ),
+                ScanSpec::full(t.partsupp?),
+                1.0,
+                t.ps_pk,
+            );
+            read("MQ9", rel, 20_000.0, 175.0)
+        }
+        11 => {
+            // Suppkey range on supplier; partsupp still needs a full scan
+            // (its pkey is partkey-led), keeping some sequential I/O in the
+            // mix.
+            let rel = Rel::join(
+                Rel::Scan(ScanSpec {
+                    table: t.supplier?,
+                    selectivity: 4e-4,
+                    index: t.s_pk,
+                    index_selectivity: 1e-2,
+                }),
+                ScanSpec::full(t.partsupp?),
+                80.0,
+                None,
+            );
+            read("MQ11", rel, 0.0, 100.0)
+        }
+        17 => {
+            // Orderkey range on lineitem plus the rare-part filter.
+            let rel = Rel::join(
+                Rel::Scan(ScanSpec {
+                    table: t.lineitem,
+                    selectivity: 4.5e-3,
+                    index: Some(t.l_pk),
+                    index_selectivity: 4.5e-3,
+                }),
+                ScanSpec::full(t.part),
+                1e-3,
+                Some(t.p_pk),
+            );
+            read("MQ17", rel, t.l_rows * 4.5e-3, 0.0)
+        }
+        _ => return None,
+    };
+    Some(q)
+}
+
+/// The 11 templates of the §4.4.3 exhaustive-search subset.
+pub const SUBSET_TEMPLATES: [usize; 11] = [1, 3, 4, 6, 12, 13, 14, 17, 18, 19, 22];
+
+/// The original TPC-H workload: 22 templates, three instances each
+/// (66 queries), executed sequentially (§4.4.1).
+pub fn original_workload(schema: &Schema) -> Workload {
+    let queries: Vec<QuerySpec> = (1..=22)
+        .map(|n| query(schema, n).expect("full schema has all templates").with_weight(3.0))
+        .collect();
+    Workload::dss("tpch-original", queries)
+}
+
+/// The modified TPC-H workload: Q2/5/9/11/17 variants, twenty instances each
+/// (100 queries, §4.4.2).
+pub fn modified_workload(schema: &Schema) -> Workload {
+    let queries: Vec<QuerySpec> = [2usize, 5, 9, 11, 17]
+        .iter()
+        .map(|&n| {
+            modified_query(schema, n)
+                .expect("full schema has all modified templates")
+                .with_weight(20.0)
+        })
+        .collect();
+    Workload::dss("tpch-modified", queries)
+}
+
+/// The subset workload: 11 templates over the 8-object schema, three
+/// instances each (33 queries, §4.4.3).
+pub fn subset_workload(schema: &Schema) -> Workload {
+    let queries: Vec<QuerySpec> = SUBSET_TEMPLATES
+        .iter()
+        .map(|&n| {
+            query(schema, n)
+                .expect("subset templates avoid missing tables")
+                .with_weight(3.0)
+        })
+        .collect();
+    Workload::dss("tpch-subset", queries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_matches_paper_shape() {
+        let s = schema(20.0);
+        assert_eq!(s.tables().len(), 8);
+        assert_eq!(s.indexes().len(), 8);
+        // §4.4.3: "the whole TPC-H data set (that contains 16 objects)".
+        assert_eq!(s.object_count(), 16);
+        // ~30 GB database at SF 20 (±25%).
+        let gb = s.total_size_gb();
+        assert!(gb > 24.0 && gb < 40.0, "total {gb} GB");
+        let li = s.table_by_name("lineitem").unwrap();
+        assert_eq!(li.rows, 120_000_000.0);
+        assert!(!li.clustered);
+    }
+
+    #[test]
+    fn subset_schema_has_eight_objects() {
+        let s = subset_schema(20.0);
+        assert_eq!(s.object_count(), 8);
+        for name in ["lineitem", "orders", "customer", "part"] {
+            assert!(s.table_by_name(name).is_some(), "{name} missing");
+        }
+        assert!(s.table_by_name("supplier").is_none());
+    }
+
+    #[test]
+    fn all_22_templates_build_on_full_schema() {
+        let s = schema(1.0);
+        for n in 1..=22 {
+            let q = query(&s, n).unwrap_or_else(|| panic!("Q{n} missing"));
+            q.validate().unwrap_or_else(|e| panic!("Q{n}: {e}"));
+        }
+        assert!(query(&s, 0).is_none());
+        assert!(query(&s, 23).is_none());
+    }
+
+    #[test]
+    fn subset_templates_build_on_subset_schema() {
+        let s = subset_schema(1.0);
+        for &n in &SUBSET_TEMPLATES {
+            let q = query(&s, n).unwrap_or_else(|| panic!("Q{n} missing on subset"));
+            q.validate().unwrap_or_else(|e| panic!("Q{n}: {e}"));
+        }
+        // A template needing supplier must gracefully return None.
+        assert!(query(&s, 2).is_none());
+        assert!(query(&s, 11).is_none());
+    }
+
+    #[test]
+    fn modified_templates_build_and_are_selective() {
+        let s = schema(20.0);
+        for &n in &[2usize, 5, 9, 11, 17] {
+            let q = modified_query(&s, n).unwrap_or_else(|| panic!("MQ{n} missing"));
+            q.validate().unwrap_or_else(|e| panic!("MQ{n}: {e}"));
+        }
+        assert!(modified_query(&s, 3).is_none());
+    }
+
+    #[test]
+    fn workload_shapes_match_paper() {
+        let s = schema(20.0);
+        let orig = original_workload(&s);
+        assert_eq!(orig.queries.len(), 22);
+        assert_eq!(orig.queries_per_stream(), 66.0);
+        let modi = modified_workload(&s);
+        assert_eq!(modi.queries.len(), 5);
+        assert_eq!(modi.queries_per_stream(), 100.0);
+        let sub = subset_workload(&subset_schema(20.0));
+        assert_eq!(sub.queries.len(), 11);
+        assert_eq!(sub.queries_per_stream(), 33.0);
+    }
+
+    #[test]
+    fn original_workload_is_sequential_read_dominated() {
+        use dot_dbms::{exec, EngineConfig, Layout};
+        use dot_storage::{catalog, IoType};
+        let s = schema(20.0);
+        let pool = catalog::box2();
+        let w = original_workload(&s);
+        let layout = Layout::uniform(pool.class_by_name("HDD").unwrap().id, s.object_count());
+        let r = exec::estimate_workload(&w.queries, &s, &layout, &pool, &EngineConfig::dss());
+        let io = r.cost.total_io();
+        assert!(
+            io[IoType::SeqRead] > 5.0 * io[IoType::RandRead],
+            "SR {} vs RR {}",
+            io[IoType::SeqRead],
+            io[IoType::RandRead]
+        );
+    }
+
+    #[test]
+    fn modified_workload_has_mixed_io_on_fast_storage() {
+        use dot_dbms::{exec, EngineConfig, Layout};
+        use dot_storage::{catalog, IoType};
+        let s = schema(20.0);
+        let pool = catalog::box2();
+        let w = modified_workload(&s);
+        let layout = Layout::uniform(pool.class_by_name("H-SSD").unwrap().id, s.object_count());
+        let r = exec::estimate_workload(&w.queries, &s, &layout, &pool, &EngineConfig::dss());
+        let io = r.cost.total_io();
+        // Random reads become a substantial share once placement favours
+        // index paths.
+        assert!(
+            io[IoType::RandRead] > 0.05 * io[IoType::SeqRead],
+            "RR {} vs SR {}",
+            io[IoType::RandRead],
+            io[IoType::SeqRead]
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! YCSB-style synthetic key-value workloads.
+//!
+//! Not part of the paper's evaluation, but the natural "cloud workload"
+//! companion for a provisioning advisor (the paper's introduction motivates
+//! exactly this setting): one large user table accessed by a mix of point
+//! reads, updates, inserts and short scans. The standard workload letters
+//! map onto mixes as in the YCSB paper (Cooper et al., SoCC'10).
+
+use crate::spec::Workload;
+use dot_dbms::query::{InsertOp, Op, QuerySpec, ReadOp, Rel, ScanSpec, UpdateOp};
+use dot_dbms::{Schema, SchemaBuilder};
+use serde::{Deserialize, Serialize};
+
+/// The standard YCSB core workload mixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum YcsbMix {
+    /// Workload A: update heavy — 50% reads, 50% updates.
+    A,
+    /// Workload B: read mostly — 95% reads, 5% updates.
+    B,
+    /// Workload C: read only.
+    C,
+    /// Workload D: read latest — 95% reads, 5% inserts.
+    D,
+    /// Workload E: short ranges — 95% scans, 5% inserts.
+    E,
+    /// Workload F: read-modify-write — 50% reads, 50% RMW.
+    F,
+}
+
+impl YcsbMix {
+    /// `(reads, updates, inserts, scans)` shares out of 100 operations.
+    pub fn shares(self) -> (f64, f64, f64, f64) {
+        match self {
+            YcsbMix::A => (50.0, 50.0, 0.0, 0.0),
+            YcsbMix::B => (95.0, 5.0, 0.0, 0.0),
+            YcsbMix::C => (100.0, 0.0, 0.0, 0.0),
+            YcsbMix::D => (95.0, 0.0, 5.0, 0.0),
+            YcsbMix::E => (0.0, 0.0, 5.0, 95.0),
+            YcsbMix::F => (50.0, 50.0, 0.0, 0.0),
+        }
+    }
+
+    /// Workload letter.
+    pub fn letter(self) -> char {
+        match self {
+            YcsbMix::A => 'A',
+            YcsbMix::B => 'B',
+            YcsbMix::C => 'C',
+            YcsbMix::D => 'D',
+            YcsbMix::E => 'E',
+            YcsbMix::F => 'F',
+        }
+    }
+}
+
+/// Build the single-table YCSB schema: `usertable` with a primary index.
+/// `records` rows of 1 KB payload (the YCSB default: 10 fields x 100 B).
+pub fn schema(records: f64) -> Schema {
+    assert!(records > 0.0);
+    // YCSB keys are inserted in key order, so the heap stays correlated
+    // with the primary index: range scans through the pkey are sequential.
+    SchemaBuilder::new("ycsb")
+        .clustered_by_default(true)
+        .table("usertable", records, 1000.0)
+        .primary_index(23.0) // "user" + 19-digit key
+        .build()
+}
+
+/// Build a YCSB workload over `schema` at the given concurrency. One stream
+/// pass performs 100 operations in mix proportion (scans touch
+/// `scan_len` consecutive records).
+pub fn workload(s: &Schema, mix: YcsbMix, concurrency: u32) -> Workload {
+    let table = s.table_by_name("usertable").expect("ycsb schema");
+    let pk = s.index_by_name("usertable_pkey").expect("ycsb schema").id;
+    let (reads, updates, inserts, scans) = mix.shares();
+    let scan_len = 50.0;
+    let mut queries = Vec::new();
+    let point = |k: f64| -> ReadOp {
+        let sel = (k / table.rows).min(1.0);
+        ReadOp::of(Rel::Scan(ScanSpec {
+            table: table.id,
+            selectivity: sel,
+            index: Some(pk),
+            index_selectivity: sel,
+        }))
+    };
+    if reads > 0.0 {
+        queries.push(QuerySpec::read("read", point(1.0)).with_weight(reads));
+    }
+    if updates > 0.0 {
+        queries.push(
+            QuerySpec::transaction(
+                "update",
+                vec![Op::Update(UpdateOp {
+                    table: table.id,
+                    rows: 1.0,
+                    via: Some(pk),
+                    updates_indexed_key: false,
+                })],
+            )
+            .with_weight(updates),
+        );
+    }
+    if inserts > 0.0 {
+        queries.push(
+            QuerySpec::transaction(
+                "insert",
+                vec![Op::Insert(InsertOp {
+                    table: table.id,
+                    rows: 1.0,
+                    sequential_keys: true,
+                })],
+            )
+            .with_weight(inserts),
+        );
+    }
+    if scans > 0.0 {
+        queries.push(QuerySpec::read("scan", point(scan_len)).with_weight(scans));
+    }
+    let tasks = 100.0;
+    Workload::oltp(&format!("ycsb-{}", mix.letter()), queries, concurrency, tasks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dot_dbms::{exec, EngineConfig, Layout};
+    use dot_storage::{catalog, IoType};
+
+    #[test]
+    fn shares_sum_to_100() {
+        for mix in [YcsbMix::A, YcsbMix::B, YcsbMix::C, YcsbMix::D, YcsbMix::E, YcsbMix::F] {
+            let (r, u, i, s) = mix.shares();
+            assert!((r + u + i + s - 100.0).abs() < 1e-9, "{mix:?}");
+        }
+    }
+
+    #[test]
+    fn workloads_validate_and_weights_match_mix() {
+        let s = schema(10_000_000.0);
+        for mix in [YcsbMix::A, YcsbMix::B, YcsbMix::C, YcsbMix::D, YcsbMix::E, YcsbMix::F] {
+            let w = workload(&s, mix, 100);
+            w.validate(&s).unwrap();
+            assert!((w.queries_per_stream() - 100.0).abs() < 1e-9, "{mix:?}");
+        }
+    }
+
+    #[test]
+    fn workload_a_is_write_heavy_workload_c_is_not() {
+        let s = schema(10_000_000.0);
+        let pool = catalog::box2();
+        let layout = Layout::uniform(pool.most_expensive(), s.object_count());
+        let cfg = EngineConfig::oltp();
+        let io = |mix: YcsbMix| {
+            let w = workload(&s, mix, 300);
+            exec::estimate_workload(&w.queries, &s, &layout, &pool, &cfg)
+                .cost
+                .total_io()
+        };
+        let a = io(YcsbMix::A);
+        let c = io(YcsbMix::C);
+        assert!(a[IoType::RandWrite] > 0.0);
+        assert_eq!(c[IoType::RandWrite], 0.0);
+        assert!(c[IoType::RandRead] > 0.0);
+    }
+
+    #[test]
+    fn faster_storage_helps_point_workloads_more_than_scan_workloads() {
+        let s = schema(10_000_000.0);
+        let pool = catalog::box2();
+        let cfg = EngineConfig::oltp();
+        let time_on = |mix: YcsbMix, class: &str| {
+            let layout = Layout::uniform(pool.class_by_name(class).unwrap().id, s.object_count());
+            let w = workload(&s, mix, 300);
+            exec::estimate_workload(&w.queries, &s, &layout, &pool, &cfg).stream_time_ms
+        };
+        let c_gain = time_on(YcsbMix::C, "HDD") / time_on(YcsbMix::C, "H-SSD");
+        let e_gain = time_on(YcsbMix::E, "HDD") / time_on(YcsbMix::E, "H-SSD");
+        // Point reads (C) benefit from the H-SSD far more than the
+        // scan-flavoured E mix does.
+        assert!(c_gain > e_gain, "C {c_gain:.1}x vs E {e_gain:.1}x");
+    }
+}

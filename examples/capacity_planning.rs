@@ -1,0 +1,81 @@
+//! Capacity planning with the §5 extensions: choose server hardware from a
+//! set of candidate storage configurations (§5.1) and price layouts with
+//! the discrete-sized device cost model (§5.2).
+//!
+//! Run with: `cargo run --release --example capacity_planning`
+
+use dot_core::generalized::choose_configuration;
+use dot_core::problem::LayoutCostModel;
+use dot_dbms::EngineConfig;
+use dot_profiler::ProfileSource;
+use dot_storage::cost::CostModel;
+use dot_storage::raid::{raid0, Raid0Scaling, RaidController};
+use dot_storage::{catalog, StoragePool};
+use dot_workloads::{tpch, SlaSpec};
+
+fn main() {
+    let schema = tpch::schema(10.0);
+    let workload = tpch::original_workload(&schema);
+
+    // Candidate configurations: the paper's two boxes plus a synthetic
+    // budget box built from a four-way HDD RAID 0 (priced from first
+    // principles by the cost model) and a single H-SSD.
+    let wide_raid = raid0(
+        "HDD RAID 0 x4",
+        &catalog::hdd_spec(),
+        &catalog::hdd_profile(),
+        4,
+        RaidController::PAPER,
+        Raid0Scaling::CALIBRATED,
+        &CostModel::PAPER,
+    );
+    let budget_box = StoragePool::new("Budget", vec![wide_raid, catalog::hssd_class()]);
+    let candidates = vec![catalog::box1(), catalog::box2(), budget_box];
+
+    println!("§5.1 — configuration selection (TPC-H SF 10, relative SLA 0.5)\n");
+    let choice = choose_configuration(
+        &schema,
+        &workload,
+        SlaSpec::relative(0.5),
+        EngineConfig::dss(),
+        &candidates,
+        ProfileSource::Estimate,
+        LayoutCostModel::Linear,
+    );
+    for o in &choice.all {
+        match &o.outcome.estimate {
+            Some(est) => println!(
+                "{:<10} TOC {:>8.4} cents/pass, layout cost {:>7.4} cents/hour",
+                o.pool_name, est.toc_cents_per_pass, est.layout_cost_cents_per_hour
+            ),
+            None => println!("{:<10} infeasible", o.pool_name),
+        }
+    }
+    match choice.winning() {
+        Some(w) => println!("\n-> buy: {}\n", w.pool_name),
+        None => println!("\n-> no candidate meets the SLA\n"),
+    }
+
+    // §5.2: the same decision under discrete device pricing. As alpha grows
+    // toward 1 (pay for whole devices regardless of use), spreading data
+    // over many classes stops paying off.
+    println!("§5.2 — discrete-sized cost model (alpha sweep, Box 2)");
+    let pool = catalog::box2();
+    for alpha in [0.0, 0.5, 1.0] {
+        let choice = choose_configuration(
+            &schema,
+            &workload,
+            SlaSpec::relative(0.5),
+            EngineConfig::dss(),
+            std::slice::from_ref(&pool),
+            ProfileSource::Estimate,
+            LayoutCostModel::Discrete { alpha },
+        );
+        if let Some(est) = choice.all[0].outcome.estimate.as_ref() {
+            println!(
+                "alpha {alpha:<4} -> TOC {:>8.4} cents/pass",
+                est.toc_cents_per_pass
+            );
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Provision a decision-support (TPC-H-like) database across heterogeneous
+//! storage, comparing DOT against every simple layout — a compact version
+//! of the paper's §4.4 evaluation.
+//!
+//! Run with: `cargo run --release --example dss_provisioning [scale_factor]`
+
+use dot_core::{baselines, constraints, dot, problem::Problem, report};
+use dot_dbms::EngineConfig;
+use dot_profiler::{profile_workload, ProfileSource};
+use dot_storage::catalog;
+use dot_workloads::{tpch, SlaSpec};
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20.0);
+    let schema = tpch::schema(scale);
+    let workload = tpch::original_workload(&schema);
+    println!(
+        "TPC-H SF {scale}: {} objects, {:.1} GB, workload of {} queries\n",
+        schema.object_count(),
+        schema.total_size_gb(),
+        workload.queries_per_stream()
+    );
+
+    for pool in [catalog::box1(), catalog::box2()] {
+        println!("== {} ==", pool.name());
+        let problem = Problem::new(&schema, &pool, &workload, SlaSpec::relative(0.5), EngineConfig::dss());
+        let cons = constraints::derive(&problem);
+
+        println!(
+            "{:<26}{:>12}{:>16}{:>8}",
+            "layout", "resp (s)", "TOC (c/pass)", "PSR"
+        );
+        for (label, layout) in baselines::simple_layouts(&problem) {
+            let e = report::evaluate(&problem, &cons, &label, &layout);
+            println!(
+                "{:<26}{:>12.0}{:>16.4}{:>7.0}%",
+                e.label, e.response_time_s, e.toc_cents_per_pass, e.psr_percent
+            );
+        }
+
+        let profile = profile_workload(&workload, &schema, &pool, &problem.cfg, ProfileSource::Estimate);
+        let outcome = dot::optimize(&problem, &profile, &cons);
+        match outcome.layout {
+            Some(layout) => {
+                let e = report::evaluate(&problem, &cons, "DOT", &layout);
+                println!(
+                    "{:<26}{:>12.0}{:>16.4}{:>7.0}%   ({} layouts investigated)",
+                    e.label,
+                    e.response_time_s,
+                    e.toc_cents_per_pass,
+                    e.psr_percent,
+                    outcome.layouts_investigated
+                );
+                println!("\nDOT placement:");
+                for (object, class) in &e.placements {
+                    println!("    {object:<20} -> {class}");
+                }
+            }
+            None => println!("DOT: infeasible under this SLA"),
+        }
+        println!();
+    }
+}

@@ -1,0 +1,78 @@
+//! Multi-tenant provisioning: an analytics tenant with a loose SLA and a
+//! latency-sensitive serving tenant share one box; DOT provisions them
+//! jointly under shared capacity — the setting the paper's introduction
+//! motivates and scopes to future work (§1).
+//!
+//! Run with: `cargo run --release --example multi_tenant`
+
+use dot_core::tenancy::{colocate, provision, Tenant};
+use dot_dbms::query::{QuerySpec, ReadOp, Rel, ScanSpec};
+use dot_dbms::{EngineConfig, SchemaBuilder};
+use dot_profiler::ProfileSource;
+use dot_storage::catalog;
+use dot_workloads::{tpch, SlaSpec, Workload};
+
+fn main() {
+    // Tenant 1: a TPC-H-style analytics customer, tolerant (SLA 0.25).
+    let analytics_schema = tpch::subset_schema(4.0);
+    let analytics_workload = tpch::subset_workload(&analytics_schema);
+
+    // Tenant 2: a small hot serving database, strict (SLA 0.8).
+    let serving_schema = SchemaBuilder::new("serving")
+        .table("sessions", 20_000_000.0, 200.0)
+        .primary_index(16.0)
+        .build();
+    let sessions = serving_schema.table_by_name("sessions").unwrap().id;
+    let pk = serving_schema.index_by_name("sessions_pkey").unwrap().id;
+    let serving_workload = Workload::dss(
+        "serving",
+        vec![QuerySpec::read(
+            "lookup",
+            ReadOp::of(Rel::Scan(ScanSpec::indexed(sessions, 1e-5, pk))),
+        )
+        .with_weight(1000.0)],
+    );
+
+    let tenants = vec![
+        Tenant {
+            name: "analytics".into(),
+            schema: analytics_schema,
+            workload: analytics_workload,
+            sla: SlaSpec::relative(0.25),
+        },
+        Tenant {
+            name: "serving".into(),
+            schema: serving_schema,
+            workload: serving_workload,
+            sla: SlaSpec::relative(0.8),
+        },
+    ];
+
+    let colocation = colocate(&tenants);
+    println!(
+        "colocated: {} objects, {:.1} GB, {} queries\n",
+        colocation.schema.object_count(),
+        colocation.schema.total_size_gb(),
+        colocation.workload.queries.len()
+    );
+
+    let pool = catalog::box2();
+    let result = provision(&colocation, &pool, EngineConfig::dss(), ProfileSource::Estimate);
+    match &result.outcome.layout {
+        Some(layout) => {
+            println!("joint layout:");
+            for (obj, class) in layout.describe(&colocation.schema, &pool) {
+                println!("    {obj:<28} -> {class}");
+            }
+            for (name, psr) in colocation.tenant_names.iter().zip(&result.tenant_psr) {
+                println!("tenant {name:<12} PSR {:.0}%", psr * 100.0);
+            }
+            let est = result.outcome.estimate.as_ref().unwrap();
+            println!(
+                "\nlayout cost {:.4} cents/hour ({} layouts investigated)",
+                est.layout_cost_cents_per_hour, result.outcome.layouts_investigated
+            );
+        }
+        None => println!("infeasible: the tenants' SLAs cannot be met together on this box"),
+    }
+}

@@ -1,0 +1,70 @@
+//! Provision an OLTP (TPC-C-like) database: throughput-floor SLAs, layout
+//! cost as the objective, and the SLA-relaxation loop — the paper's §4.5
+//! scenario in miniature.
+//!
+//! Run with: `cargo run --release --example oltp_provisioning [warehouses]`
+
+use dot_core::{constraints, dot, problem::Problem, report};
+use dot_dbms::EngineConfig;
+use dot_profiler::{profile_workload, ProfileSource};
+use dot_storage::catalog;
+use dot_workloads::{tpcc, SlaSpec};
+
+fn main() {
+    let warehouses: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300.0);
+    let schema = tpcc::schema(warehouses);
+    let workload = tpcc::workload(&schema);
+    let pool = catalog::box2();
+    println!(
+        "TPC-C {warehouses} warehouses: {} objects, {:.1} GB, {} connections\n",
+        schema.object_count(),
+        schema.total_size_gb(),
+        workload.concurrency
+    );
+
+    let cfg = EngineConfig::oltp();
+    let profile = profile_workload(&workload, &schema, &pool, &cfg, ProfileSource::Estimate);
+    println!(
+        "profiling: {} baselines, {} actually run after plan-signature pruning\n",
+        profile.baseline_count, profile.profiled_count
+    );
+
+    println!(
+        "{:<10}{:>12}{:>18}{:>10}",
+        "SLA", "tpmC", "TOC cents (1h)", "moved"
+    );
+    for ratio in [0.5, 0.25, 0.125] {
+        let problem = Problem::new(&schema, &pool, &workload, SlaSpec::relative(ratio), cfg);
+        let cons = constraints::derive(&problem);
+        let outcome = dot::optimize(&problem, &profile, &cons);
+        match outcome.layout {
+            Some(layout) => {
+                let e = report::evaluate(&problem, &cons, "DOT", &layout);
+                let premium = pool.most_expensive();
+                let moved = schema
+                    .objects()
+                    .iter()
+                    .filter(|o| layout.class_of(o.id) != premium)
+                    .count();
+                println!(
+                    "{:<10}{:>12.0}{:>18.4}{:>10}",
+                    ratio,
+                    e.throughput_tasks_per_hour / 60.0,
+                    e.objective_cents,
+                    format!("{moved}/{}", schema.object_count())
+                );
+            }
+            None => {
+                // §4.5.3: relax until feasible.
+                let (relaxed, final_sla) = dot::optimize_with_relaxation(&problem, &profile, 0.1, 0.01);
+                match relaxed.layout {
+                    Some(_) => println!("{ratio:<10} infeasible; relaxed to {:.3}", final_sla.ratio),
+                    None => println!("{ratio:<10} infeasible"),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Quickstart: provision storage for a small custom database.
+//!
+//! Shows the core API loop: describe a schema, describe a workload, pick a
+//! storage pool and an SLA, then run the DOT pipeline and inspect the
+//! recommended layout.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use dot_core::{constraints, dot, problem::Problem, report};
+use dot_dbms::query::{QuerySpec, ReadOp, Rel, ScanSpec};
+use dot_dbms::{EngineConfig, SchemaBuilder};
+use dot_profiler::ProfileSource;
+use dot_storage::catalog;
+use dot_workloads::{SlaSpec, Workload};
+
+fn main() {
+    // 1. Describe the database: a 12 GB events table with a primary index,
+    //    plus a small dimension table.
+    let schema = SchemaBuilder::new("quickstart")
+        .table("events", 80_000_000.0, 120.0)
+        .primary_index(8.0)
+        .table("devices", 500_000.0, 150.0)
+        .primary_index(8.0)
+        .build();
+    println!(
+        "database: {} objects, {:.1} GB total",
+        schema.object_count(),
+        schema.total_size_gb()
+    );
+
+    // 2. Describe the workload: a nightly full scan, a frequent selective
+    //    range query, and a lookup-join.
+    let events = schema.table_by_name("events").unwrap().id;
+    let devices = schema.table_by_name("devices").unwrap().id;
+    let events_pk = schema.index_by_name("events_pkey").unwrap().id;
+    let workload = Workload::dss(
+        "quickstart",
+        vec![
+            QuerySpec::read("nightly_scan", ReadOp::of(Rel::Scan(ScanSpec::full(events)))),
+            QuerySpec::read(
+                "recent_range",
+                ReadOp::of(Rel::Scan(ScanSpec::indexed(events, 0.005, events_pk))),
+            )
+            .with_weight(20.0),
+            QuerySpec::read(
+                "device_join",
+                ReadOp::of(Rel::join(
+                    Rel::Scan(ScanSpec::filtered(devices, 0.01)),
+                    ScanSpec::full(events),
+                    50.0,
+                    Some(events_pk),
+                )),
+            )
+            .with_weight(5.0),
+        ],
+    );
+
+    // 3. Pick hardware: the paper's "Box 2" (HDD, L-SSD RAID 0, H-SSD).
+    let pool = catalog::box2();
+
+    // 4. Run the DOT pipeline (profile -> optimize -> validate) under two
+    //    SLAs to see the cost/performance dial: relative SLA 0.5 means every
+    //    query may be at most 2x slower than with everything on the H-SSD;
+    //    0.125 tolerates 8x.
+    for ratio in [0.5, 0.125] {
+        let problem =
+            Problem::new(&schema, &pool, &workload, SlaSpec::relative(ratio), EngineConfig::dss());
+        let result = dot::run_pipeline(&problem, ProfileSource::Estimate, 2);
+        let layout = result.outcome.layout.expect("feasible layout");
+
+        let cons = constraints::derive(&problem);
+        let premium = report::evaluate(&problem, &cons, "All H-SSD", &problem.premium_layout());
+        let dot_eval = report::evaluate(&problem, &cons, "DOT", &layout);
+        println!("\n== relative SLA {ratio} ==");
+        for (object, class) in &dot_eval.placements {
+            println!("    {object:<16} -> {class}");
+        }
+        println!(
+            "TOC: {:.4} cents/pass (all H-SSD: {:.4}) — {:.1}x cheaper, PSR {:.0}%",
+            dot_eval.toc_cents_per_pass,
+            premium.toc_cents_per_pass,
+            premium.toc_cents_per_pass / dot_eval.toc_cents_per_pass,
+            dot_eval.psr_percent
+        );
+        if let Some(v) = &result.validation {
+            println!(
+                "validation: PSR {:.0}% ({})",
+                v.psr * 100.0,
+                if v.passed { "passed" } else { "refined" }
+            );
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! `dot-cli` — provision storage from the command line.
+//!
+//! ```text
+//! dot-cli catalog                      list built-in pools and Table 1 profiles
+//! dot-cli provision <problem.json>     run the DOT pipeline on a problem file
+//! dot-cli explain   <problem.json>     show premium-layout plans and I/O
+//! ```
+//!
+//! A problem file names a storage pool (built-in or inline JSON), a database
+//! (preset like `"tpch:20:original"`, `"tpcc:300"`, `"ycsb:10000000:A"`, or
+//! inline schema+workload JSON), a relative SLA, and an engine preset:
+//!
+//! ```json
+//! { "pool": "box2", "database": "tpch:4:original", "sla": 0.5, "engine": "dss" }
+//! ```
+
+use dot_core::{constraints, dot, problem::Problem, report};
+use dot_dbms::{explain, planner, EngineConfig, Schema};
+use dot_profiler::ProfileSource;
+use dot_storage::{catalog, StoragePool};
+use dot_workloads::{tpcc, tpch, ycsb, SlaSpec, Workload};
+use serde::Deserialize;
+use std::process::ExitCode;
+
+#[derive(Deserialize)]
+struct ProblemFile {
+    pool: PoolSpec,
+    database: DbSpec,
+    sla: f64,
+    #[serde(default)]
+    engine: Option<String>,
+    #[serde(default)]
+    refinements: Option<usize>,
+}
+
+#[derive(Deserialize)]
+#[serde(untagged)]
+enum PoolSpec {
+    Name(String),
+    Custom(StoragePool),
+}
+
+#[derive(Deserialize)]
+#[serde(untagged)]
+enum DbSpec {
+    Preset(String),
+    Custom { schema: Schema, workload: Workload },
+}
+
+fn resolve_pool(spec: PoolSpec) -> Result<StoragePool, String> {
+    match spec {
+        PoolSpec::Custom(pool) => Ok(pool),
+        PoolSpec::Name(name) => match name.as_str() {
+            "box1" => Ok(catalog::box1()),
+            "box2" => Ok(catalog::box2()),
+            "full" => Ok(catalog::full_pool()),
+            other => Err(format!("unknown pool preset {other:?} (box1|box2|full)")),
+        },
+    }
+}
+
+fn resolve_database(spec: DbSpec) -> Result<(Schema, Workload), String> {
+    match spec {
+        DbSpec::Custom { schema, workload } => Ok((schema, workload)),
+        DbSpec::Preset(preset) => {
+            let parts: Vec<&str> = preset.split(':').collect();
+            match parts.as_slice() {
+                ["tpch", sf, flavor] => {
+                    let sf: f64 = sf.parse().map_err(|e| format!("bad scale factor: {e}"))?;
+                    let schema = tpch::schema(sf);
+                    let workload = match *flavor {
+                        "original" => tpch::original_workload(&schema),
+                        "modified" => tpch::modified_workload(&schema),
+                        other => return Err(format!("unknown tpch flavor {other:?}")),
+                    };
+                    Ok((schema, workload))
+                }
+                ["tpch-subset", sf] => {
+                    let sf: f64 = sf.parse().map_err(|e| format!("bad scale factor: {e}"))?;
+                    let schema = tpch::subset_schema(sf);
+                    let workload = tpch::subset_workload(&schema);
+                    Ok((schema, workload))
+                }
+                ["tpcc", warehouses] => {
+                    let w: f64 = warehouses
+                        .parse()
+                        .map_err(|e| format!("bad warehouse count: {e}"))?;
+                    let schema = tpcc::schema(w);
+                    let workload = tpcc::workload(&schema);
+                    Ok((schema, workload))
+                }
+                ["ycsb", records, mix] => {
+                    let records: f64 =
+                        records.parse().map_err(|e| format!("bad record count: {e}"))?;
+                    let mix = match mix.to_ascii_uppercase().as_str() {
+                        "A" => ycsb::YcsbMix::A,
+                        "B" => ycsb::YcsbMix::B,
+                        "C" => ycsb::YcsbMix::C,
+                        "D" => ycsb::YcsbMix::D,
+                        "E" => ycsb::YcsbMix::E,
+                        "F" => ycsb::YcsbMix::F,
+                        other => return Err(format!("unknown YCSB mix {other:?}")),
+                    };
+                    let schema = ycsb::schema(records);
+                    let workload = ycsb::workload(&schema, mix, 300);
+                    Ok((schema, workload))
+                }
+                _ => Err(format!(
+                    "unknown database preset {preset:?} \
+                     (tpch:<sf>:<original|modified> | tpch-subset:<sf> | tpcc:<w> | ycsb:<n>:<A-F>)"
+                )),
+            }
+        }
+    }
+}
+
+fn resolve_engine(name: Option<&str>, workload: &Workload) -> Result<EngineConfig, String> {
+    match name {
+        Some("dss") => Ok(EngineConfig::dss()),
+        Some("oltp") => Ok(EngineConfig::oltp()),
+        Some(other) => Err(format!("unknown engine preset {other:?} (dss|oltp)")),
+        None => Ok(match workload.metric {
+            dot_workloads::PerfMetric::ResponseTime => EngineConfig::dss(),
+            dot_workloads::PerfMetric::Throughput => EngineConfig::oltp(),
+        }),
+    }
+}
+
+fn load(path: &str) -> Result<(StoragePool, Schema, Workload, f64, EngineConfig, usize), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let file: ProblemFile =
+        serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    if !(file.sla > 0.0 && file.sla <= 1.0) {
+        return Err(format!("sla {} out of (0, 1]", file.sla));
+    }
+    let pool = resolve_pool(file.pool)?;
+    let (schema, workload) = resolve_database(file.database)?;
+    let engine = resolve_engine(file.engine.as_deref(), &workload)?;
+    Ok((
+        pool,
+        schema,
+        workload,
+        file.sla,
+        engine,
+        file.refinements.unwrap_or(1),
+    ))
+}
+
+fn cmd_catalog() {
+    println!("built-in pools:");
+    for pool in [catalog::box1(), catalog::box2(), catalog::full_pool()] {
+        println!("  {} —", pool.name());
+        for class in pool.classes() {
+            println!(
+                "      {:<14} {:>8.1} GB  {:>10.3e} cents/GB/hour  RR {:>6.3} ms",
+                class.name,
+                class.capacity_gb,
+                class.price_cents_per_gb_hour,
+                class.profile.at_c1[1],
+            );
+        }
+    }
+    println!("\ndatabase presets: tpch:<sf>:<original|modified>, tpch-subset:<sf>, tpcc:<warehouses>, ycsb:<records>:<A-F>");
+}
+
+fn cmd_provision(path: &str, json: bool) -> Result<(), String> {
+    let (pool, schema, workload, sla, engine, refinements) = load(path)?;
+    let problem = Problem::new(&schema, &pool, &workload, SlaSpec::relative(sla), engine);
+    let result = dot::run_pipeline(&problem, ProfileSource::Estimate, refinements);
+    let Some(layout) = &result.outcome.layout else {
+        return Err("infeasible: no layout satisfies the SLA and capacities".into());
+    };
+    let cons = constraints::derive(&problem);
+    let eval = report::evaluate(&problem, &cons, "DOT", layout);
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&eval).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    println!(
+        "database: {} objects, {:.1} GB; pool {}; relative SLA {sla}\n",
+        schema.object_count(),
+        schema.total_size_gb(),
+        pool.name()
+    );
+    println!("recommended layout:");
+    for (object, class) in &eval.placements {
+        println!("    {object:<28} -> {class}");
+    }
+    let premium = report::evaluate(&problem, &cons, "premium", &problem.premium_layout());
+    println!(
+        "\nlayout cost {:.4} cents/hour (all-premium: {:.4}); objective {:.4} cents; PSR {:.0}%",
+        eval.layout_cost_cents_per_hour,
+        premium.layout_cost_cents_per_hour,
+        eval.objective_cents,
+        eval.psr_percent
+    );
+    if let Some(v) = &result.validation {
+        println!(
+            "validation: PSR {:.0}% ({}), {} refinement round(s)",
+            v.psr * 100.0,
+            if v.passed { "passed" } else { "not passed" },
+            result.refinement_rounds
+        );
+    }
+    Ok(())
+}
+
+fn cmd_explain(path: &str) -> Result<(), String> {
+    let (pool, schema, workload, _sla, engine, _) = load(path)?;
+    let layout = dot_dbms::Layout::uniform(pool.most_expensive(), schema.object_count());
+    let planned = planner::plan_workload(&workload.queries, &schema, &layout, &pool, &engine);
+    print!(
+        "{}",
+        explain::explain_workload(&planned, &schema, &layout, &pool, &engine)
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let json = args.iter().any(|a| a == "--json");
+    let result = match args.get(1).map(String::as_str) {
+        Some("catalog") => {
+            cmd_catalog();
+            Ok(())
+        }
+        Some("provision") => match args.get(2) {
+            Some(path) => cmd_provision(path, json),
+            None => Err("usage: dot-cli provision <problem.json> [--json]".into()),
+        },
+        Some("explain") => match args.get(2) {
+            Some(path) => cmd_explain(path),
+            None => Err("usage: dot-cli explain <problem.json>".into()),
+        },
+        _ => Err("usage: dot-cli <catalog|provision|explain> [args]".into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! Umbrella crate re-exporting the DOT reproduction stack.
+pub use dot_core as core;
+pub use dot_dbms as dbms;
+pub use dot_profiler as profiler;
+pub use dot_storage as storage;
+pub use dot_workloads as workloads;
