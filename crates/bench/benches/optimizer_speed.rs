@@ -22,7 +22,13 @@ fn bench_optimizers(c: &mut Criterion) {
         EngineConfig::dss(),
     );
     let cons = constraints::derive(&problem);
-    let profile = profile_workload(&workload, &schema, &pool, &problem.cfg, ProfileSource::Estimate);
+    let profile = profile_workload(
+        &workload,
+        &schema,
+        &pool,
+        &problem.cfg,
+        ProfileSource::Estimate,
+    );
 
     let mut group = c.benchmark_group("optimizer_speed");
     group.sample_size(10);

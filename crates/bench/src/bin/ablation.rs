@@ -6,7 +6,10 @@ use dot_bench::{experiments, TPCH_SCALE};
 fn main() {
     let rows = experiments::ablation_comparison(TPCH_SCALE, 0.5);
     println!("Ablation — move granularity x score ordering, TPC-H subset, SLA 0.5\n");
-    println!("{:<26}{:>18}{:>14}", "configuration", "objective (c)", "vs optimal");
+    println!(
+        "{:<26}{:>18}{:>14}",
+        "configuration", "objective (c)", "vs optimal"
+    );
     for r in &rows {
         match (r.objective_cents, r.vs_optimal) {
             (Some(o), Some(g)) => println!("{:<26}{:>18.4}{:>13.2}x", r.config, o, g),
@@ -14,6 +17,9 @@ fn main() {
         }
     }
     if std::env::args().any(|a| a == "--json") {
-        println!("{}", serde_json::to_string_pretty(&rows).expect("serialize"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("serialize")
+        );
     }
 }

@@ -18,8 +18,11 @@ fn arg(name: &str, default: f64) -> f64 {
 
 fn save<T: serde::Serialize>(dir: &Path, name: &str, value: &T) {
     let path = dir.join(format!("{name}.json"));
-    fs::write(&path, serde_json::to_string_pretty(value).expect("serialize"))
-        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    fs::write(
+        &path,
+        serde_json::to_string_pretty(value).expect("serialize"),
+    )
+    .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
 }
 
 fn main() {
@@ -112,7 +115,10 @@ fn main() {
     let disc = experiments::discrete_cost_sweep(scale, 0.5, &[0.0, 0.25, 0.5, 0.75, 1.0]);
     for r in &disc {
         match r.toc_cents_per_pass {
-            Some(t) => println!("alpha {:<5} TOC {:>10.4}  classes used {}", r.alpha, t, r.classes_used),
+            Some(t) => println!(
+                "alpha {:<5} TOC {:>10.4}  classes used {}",
+                r.alpha, t, r.classes_used
+            ),
             None => println!("alpha {:<5} infeasible", r.alpha),
         }
     }

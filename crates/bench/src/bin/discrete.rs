@@ -6,7 +6,10 @@ use dot_bench::{experiments, TPCH_SCALE};
 fn main() {
     let rows = experiments::discrete_cost_sweep(TPCH_SCALE, 0.5, &[0.0, 0.25, 0.5, 0.75, 1.0]);
     println!("§5.2 — discrete-sized storage cost model, original TPC-H, SLA 0.5\n");
-    println!("{:<8}{:>20}{:>16}", "alpha", "TOC cents/pass", "classes used");
+    println!(
+        "{:<8}{:>20}{:>16}",
+        "alpha", "TOC cents/pass", "classes used"
+    );
     for r in &rows {
         match r.toc_cents_per_pass {
             Some(t) => println!("{:<8}{:>20.4}{:>16}", r.alpha, t, r.classes_used),
@@ -14,6 +17,9 @@ fn main() {
         }
     }
     if std::env::args().any(|a| a == "--json") {
-        println!("{}", serde_json::to_string_pretty(&rows).expect("serialize"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("serialize")
+        );
     }
 }

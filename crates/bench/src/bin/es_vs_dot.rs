@@ -8,6 +8,9 @@ fn main() {
     println!("§4.4.3 — heuristics vs exhaustive search, TPC-H subset, SLA 0.5\n");
     print!("{}", render::es_vs_dot(&rows));
     if std::env::args().any(|a| a == "--json") {
-        println!("{}", serde_json::to_string_pretty(&rows).expect("serialize"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("serialize")
+        );
     }
 }

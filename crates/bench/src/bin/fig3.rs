@@ -4,14 +4,14 @@
 use dot_bench::{experiments, render, TPCH_SCALE};
 
 fn main() {
-    let results = experiments::dss_comparison(
-        experiments::DssWorkloadKind::Original,
-        0.5,
-        TPCH_SCALE,
-    );
+    let results =
+        experiments::dss_comparison(experiments::DssWorkloadKind::Original, 0.5, TPCH_SCALE);
     println!("Figure 3 — original TPC-H workload, relative SLA 0.5\n");
     print!("{}", render::dss_comparison(&results));
     if std::env::args().any(|a| a == "--json") {
-        println!("{}", serde_json::to_string_pretty(&results).expect("serialize"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&results).expect("serialize")
+        );
     }
 }

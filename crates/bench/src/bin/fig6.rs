@@ -4,11 +4,8 @@
 use dot_bench::{experiments, render, TPCH_SCALE};
 
 fn main() {
-    let results = experiments::dss_comparison(
-        experiments::DssWorkloadKind::Modified,
-        0.5,
-        TPCH_SCALE,
-    );
+    let results =
+        experiments::dss_comparison(experiments::DssWorkloadKind::Modified, 0.5, TPCH_SCALE);
     println!("Figure 6 — DOT layouts, modified TPC-H, relative SLA 0.5\n");
     for b in &results {
         println!("--- {} ---", b.box_name);

@@ -4,14 +4,14 @@
 use dot_bench::{experiments, render, TPCH_SCALE};
 
 fn main() {
-    let results = experiments::dss_comparison(
-        experiments::DssWorkloadKind::Modified,
-        0.25,
-        TPCH_SCALE,
-    );
+    let results =
+        experiments::dss_comparison(experiments::DssWorkloadKind::Modified, 0.25, TPCH_SCALE);
     println!("Figure 7 — modified TPC-H workload, relative SLA 0.25\n");
     print!("{}", render::dss_comparison(&results));
     if std::env::args().any(|a| a == "--json") {
-        println!("{}", serde_json::to_string_pretty(&results).expect("serialize"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&results).expect("serialize")
+        );
     }
 }

@@ -8,6 +8,9 @@ fn main() {
     println!("Figure 8 — TPC-C, 300 warehouses, 300 connections\n");
     print!("{}", render::tpcc_comparison(&results));
     if std::env::args().any(|a| a == "--json") {
-        println!("{}", serde_json::to_string_pretty(&results).expect("serialize"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&results).expect("serialize")
+        );
     }
 }

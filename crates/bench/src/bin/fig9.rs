@@ -8,6 +8,9 @@ fn main() {
     println!("Figure 9 — ES vs DOT, TPC-C on Box 2\n");
     print!("{}", render::es_vs_dot(&rows));
     if std::env::args().any(|a| a == "--json") {
-        println!("{}", serde_json::to_string_pretty(&rows).expect("serialize"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("serialize")
+        );
     }
 }

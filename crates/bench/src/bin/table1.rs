@@ -8,6 +8,9 @@ fn main() {
     println!("Table 1 — cost and I/O profiles of the storage classes\n");
     print!("{}", render::table1(&rows));
     if std::env::args().any(|a| a == "--json") {
-        println!("{}", serde_json::to_string_pretty(&rows).expect("serialize"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("serialize")
+        );
     }
 }

@@ -7,6 +7,9 @@ fn main() {
     println!("Table 2 — storage class specifications\n");
     print!("{}", render::table2(&rows));
     if std::env::args().any(|a| a == "--json") {
-        println!("{}", serde_json::to_string_pretty(&rows).expect("serialize"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("serialize")
+        );
     }
 }

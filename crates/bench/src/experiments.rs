@@ -90,17 +90,21 @@ pub struct Table2Row {
 
 /// Regenerate Table 2.
 pub fn table2() -> Vec<Table2Row> {
-    [catalog::hdd_spec(), catalog::lssd_spec(), catalog::hssd_spec()]
-        .into_iter()
-        .map(|d| Table2Row {
-            model: d.model.clone(),
-            kind: d.kind.label().to_owned(),
-            capacity_gb: d.capacity_gb,
-            interface: d.interface.clone(),
-            purchase_usd: d.purchase_cents / 100.0,
-            power_watts: d.power_watts,
-        })
-        .collect()
+    [
+        catalog::hdd_spec(),
+        catalog::lssd_spec(),
+        catalog::hssd_spec(),
+    ]
+    .into_iter()
+    .map(|d| Table2Row {
+        model: d.model.clone(),
+        kind: d.kind.label().to_owned(),
+        capacity_gb: d.capacity_gb,
+        interface: d.interface.clone(),
+        purchase_usd: d.purchase_cents / 100.0,
+        power_watts: d.power_watts,
+    })
+    .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -259,7 +263,11 @@ pub fn es_vs_dot_tpch(scale: f64, sla_ratio: f64) -> Vec<EsVsDotRow> {
 /// Fig 9 (§4.5.3): DOT vs additive ES on the full TPC-C workload on Box 2,
 /// without and with an H-SSD capacity limit, relaxing the SLA until ES finds
 /// a feasible solution (the paper's procedure).
-pub fn es_vs_dot_tpcc(warehouses: f64, sla_ratio: f64, hssd_caps: &[Option<f64>]) -> Vec<EsVsDotRow> {
+pub fn es_vs_dot_tpcc(
+    warehouses: f64,
+    sla_ratio: f64,
+    hssd_caps: &[Option<f64>],
+) -> Vec<EsVsDotRow> {
     let schema = tpcc::schema(warehouses);
     let workload = tpcc::workload(&schema);
     let mut rows = Vec::new();
@@ -350,34 +358,19 @@ pub fn tpcc_comparison(warehouses: f64, slas: &[f64]) -> Vec<TpccBoxResult> {
             let mut evaluations = Vec::new();
             // Constraints for labelling PSR: use the loosest SLA.
             let loosest = slas.iter().cloned().fold(f64::INFINITY, f64::min);
-            let base_problem = Problem::new(
-                &schema,
-                &pool,
-                &workload,
-                SlaSpec::relative(loosest),
-                cfg,
-            );
+            let base_problem =
+                Problem::new(&schema, &pool, &workload, SlaSpec::relative(loosest), cfg);
             let base_cons = constraints::derive(&base_problem);
             for (label, layout) in baselines::simple_layouts(&base_problem) {
                 evaluations.push(evaluate(&base_problem, &base_cons, &label, &layout));
             }
             for &ratio in slas {
-                let problem = Problem::new(
-                    &schema,
-                    &pool,
-                    &workload,
-                    SlaSpec::relative(ratio),
-                    cfg,
-                );
+                let problem =
+                    Problem::new(&schema, &pool, &workload, SlaSpec::relative(ratio), cfg);
                 let cons = constraints::derive(&problem);
                 let outcome = dot::optimize(&problem, &profile, &cons);
                 if let Some(layout) = &outcome.layout {
-                    evaluations.push(evaluate(
-                        &problem,
-                        &cons,
-                        &format!("DOT {ratio}"),
-                        layout,
-                    ));
+                    evaluations.push(evaluate(&problem, &cons, &format!("DOT {ratio}"), layout));
                 }
             }
             TpccBoxResult {
@@ -398,8 +391,7 @@ pub fn tpcc_layouts(warehouses: f64, slas: &[f64]) -> Vec<(f64, Vec<(String, Str
     let profile = profile_workload(&workload, &schema, &pool, &cfg, ProfileSource::Estimate);
     slas.iter()
         .map(|&ratio| {
-            let problem =
-                Problem::new(&schema, &pool, &workload, SlaSpec::relative(ratio), cfg);
+            let problem = Problem::new(&schema, &pool, &workload, SlaSpec::relative(ratio), cfg);
             let cons = constraints::derive(&problem);
             let outcome = dot::optimize(&problem, &profile, &cons);
             let placements = outcome
@@ -454,14 +446,9 @@ pub fn discrete_cost_sweep(scale: f64, sla_ratio: f64, alphas: &[f64]) -> Vec<Di
     alphas
         .iter()
         .map(|&alpha| {
-            let problem = Problem::new(
-                &schema,
-                &pool,
-                &workload,
-                SlaSpec::relative(sla_ratio),
-                cfg,
-            )
-            .with_cost_model(LayoutCostModel::Discrete { alpha });
+            let problem =
+                Problem::new(&schema, &pool, &workload, SlaSpec::relative(sla_ratio), cfg)
+                    .with_cost_model(LayoutCostModel::Discrete { alpha });
             let cons = constraints::derive(&problem);
             let outcome = dot::optimize(&problem, &profile, &cons);
             let (toc, classes_used) = match (&outcome.layout, &outcome.estimate) {

@@ -25,7 +25,12 @@ pub fn table1(rows: &[Table1Row]) -> String {
     out.push_str(&line("TOC/GB/hour (cents, model)", &|r| {
         format!("{:.2e}", r.computed_price)
     }));
-    let pats = ["SeqRead ms/IO", "RandRead ms/IO", "SeqWrite ms/row", "RandWrite ms/row"];
+    let pats = [
+        "SeqRead ms/IO",
+        "RandRead ms/IO",
+        "SeqWrite ms/row",
+        "RandWrite ms/row",
+    ];
     for (i, p) in pats.iter().enumerate() {
         out.push_str(&line(p, &|r| {
             format!("{:.3} ({:.3})", r.at_c1[i], r.at_c300[i])

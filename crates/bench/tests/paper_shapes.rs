@@ -40,7 +40,11 @@ fn fig3_shape_dot_wins_with_full_psr() {
             .iter()
             .find(|e| e.label == "All HDD" || e.label == "All HDD RAID 0")
             .expect("cheap layout");
-        assert!(cheap.psr_percent < 100.0, "{}: cheap layout met SLA", b.box_name);
+        assert!(
+            cheap.psr_percent < 100.0,
+            "{}: cheap layout met SLA",
+            b.box_name
+        );
         // OA is more expensive than DOT.
         let oa = find(&b.evaluations, "OA");
         assert!(oa.toc_cents_per_pass > dot.toc_cents_per_pass);
@@ -61,7 +65,12 @@ fn fig5_shape_modified_workload_pins_to_premium() {
             b.box_name
         );
         // INLJ share is substantial on the DOT layout (paper: ~50%).
-        assert!(dot.inlj_percent > 30.0, "{}: INLJ {}%", b.box_name, dot.inlj_percent);
+        assert!(
+            dot.inlj_percent > 30.0,
+            "{}: INLJ {}%",
+            b.box_name,
+            dot.inlj_percent
+        );
     }
 }
 
@@ -159,12 +168,17 @@ fn fig8_shape_toc_falls_as_sla_relaxes_and_floors_hold() {
 #[test]
 fn table3_shape_objects_migrate_as_sla_relaxes() {
     let layouts = experiments::tpcc_layouts(WAREHOUSES, &[0.5, 0.25, 0.125]);
-    let on_premium = |placements: &[(String, String)]| {
-        placements.iter().filter(|(_, c)| c == "H-SSD").count()
-    };
+    let on_premium =
+        |placements: &[(String, String)]| placements.iter().filter(|(_, c)| c == "H-SSD").count();
     let counts: Vec<usize> = layouts.iter().map(|(_, p)| on_premium(p)).collect();
-    assert!(counts[0] >= counts[1] && counts[1] >= counts[2], "{counts:?}");
-    assert!(counts[2] < counts[0], "no migration across SLAs: {counts:?}");
+    assert!(
+        counts[0] >= counts[1] && counts[1] >= counts[2],
+        "{counts:?}"
+    );
+    assert!(
+        counts[2] < counts[0],
+        "no migration across SLAs: {counts:?}"
+    );
 }
 
 #[test]

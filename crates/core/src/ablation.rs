@@ -127,9 +127,9 @@ fn enumerate_object_moves(problem: &Problem<'_>, profile: &WorkloadProfile) -> V
 
 fn sort_moves(moves: &mut [Move], order: ScoreOrder) {
     match order {
-        ScoreOrder::TimePerCost => moves.sort_by(|a, b| {
-            a.score.partial_cmp(&b.score).expect("finite scores")
-        }),
+        ScoreOrder::TimePerCost => {
+            moves.sort_by(|a, b| a.score.partial_cmp(&b.score).expect("finite scores"))
+        }
         ScoreOrder::CostSaving => moves.sort_by(|a, b| {
             b.delta_cost
                 .partial_cmp(&a.delta_cost)

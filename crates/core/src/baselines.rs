@@ -25,7 +25,13 @@ pub fn index_hssd_data_lssd(problem: &Problem<'_>) -> Option<Layout> {
         .schema
         .objects()
         .iter()
-        .map(|o| if o.kind == ObjectKind::Index { hssd } else { lssd })
+        .map(|o| {
+            if o.kind == ObjectKind::Index {
+                hssd
+            } else {
+                lssd
+            }
+        })
         .collect();
     Some(Layout::from_assignment(assignment))
 }
@@ -66,13 +72,7 @@ pub fn object_advisor(problem: &Problem<'_>) -> Layout {
 
     // One-shot profile on the all-on-cheapest layout.
     let base = Layout::uniform(cheapest, schema.object_count());
-    let run = exec::estimate_workload(
-        &problem.workload.queries,
-        schema,
-        &base,
-        pool,
-        &problem.cfg,
-    );
+    let run = exec::estimate_workload(&problem.workload.queries, schema, &base, pool, &problem.cfg);
 
     let tau_cheap = &pool.class_unchecked(cheapest).profile;
     let tau_fast = &pool.class_unchecked(fastest).profile;
@@ -194,8 +194,14 @@ mod tests {
         let p = crate::Problem::new(&s, &pool, &w, SlaSpec::relative(0.5), EngineConfig::dss());
         let l = object_advisor(&p);
         let cheapest = *pool.ids_by_price_desc().last().unwrap();
-        assert_eq!(l.class_of(s.table_by_name("cold").unwrap().object), cheapest);
-        assert_eq!(l.class_of(s.table_by_name("hot").unwrap().object), pool.most_expensive());
+        assert_eq!(
+            l.class_of(s.table_by_name("cold").unwrap().object),
+            cheapest
+        );
+        assert_eq!(
+            l.class_of(s.table_by_name("hot").unwrap().object),
+            pool.most_expensive()
+        );
     }
 
     #[test]

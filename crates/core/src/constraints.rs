@@ -39,11 +39,7 @@ pub fn derive_with_sla(problem: &Problem<'_>, sla: SlaSpec) -> Constraints {
 
 /// Build constraints from an existing reference estimate (e.g. a *measured*
 /// premium run during validation).
-pub fn from_reference(
-    problem: &Problem<'_>,
-    reference: TocEstimate,
-    sla: SlaSpec,
-) -> Constraints {
+pub fn from_reference(problem: &Problem<'_>, reference: TocEstimate, sla: SlaSpec) -> Constraints {
     match problem.workload.metric {
         PerfMetric::ResponseTime => Constraints {
             response_caps_ms: Some(
@@ -79,12 +75,7 @@ impl Constraints {
     /// Performance constraints only (no capacity check).
     pub fn performance_satisfied(&self, est: &TocEstimate) -> bool {
         if let Some(caps) = &self.response_caps_ms {
-            if est
-                .per_query_ms
-                .iter()
-                .zip(caps)
-                .any(|(t, cap)| t > cap)
-            {
+            if est.per_query_ms.iter().zip(caps).any(|(t, cap)| t > cap) {
                 return false;
             }
         }
@@ -148,9 +139,7 @@ mod tests {
         let c = derive(&p);
         assert!(c.response_caps_ms.is_none());
         let floor = c.throughput_floor.unwrap();
-        assert!(
-            (floor - 0.25 * c.reference.throughput_tasks_per_hour).abs() < 1e-9
-        );
+        assert!((floor - 0.25 * c.reference.throughput_tasks_per_hour).abs() < 1e-9);
         assert!(c.performance_satisfied(&c.reference));
     }
 
@@ -161,10 +150,8 @@ mod tests {
         let w = synth::mixed_workload(&s);
         let p = crate::Problem::new(&s, &pool, &w, SlaSpec::relative(0.9), EngineConfig::dss());
         let c = derive(&p);
-        let hdd = dot_dbms::Layout::uniform(
-            pool.class_by_name("HDD").unwrap().id,
-            s.object_count(),
-        );
+        let hdd =
+            dot_dbms::Layout::uniform(pool.class_by_name("HDD").unwrap().id, s.object_count());
         let est = crate::toc::estimate_toc(&p, &hdd);
         assert!(!c.performance_satisfied(&est));
         assert!(c.psr(&est) < 1.0);

@@ -224,10 +224,8 @@ mod tests {
         // Scan-dominated workload: CPU bounds the degradation, so cheaper
         // classes are admissible and DOT must exploit them.
         let (s, pool, _) = setup();
-        let w = dot_workloads::Workload::dss(
-            "scans",
-            vec![synth::seq_read_query(&s).with_weight(3.0)],
-        );
+        let w =
+            dot_workloads::Workload::dss("scans", vec![synth::seq_read_query(&s).with_weight(3.0)]);
         let p = crate::Problem::new(&s, &pool, &w, SlaSpec::relative(0.5), EngineConfig::dss());
         let cons = constraints::derive(&p);
         let prof = profile_workload(&w, &s, &pool, &p.cfg, ProfileSource::Estimate);
@@ -243,7 +241,8 @@ mod tests {
     fn tighter_sla_cannot_be_cheaper() {
         let (s, pool, w) = setup();
         let toc_at = |ratio: f64| {
-            let p = crate::Problem::new(&s, &pool, &w, SlaSpec::relative(ratio), EngineConfig::dss());
+            let p =
+                crate::Problem::new(&s, &pool, &w, SlaSpec::relative(ratio), EngineConfig::dss());
             let cons = constraints::derive(&p);
             let prof = profile_workload(&w, &s, &pool, &p.cfg, ProfileSource::Estimate);
             optimize(&p, &prof, &cons)
@@ -317,11 +316,7 @@ mod tests {
         let premium = pool.most_expensive();
         // The cold group is never read: it must land on the cheapest class.
         let cold_obj = s.table_by_name("cold").unwrap().object;
-        let cheapest = pool
-            .ids_by_price_desc()
-            .last()
-            .copied()
-            .unwrap();
+        let cheapest = pool.ids_by_price_desc().last().copied().unwrap();
         assert_eq!(layout.class_of(cold_obj), cheapest);
         // And at least two groups moved off the premium class.
         let moved = s

@@ -6,7 +6,8 @@
 //!   describes, evaluating every layout through the same storage-aware
 //!   planner DOT uses. Tractable only for small object sets (the paper uses
 //!   8 TPC-H objects → 3^8 = 6561 layouts; the full 16-object set would be
-//!   43 million). Parallelized over the first object's class with crossbeam.
+//!   43 million). Parallelized over the first object's class with scoped
+//!   threads.
 //! * [`exhaustive_search_additive`] — an exact branch-and-bound over
 //!   group placements for **throughput workloads with placement-stable
 //!   plans** (TPC-C, §4.5.1): there the planner's cost vector does not
@@ -99,14 +100,17 @@ pub fn exhaustive_search(problem: &Problem<'_>, cons: &Constraints) -> EsOutcome
         }
     };
 
-    let results: Vec<Best> = crossbeam::thread::scope(|scope| {
+    let evaluate_branch = &evaluate_branch;
+    let results: Vec<Best> = std::thread::scope(|scope| {
         let handles: Vec<_> = classes
             .iter()
-            .map(|&first| scope.spawn(move |_| evaluate_branch(first)))
+            .map(|&first| scope.spawn(move || evaluate_branch(first)))
             .collect();
-        handles.into_iter().map(|h| h.join().expect("ES worker")).collect()
-    })
-    .expect("ES scope");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("ES worker"))
+            .collect()
+    });
 
     let mut layout = None;
     let mut estimate: Option<TocEstimate> = None;

@@ -54,8 +54,7 @@ pub fn choose_configuration(
     let mut winner: Option<usize> = None;
     let mut best_toc = f64::INFINITY;
     for (index, pool) in candidates.iter().enumerate() {
-        let problem =
-            Problem::new(schema, pool, workload, sla, cfg).with_cost_model(cost_model);
+        let problem = Problem::new(schema, pool, workload, sla, cfg).with_cost_model(cost_model);
         let cons = constraints::derive(&problem);
         let profile = profile_workload(workload, schema, pool, &cfg, source);
         let outcome = dot::optimize(&problem, &profile, &cons);

@@ -178,6 +178,26 @@ mod tests {
     }
 
     #[test]
+    fn score_is_delta_time_per_delta_cost() {
+        // Eq. 4: σ[m] = δ_time[m] / δ_cost[m], exactly, for every move.
+        let (s, pool, w) = setup();
+        let p = crate::Problem::new(&s, &pool, &w, SlaSpec::relative(0.5), EngineConfig::dss());
+        let prof = profile_workload(&w, &s, &pool, &p.cfg, ProfileSource::Estimate);
+        let moves = enumerate_moves(&p, &prof);
+        assert!(!moves.is_empty());
+        for m in &moves {
+            assert!(m.score.is_finite());
+            let sigma = m.delta_time_ms / m.delta_cost;
+            assert!(
+                (m.score - sigma).abs() <= 1e-12 * sigma.abs().max(1.0),
+                "score {} != δ_time/δ_cost {}",
+                m.score,
+                sigma
+            );
+        }
+    }
+
+    #[test]
     fn cheap_slow_moves_score_higher_than_cheap_fast_moves() {
         // Moving the heavily-read group to the HDD must score worse (higher
         // σ) than moving it to the L-SSD RAID 0, which is nearly as cheap

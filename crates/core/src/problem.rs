@@ -129,7 +129,13 @@ mod tests {
         let schema = synth::bench_schema(1_000_000.0, 100.0);
         let pool = catalog::box2();
         let w = synth::mixed_workload(&schema);
-        let p = Problem::new(&schema, &pool, &w, SlaSpec::relative(0.5), EngineConfig::dss());
+        let p = Problem::new(
+            &schema,
+            &pool,
+            &w,
+            SlaSpec::relative(0.5),
+            EngineConfig::dss(),
+        );
         let l = p.premium_layout();
         assert!(
             (p.layout_cost_cents_per_hour(&l) - l.cost_cents_per_hour(&schema, &pool)).abs()
@@ -142,14 +148,24 @@ mod tests {
         let schema = synth::bench_schema(1_000_000.0, 100.0);
         let pool = catalog::box2();
         let w = synth::mixed_workload(&schema);
-        let base = Problem::new(&schema, &pool, &w, SlaSpec::relative(0.5), EngineConfig::dss());
+        let base = Problem::new(
+            &schema,
+            &pool,
+            &w,
+            SlaSpec::relative(0.5),
+            EngineConfig::dss(),
+        );
         let l = base.premium_layout();
         let linear = base.layout_cost_cents_per_hour(&l);
 
-        let p0 = base.clone().with_cost_model(LayoutCostModel::Discrete { alpha: 0.0 });
+        let p0 = base
+            .clone()
+            .with_cost_model(LayoutCostModel::Discrete { alpha: 0.0 });
         assert!((p0.layout_cost_cents_per_hour(&l) - linear).abs() < 1e-9);
 
-        let p1 = base.clone().with_cost_model(LayoutCostModel::Discrete { alpha: 1.0 });
+        let p1 = base
+            .clone()
+            .with_cost_model(LayoutCostModel::Discrete { alpha: 1.0 });
         let hssd = pool.class_by_name("H-SSD").unwrap();
         let full_device = hssd.price_cents_per_gb_hour * hssd.capacity_gb;
         assert!((p1.layout_cost_cents_per_hour(&l) - full_device).abs() < 1e-9);
@@ -164,8 +180,14 @@ mod tests {
         let schema = synth::bench_schema(1_000_000.0, 100.0);
         let pool = catalog::box2();
         let w = synth::mixed_workload(&schema);
-        let p = Problem::new(&schema, &pool, &w, SlaSpec::relative(0.5), EngineConfig::dss())
-            .with_cost_model(LayoutCostModel::Discrete { alpha: 1.0 });
+        let p = Problem::new(
+            &schema,
+            &pool,
+            &w,
+            SlaSpec::relative(0.5),
+            EngineConfig::dss(),
+        )
+        .with_cost_model(LayoutCostModel::Discrete { alpha: 1.0 });
         // Everything on one class: only that device is bought.
         let hdd = pool.class_by_name("HDD").unwrap();
         let l = Layout::uniform(hdd.id, schema.object_count());
@@ -178,7 +200,13 @@ mod tests {
         let schema = synth::bench_schema(1_000_000.0, 100.0);
         let pool = catalog::box1();
         let w = synth::mixed_workload(&schema);
-        let p = Problem::new(&schema, &pool, &w, SlaSpec::relative(0.5), EngineConfig::dss());
+        let p = Problem::new(
+            &schema,
+            &pool,
+            &w,
+            SlaSpec::relative(0.5),
+            EngineConfig::dss(),
+        );
         let l = p.premium_layout();
         for o in schema.objects() {
             assert_eq!(l.class_of(o.id), pool.most_expensive());

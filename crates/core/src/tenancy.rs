@@ -82,9 +82,11 @@ pub fn colocate(tenants: &[Tenant]) -> Colocation {
         table_offsets.push(table_count);
         index_offsets.push(index_count);
         for table in t.schema.tables() {
-            builder = builder
-                .clustered_by_default(table.clustered)
-                .table(&format!("{}.{}", t.name, table.name), table.rows, table.row_bytes);
+            builder = builder.clustered_by_default(table.clustered).table(
+                &format!("{}.{}", t.name, table.name),
+                table.rows,
+                table.row_bytes,
+            );
             table_count += 1;
             for idx in t.schema.indexes_of(table.id) {
                 // Preserve index semantics (primary flag, correlation).
@@ -207,11 +209,7 @@ pub fn provision(
 ) -> TenancyOutcome {
     // The per-tenant SLA is irrelevant to Problem's own field (caps are
     // built manually below); use the tightest for documentation purposes.
-    let tightest = colocation
-        .query_slas
-        .iter()
-        .cloned()
-        .fold(1.0f64, f64::min);
+    let tightest = colocation.query_slas.iter().cloned().fold(1.0f64, f64::min);
     let problem = Problem::new(
         &colocation.schema,
         pool,
@@ -233,13 +231,7 @@ pub fn provision(
         reference,
         sla: SlaSpec::relative(tightest),
     };
-    let profile = profile_workload(
-        &colocation.workload,
-        &colocation.schema,
-        pool,
-        &cfg,
-        source,
-    );
+    let profile = profile_workload(&colocation.workload, &colocation.schema, pool, &cfg, source);
     let outcome = dot::optimize(&problem, &profile, &cons);
     let tenant_psr = match (&outcome.estimate, &cons.response_caps_ms) {
         (Some(est), Some(caps)) => colocation
@@ -253,7 +245,10 @@ pub fn provision(
             .collect(),
         _ => vec![0.0; colocation.query_spans.len()],
     };
-    TenancyOutcome { outcome, tenant_psr }
+    TenancyOutcome {
+        outcome,
+        tenant_psr,
+    }
 }
 
 #[cfg(test)]
@@ -268,7 +263,10 @@ mod tests {
         let b_schema = synth::bench_schema(2_000_000.0, 120.0);
         let b_workload = dot_workloads::Workload::dss(
             "b",
-            vec![synth::seq_read_query(&b_schema), synth::rand_read_query(&b_schema, 500.0)],
+            vec![
+                synth::seq_read_query(&b_schema),
+                synth::rand_read_query(&b_schema, 500.0),
+            ],
         );
         vec![
             Tenant {

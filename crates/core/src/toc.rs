@@ -39,7 +39,9 @@ pub struct TocEstimate {
 impl TocEstimate {
     fn from_run(problem: &Problem<'_>, layout: &Layout, run: exec::RunResult) -> TocEstimate {
         let layout_cost = problem.layout_cost_cents_per_hour(layout);
-        let throughput = problem.workload.throughput_tasks_per_hour(run.stream_time_ms);
+        let throughput = problem
+            .workload
+            .throughput_tasks_per_hour(run.stream_time_ms);
         let hours = problem.workload.execution_hours(run.stream_time_ms);
         let toc_cents_per_pass = layout_cost * hours;
         let objective_cents = match problem.workload.metric {
@@ -98,7 +100,11 @@ mod tests {
     use dot_storage::catalog;
     use dot_workloads::{synth, SlaSpec};
 
-    fn setup() -> (dot_dbms::Schema, dot_storage::StoragePool, dot_workloads::Workload) {
+    fn setup() -> (
+        dot_dbms::Schema,
+        dot_storage::StoragePool,
+        dot_workloads::Workload,
+    ) {
         let s = synth::bench_schema(5_000_000.0, 120.0);
         let pool = catalog::box2();
         let w = synth::mixed_workload(&s);
@@ -110,10 +116,8 @@ mod tests {
         let (s, pool, w) = setup();
         let p = crate::Problem::new(&s, &pool, &w, SlaSpec::relative(0.5), EngineConfig::dss());
         let premium = estimate_toc(&p, &p.premium_layout());
-        let hdd = dot_dbms::Layout::uniform(
-            pool.class_by_name("HDD").unwrap().id,
-            s.object_count(),
-        );
+        let hdd =
+            dot_dbms::Layout::uniform(pool.class_by_name("HDD").unwrap().id, s.object_count());
         let cheap = estimate_toc(&p, &hdd);
         assert!(premium.stream_time_ms < cheap.stream_time_ms);
         assert!(premium.layout_cost_cents_per_hour > cheap.layout_cost_cents_per_hour);
@@ -127,9 +131,7 @@ mod tests {
         let est = estimate_toc(&p, &p.premium_layout());
         // cents/pass = C(L) [c/h] * t [h].
         let hours = est.stream_time_ms / 3_600_000.0;
-        assert!(
-            (est.toc_cents_per_pass - est.layout_cost_cents_per_hour * hours).abs() < 1e-12
-        );
+        assert!((est.toc_cents_per_pass - est.layout_cost_cents_per_hour * hours).abs() < 1e-12);
         // cents/task * tasks/hour = cents/hour.
         assert!(
             (est.toc_cents_per_task * est.throughput_tasks_per_hour
@@ -137,6 +139,87 @@ mod tests {
                 .abs()
                 < 1e-9
         );
+    }
+
+    #[test]
+    fn estimate_time_monotone_under_device_dominance() {
+        // Cheaper device ⇒ no lower time estimate, whenever "cheaper" also
+        // means pointwise slower: if class `b` is at least as fast as class
+        // `a` at all four I/O patterns (at the workload's concurrency), no
+        // query may be estimated slower on uniform-`b` than on uniform-`a`.
+        // (Plain price order is NOT enough — per Table 1 the low-end SSD is
+        // pricier than HDD yet slower at random writes.)
+        let (s, pool, w) = setup();
+        let p = crate::Problem::new(&s, &pool, &w, SlaSpec::relative(0.5), EngineConfig::dss());
+        let concurrency = p.cfg.concurrency;
+        let estimates: Vec<(usize, TocEstimate)> = pool
+            .classes()
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                (
+                    i,
+                    estimate_toc(&p, &dot_dbms::Layout::uniform(c.id, s.object_count())),
+                )
+            })
+            .collect();
+        let mut dominated_pairs = 0;
+        for (ia, ea) in &estimates {
+            for (ib, eb) in &estimates {
+                let (a, b) = (&pool.classes()[*ia], &pool.classes()[*ib]);
+                let b_dominates = dot_storage::IO_TYPES.iter().all(|&io| {
+                    b.profile.latency_ms(io, concurrency) <= a.profile.latency_ms(io, concurrency)
+                });
+                if ia == ib || !b_dominates {
+                    continue;
+                }
+                dominated_pairs += 1;
+                assert!(
+                    eb.stream_time_ms <= ea.stream_time_ms * (1.0 + 1e-9),
+                    "{} dominates {} but streams slower",
+                    b.name,
+                    a.name
+                );
+                for (fast, slow) in eb.per_query_ms.iter().zip(&ea.per_query_ms) {
+                    assert!(
+                        fast <= &(slow * (1.0 + 1e-9)),
+                        "{} dominates {} but a query got slower ({fast} > {slow})",
+                        b.name,
+                        a.name
+                    );
+                }
+            }
+        }
+        // Box 2 must contain at least one dominated pair (H-SSD is the
+        // paper's strictly fastest device at every pattern).
+        assert!(
+            dominated_pairs >= 2,
+            "only {dominated_pairs} dominated pairs"
+        );
+    }
+
+    #[test]
+    fn throughput_objective_is_layout_cost() {
+        // §4.5: under a throughput metric the measurement period is fixed at
+        // one hour, so the objective reduces to C(L) itself.
+        let (s, pool, _) = setup();
+        let w = dot_workloads::Workload::oltp(
+            "synth-oltp",
+            vec![
+                synth::rand_read_query(&s, 100.0),
+                synth::rand_write_query(&s, 100.0),
+            ],
+            8,
+            1000.0,
+        );
+        let p = crate::Problem::new(&s, &pool, &w, SlaSpec::relative(0.5), EngineConfig::oltp());
+        let layout = p.premium_layout();
+        let est = estimate_toc(&p, &layout);
+        assert_eq!(
+            p.workload.metric,
+            dot_workloads::spec::PerfMetric::Throughput
+        );
+        assert!((est.objective_cents - est.layout_cost_cents_per_hour).abs() < 1e-12);
     }
 
     #[test]

@@ -128,7 +128,11 @@ mod tests {
         let s = schema();
         let bp = BufferPool::new(0.0);
         let mut cv = CostVector::zero(s.object_count());
-        cv.charge(s.table_by_name("big").unwrap().object, IoType::RandRead, 7.0);
+        cv.charge(
+            s.table_by_name("big").unwrap().object,
+            IoType::RandRead,
+            7.0,
+        );
         let out = bp.apply(&s, &cv, 10.0);
         assert_eq!(out, cv);
     }
@@ -138,7 +142,11 @@ mod tests {
         let s = schema();
         let bp = BufferPool::new(4.0);
         let mut cv = CostVector::zero(s.object_count());
-        cv.charge(s.table_by_name("tiny").unwrap().object, IoType::RandWrite, 5.0);
+        cv.charge(
+            s.table_by_name("tiny").unwrap().object,
+            IoType::RandWrite,
+            5.0,
+        );
         assert_eq!(bp.touched_read_gb(&s, &cv), 0.0);
         cv.charge(s.table_by_name("big").unwrap().object, IoType::SeqRead, 1.0);
         let big_gb = s.table_by_name("big").unwrap().size_gb();

@@ -151,7 +151,10 @@ mod tests {
     fn empty_objects_cost_nothing() {
         let pool = catalog::box2();
         let cv = CostVector::zero(5);
-        assert_eq!(cv.io_time_ms(&Layout::uniform(ClassId(0), 5), &pool, 1), 0.0);
+        assert_eq!(
+            cv.io_time_ms(&Layout::uniform(ClassId(0), 5), &pool, 1),
+            0.0
+        );
     }
 
     #[test]

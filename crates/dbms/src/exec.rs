@@ -51,7 +51,10 @@ pub struct RunResult {
 impl RunResult {
     /// Response time of the named query (first match), if present.
     pub fn query_time_ms(&self, name: &str) -> Option<f64> {
-        self.queries.iter().find(|q| q.name == name).map(|q| q.time_ms)
+        self.queries
+            .iter()
+            .find(|q| q.name == name)
+            .map(|q| q.time_ms)
     }
 }
 

@@ -24,7 +24,10 @@ pub fn explain(
     cfg: &EngineConfig,
 ) -> String {
     let mut out = String::new();
-    out.push_str(&format!("{}  (est {:.1} ms", planned.name, planned.est_time_ms));
+    out.push_str(&format!(
+        "{}  (est {:.1} ms",
+        planned.name, planned.est_time_ms
+    ));
     let io_ms = planned.cost.io_time_ms(layout, pool, cfg.concurrency);
     out.push_str(&format!(
         " = {:.1} ms I/O + {:.1} ms CPU)\n",
@@ -55,7 +58,10 @@ pub fn explain(
         .filter(|(_, c)| !c.is_zero())
         .map(|(i, c)| {
             let class = pool.class_unchecked(layout.class_of(ObjectId(i)));
-            (ObjectId(i), class.profile.service_time_ms(c, cfg.concurrency))
+            (
+                ObjectId(i),
+                class.profile.service_time_ms(c, cfg.concurrency),
+            )
         })
         .collect();
     rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite times"));

@@ -81,11 +81,7 @@ impl PlannedQuery {
     /// with equal signatures chose identical physical plans — the profiler's
     /// pruning test (§3.4).
     pub fn describe(&self) -> String {
-        let paths: Vec<String> = self
-            .access_paths
-            .iter()
-            .map(|(_, p)| p.label())
-            .collect();
+        let paths: Vec<String> = self.access_paths.iter().map(|(_, p)| p.label()).collect();
         let joins: Vec<&str> = self.joins.iter().map(|j| j.label()).collect();
         format!(
             "{}[{}{}{}]{}",

@@ -199,8 +199,9 @@ fn plan_rel(
                 );
                 cv
             });
-            let inlj_time =
-                inlj.as_ref().map(|cv| cv.time_ms(layout, pool, cfg.concurrency));
+            let inlj_time = inlj
+                .as_ref()
+                .map(|cv| cv.time_ms(layout, pool, cfg.concurrency));
 
             let out_rows = outer.rows * join.rows_per_outer;
             let out_bytes = outer.row_bytes + inner_table.row_bytes;
@@ -360,10 +361,7 @@ mod tests {
     }
 
     fn layouts(pool: &dot_storage::StoragePool, n: usize) -> (Layout, Layout) {
-        let hdd = pool
-            .class_by_name("HDD")
-            .unwrap()
-            .id;
+        let hdd = pool.class_by_name("HDD").unwrap().id;
         let hssd = pool.class_by_name("H-SSD").unwrap().id;
         (Layout::uniform(hdd, n), Layout::uniform(hssd, n))
     }

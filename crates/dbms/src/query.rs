@@ -66,7 +66,10 @@ impl ScanSpec {
     /// Validate numeric domains.
     pub fn validate(&self) -> Result<(), String> {
         if !(0.0..=1.0).contains(&self.selectivity) {
-            return Err(format!("scan selectivity {} out of [0,1]", self.selectivity));
+            return Err(format!(
+                "scan selectivity {} out of [0,1]",
+                self.selectivity
+            ));
         }
         if self.index.is_some() && self.index_selectivity + 1e-12 < self.selectivity {
             return Err("index_selectivity must be >= selectivity".into());
@@ -87,7 +90,12 @@ pub enum Rel {
 
 impl Rel {
     /// Convenience constructor for a join node.
-    pub fn join(outer: Rel, inner: ScanSpec, rows_per_outer: f64, inner_index: Option<IndexId>) -> Rel {
+    pub fn join(
+        outer: Rel,
+        inner: ScanSpec,
+        rows_per_outer: f64,
+        inner_index: Option<IndexId>,
+    ) -> Rel {
         Rel::Join(Box::new(JoinSpec {
             outer,
             inner,

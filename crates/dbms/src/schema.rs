@@ -307,7 +307,14 @@ impl SchemaBuilder {
     pub fn correlated_index(mut self, name: &str, key_bytes: f64, correlation: f64) -> Self {
         let t = self.last_table();
         let (table, entries) = (t.id, t.rows);
-        self.push_index(name.to_owned(), table, key_bytes, entries, false, correlation);
+        self.push_index(
+            name.to_owned(),
+            table,
+            key_bytes,
+            entries,
+            false,
+            correlation,
+        );
         self
     }
 
@@ -336,7 +343,8 @@ impl SchemaBuilder {
 
     /// Declare a temp-space object of the given size in GB.
     pub fn temp_space(mut self, size_gb: f64) -> Self {
-        self.extra.push(("temp_space".into(), ObjectKind::Temp, size_gb));
+        self.extra
+            .push(("temp_space".into(), ObjectKind::Temp, size_gb));
         self
     }
 

@@ -20,7 +20,10 @@ pub fn two_table_schema() -> Schema {
 /// scan or a primary-index range scan, depending on placement.
 pub fn range_query(schema: &Schema, selectivity: f64) -> QuerySpec {
     let fact = schema.table_by_name("fact").expect("testkit schema").id;
-    let pk = schema.index_by_name("fact_pkey").expect("testkit schema").id;
+    let pk = schema
+        .index_by_name("fact_pkey")
+        .expect("testkit schema")
+        .id;
     QuerySpec::read(
         "range",
         ReadOp::of(Rel::Scan(ScanSpec::indexed(fact, selectivity, pk))),
@@ -32,7 +35,10 @@ pub fn range_query(schema: &Schema, selectivity: f64) -> QuerySpec {
 pub fn probe_join_query(schema: &Schema, outer_selectivity: f64) -> QuerySpec {
     let fact = schema.table_by_name("fact").expect("testkit schema").id;
     let dim = schema.table_by_name("dim").expect("testkit schema").id;
-    let pk = schema.index_by_name("fact_pkey").expect("testkit schema").id;
+    let pk = schema
+        .index_by_name("fact_pkey")
+        .expect("testkit schema")
+        .id;
     QuerySpec::read(
         "probe_join",
         ReadOp::of(Rel::join(

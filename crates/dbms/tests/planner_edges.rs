@@ -72,7 +72,10 @@ fn clustered_table_prefers_index_ranges_earlier() {
     // At 1% on a spinning disk: unclustered must scan (Yao says ~7.5k
     // random heap pages), clustered can afford the index range (the heap
     // fetches turn sequential).
-    assert_eq!(choice(&unclustered, 0.01), dot_dbms::plan::AccessPath::SeqScan);
+    assert_eq!(
+        choice(&unclustered, 0.01),
+        dot_dbms::plan::AccessPath::SeqScan
+    );
     assert!(matches!(
         choice(&clustered, 0.01),
         dot_dbms::plan::AccessPath::IndexScan(_)
@@ -181,8 +184,7 @@ fn concurrency_changes_effective_latencies() {
         ReadOp::of(Rel::Scan(ScanSpec::indexed(t, 1e-5, pk))),
     );
     let t1 = planner::plan_query(&q, &s, &layout, &pool, &EngineConfig::dss()).est_time_ms;
-    let t300 =
-        planner::plan_query(&q, &s, &layout, &pool, &EngineConfig::oltp()).est_time_ms;
+    let t300 = planner::plan_query(&q, &s, &layout, &pool, &EngineConfig::oltp()).est_time_ms;
     // HDD random reads get *faster* per request at high concurrency
     // (Table 1: 13.32 -> 8.90 ms), so the point probe should too.
     assert!(t300 < t1, "c=300 {t300} vs c=1 {t1}");

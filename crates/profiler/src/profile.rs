@@ -6,9 +6,7 @@
 //! optimizer turns these into the *I/O time share* `T^p[g]` of Eq. 1 and the
 //! move scores of §3.3.
 
-use crate::baseline::{
-    baseline_layout, baseline_placements, group_arity, project_placement,
-};
+use crate::baseline::{baseline_layout, baseline_placements, group_arity, project_placement};
 use dot_dbms::{exec, planner, EngineConfig, ObjectId, Schema};
 use dot_storage::{ClassId, IoCounts, StoragePool};
 use dot_workloads::Workload;
@@ -128,14 +126,9 @@ pub fn profile_workload(
                     ProfileSource::Estimate => {
                         exec::estimate_workload(&workload.queries, schema, &layout, pool, cfg)
                     }
-                    ProfileSource::TestRun { seed } => exec::simulate_workload(
-                        &workload.queries,
-                        schema,
-                        &layout,
-                        pool,
-                        cfg,
-                        seed,
-                    ),
+                    ProfileSource::TestRun { seed } => {
+                        exec::simulate_workload(&workload.queries, schema, &layout, pool, cfg, seed)
+                    }
                 };
                 seen.insert(signature, run.cost.io.clone());
                 run.cost.io
@@ -192,7 +185,9 @@ mod tests {
         let t_hdd = g.io_time_share_ms(&key_hdd, &pool, 1).unwrap();
         let t_hssd = g.io_time_share_ms(&key_hssd, &pool, 1).unwrap();
         assert!(t_hdd > t_hssd, "hdd {t_hdd} vs hssd {t_hssd}");
-        assert!(g.io_time_share_ms(&[hdd; 9][..g.objects.len()], &pool, 1).is_some());
+        assert!(g
+            .io_time_share_ms(&[hdd; 9][..g.objects.len()], &pool, 1)
+            .is_some());
         assert!(g.io_time_share_ms(&[], &pool, 1).is_none());
     }
 

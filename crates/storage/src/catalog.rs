@@ -118,7 +118,12 @@ fn class(name: &str, devices: Vec<DeviceSpec>, profile: IoProfile, price: f64) -
 
 /// The bare-HDD storage class with published price and profile.
 pub fn hdd_class() -> StorageClass {
-    class(names::HDD, vec![hdd_spec()], hdd_profile(), PUBLISHED_PRICES[0])
+    class(
+        names::HDD,
+        vec![hdd_spec()],
+        hdd_profile(),
+        PUBLISHED_PRICES[0],
+    )
 }
 
 /// The HDD RAID 0 class.
@@ -133,7 +138,12 @@ pub fn hdd_raid0_class() -> StorageClass {
 
 /// The bare low-end-SSD class.
 pub fn lssd_class() -> StorageClass {
-    class(names::LSSD, vec![lssd_spec()], lssd_profile(), PUBLISHED_PRICES[2])
+    class(
+        names::LSSD,
+        vec![lssd_spec()],
+        lssd_profile(),
+        PUBLISHED_PRICES[2],
+    )
 }
 
 /// The L-SSD RAID 0 class.
@@ -148,7 +158,12 @@ pub fn lssd_raid0_class() -> StorageClass {
 
 /// The high-end-SSD class.
 pub fn hssd_class() -> StorageClass {
-    class(names::HSSD, vec![hssd_spec()], hssd_profile(), PUBLISHED_PRICES[4])
+    class(
+        names::HSSD,
+        vec![hssd_spec()],
+        hssd_profile(),
+        PUBLISHED_PRICES[4],
+    )
 }
 
 /// All five paper classes in Table 1 order (used by the Table 1 harness).
@@ -164,10 +179,7 @@ pub fn all_classes() -> Vec<StorageClass> {
 
 /// Box 1 (§4.1): one HDD RAID 0, one L-SSD, one H-SSD.
 pub fn box1() -> StoragePool {
-    StoragePool::new(
-        "Box 1",
-        vec![hdd_raid0_class(), lssd_class(), hssd_class()],
-    )
+    StoragePool::new("Box 1", vec![hdd_raid0_class(), lssd_class(), hssd_class()])
 }
 
 /// Box 2 (§4.1): one HDD, one L-SSD RAID 0, one H-SSD.
@@ -251,7 +263,10 @@ mod tests {
             / hssd.profile.latency_ms(IoType::SeqRead, 1);
         assert!((sr_ratio - 1.3).abs() < 0.05, "sr_ratio {sr_ratio}");
         let price_ratio = lraid.price_cents_per_gb_hour / hssd.price_cents_per_gb_hour;
-        assert!((price_ratio - 0.056).abs() < 0.002, "price_ratio {price_ratio}");
+        assert!(
+            (price_ratio - 0.056).abs() < 0.002,
+            "price_ratio {price_ratio}"
+        );
 
         let hraid = hdd_raid0_class();
         let lssd = lssd_class();
@@ -261,7 +276,10 @@ mod tests {
         // HDD RAID 0 being x1.36 *slower-class-beating* on cost; check the
         // published price ratio instead.
         let price_gain = hraid.price_cents_per_gb_hour / lssd.price_cents_per_gb_hour;
-        assert!((price_gain - 0.107).abs() < 0.002, "price_gain {price_gain}");
+        assert!(
+            (price_gain - 0.107).abs() < 0.002,
+            "price_gain {price_gain}"
+        );
         assert!(sr_gain > 0.7 && sr_gain < 1.0);
     }
 
@@ -271,9 +289,7 @@ mod tests {
         // than the plain HDD's (10.2 ms). DOT's TPC-C layouts hinge on this.
         let l = lssd_profile();
         let h = hdd_profile();
-        assert!(
-            l.latency_ms(IoType::RandWrite, 1) > 6.0 * h.latency_ms(IoType::RandWrite, 1)
-        );
+        assert!(l.latency_ms(IoType::RandWrite, 1) > 6.0 * h.latency_ms(IoType::RandWrite, 1));
         // ...and RAID 0 rescues the L-SSD considerably (62 → 21 ms).
         let lr = lssd_raid0_profile();
         assert!(lr.latency_ms(IoType::RandWrite, 1) < 0.4 * l.latency_ms(IoType::RandWrite, 1));

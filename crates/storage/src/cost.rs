@@ -117,4 +117,45 @@ mod tests {
     fn zero_capacity_panics() {
         CostModel::PAPER.price_cents_per_gb_hour(100.0, 1.0, 0.0);
     }
+
+    #[test]
+    fn price_scales_linearly_with_purchase_and_inversely_with_capacity() {
+        let m = CostModel::PAPER;
+        let base = m.price_cents_per_gb_hour(100_000.0, 0.0, 50.0);
+        // Doubling the purchase price doubles the (pure-amortization) price.
+        let double = m.price_cents_per_gb_hour(200_000.0, 0.0, 50.0);
+        assert!((double - 2.0 * base).abs() < 1e-12);
+        // Doubling the capacity halves the per-GB price.
+        let spread = m.price_cents_per_gb_hour(100_000.0, 0.0, 100.0);
+        assert!((spread - base / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hourly_cost_is_additive() {
+        // Owning two devices costs the sum of owning each: the model is
+        // linear in both purchase price and power draw.
+        let m = CostModel::PAPER;
+        let a = m.hourly_cost_cents(25_300.0, 2.5);
+        let b = m.hourly_cost_cents(355_000.0, 10.5);
+        let combined = m.hourly_cost_cents(25_300.0 + 355_000.0, 2.5 + 10.5);
+        assert!((combined - (a + b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn longer_amortization_lowers_price_but_not_energy() {
+        let short = CostModel {
+            amortization_months: 12.0,
+            ..CostModel::PAPER
+        };
+        let long = CostModel {
+            amortization_months: 60.0,
+            ..CostModel::PAPER
+        };
+        // Purchase-dominated device: longer amortization is cheaper.
+        assert!(long.hourly_cost_cents(100_000.0, 0.0) < short.hourly_cost_cents(100_000.0, 0.0));
+        // Energy-only device: amortization window is irrelevant.
+        assert!(
+            (long.hourly_cost_cents(0.0, 10.0) - short.hourly_cost_cents(0.0, 10.0)).abs() < 1e-12
+        );
+    }
 }

@@ -109,7 +109,12 @@ pub struct StorageClass {
 
 impl StorageClass {
     /// Build a class from a single bare device, pricing it with `model`.
-    pub fn from_device(name: &str, spec: DeviceSpec, profile: IoProfile, model: &CostModel) -> Self {
+    pub fn from_device(
+        name: &str,
+        spec: DeviceSpec,
+        profile: IoProfile,
+        model: &CostModel,
+    ) -> Self {
         let price =
             model.price_cents_per_gb_hour(spec.purchase_cents, spec.power_watts, spec.capacity_gb);
         StorageClass {

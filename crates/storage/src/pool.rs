@@ -197,9 +197,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "duplicate class name")]
     fn duplicate_names_rejected() {
-        let _ = StoragePool::new(
-            "dup",
-            vec![catalog::hdd_class(), catalog::hdd_class()],
-        );
+        let _ = StoragePool::new("dup", vec![catalog::hdd_class(), catalog::hdd_class()]);
     }
 }

@@ -61,7 +61,12 @@ impl Raid0Scaling {
     };
 
     fn factors(&self) -> [f64; 4] {
-        [self.seq_read, self.rand_read, self.seq_write, self.rand_write]
+        [
+            self.seq_read,
+            self.rand_read,
+            self.seq_write,
+            self.rand_write,
+        ]
     }
 }
 
@@ -160,7 +165,11 @@ mod tests {
         // weighting).
         let published = 8.19e-4;
         let err = (r.price_cents_per_gb_hour - published).abs() / published;
-        assert!(err < 0.05, "price {} vs {published}", r.price_cents_per_gb_hour);
+        assert!(
+            err < 0.05,
+            "price {} vs {published}",
+            r.price_cents_per_gb_hour
+        );
     }
 
     #[test]
@@ -222,7 +231,8 @@ mod tests {
         );
         assert!(four.capacity_gb > two.capacity_gb);
         assert!(
-            four.profile.latency_ms(IoType::SeqRead, 1) < two.profile.latency_ms(IoType::SeqRead, 1)
+            four.profile.latency_ms(IoType::SeqRead, 1)
+                < two.profile.latency_ms(IoType::SeqRead, 1)
         );
     }
 

@@ -79,7 +79,10 @@ fn price_and_capacity_edits_are_local() {
         .map(|(i, _)| i)
         .collect();
     assert_eq!(changed.len(), 1);
-    assert_eq!(pool.class_by_name("HDD").unwrap().price_cents_per_gb_hour, 1.0);
+    assert_eq!(
+        pool.class_by_name("HDD").unwrap().price_cents_per_gb_hour,
+        1.0
+    );
 }
 
 #[test]

@@ -32,7 +32,7 @@
 pub mod spec;
 pub mod synth;
 pub mod tpcc;
-pub mod ycsb;
 pub mod tpch;
+pub mod ycsb;
 
 pub use spec::{PerfMetric, SlaSpec, Workload};

@@ -48,7 +48,12 @@ impl Workload {
     }
 
     /// Build a throughput workload of `concurrency` identical streams.
-    pub fn oltp(name: &str, queries: Vec<QuerySpec>, concurrency: u32, tasks_per_stream: f64) -> Self {
+    pub fn oltp(
+        name: &str,
+        queries: Vec<QuerySpec>,
+        concurrency: u32,
+        tasks_per_stream: f64,
+    ) -> Self {
         Workload {
             name: name.to_owned(),
             queries,
@@ -146,8 +151,7 @@ mod tests {
     use dot_dbms::TableId;
 
     fn q(name: &str, weight: f64) -> QuerySpec {
-        QuerySpec::read(name, ReadOp::of(Rel::Scan(ScanSpec::full(TableId(0)))))
-            .with_weight(weight)
+        QuerySpec::read(name, ReadOp::of(Rel::Scan(ScanSpec::full(TableId(0))))).with_weight(weight)
     }
 
     #[test]

@@ -84,13 +84,20 @@ struct RowCounts {
 
 impl C {
     fn resolve(s: &Schema) -> C {
-        let t = |n: &str| s.table_by_name(n).unwrap_or_else(|| panic!("tpcc table {n}"));
+        let t = |n: &str| {
+            s.table_by_name(n)
+                .unwrap_or_else(|| panic!("tpcc table {n}"))
+        };
         let pk = |n: &str| {
             s.index_by_name(&format!("{n}_pkey"))
                 .unwrap_or_else(|| panic!("tpcc index {n}_pkey"))
                 .id
         };
-        let idx = |n: &str| s.index_by_name(n).unwrap_or_else(|| panic!("tpcc index {n}")).id;
+        let idx = |n: &str| {
+            s.index_by_name(n)
+                .unwrap_or_else(|| panic!("tpcc index {n}"))
+                .id
+        };
         C {
             warehouse: (t("warehouse").id, pk("warehouse")),
             district: (t("district").id, pk("district")),
@@ -247,11 +254,7 @@ pub fn workload_with_concurrency(s: &Schema, concurrency: u32) -> Workload {
     let queries: Vec<QuerySpec> = builders
         .iter()
         .map(|(name, f)| {
-            let weight = MIX
-                .iter()
-                .find(|(n, _)| n == name)
-                .expect("mix entry")
-                .1;
+            let weight = MIX.iter().find(|(n, _)| n == name).expect("mix entry").1;
             f(s).with_weight(weight)
         })
         .collect();

@@ -121,7 +121,9 @@ impl T {
 fn read(name: &str, rel: Rel, agg_rows: f64, sort_rows: f64) -> QuerySpec {
     QuerySpec::read(
         name,
-        ReadOp::of(rel).with_agg(agg_rows).with_sort(sort_rows, 64.0),
+        ReadOp::of(rel)
+            .with_agg(agg_rows)
+            .with_sort(sort_rows, 64.0),
     )
 }
 
@@ -207,7 +209,12 @@ pub fn query(s: &Schema, n: usize) -> Option<QuerySpec> {
             read("Q5", rel, t.o_rows * 0.15 * 4.0 * 0.2, 5.0)
         }
         // Q6: forecasting revenue change — the classic selective scan.
-        6 => read("Q6", Rel::Scan(scan(t.lineitem, 0.019)), t.l_rows * 0.019, 0.0),
+        6 => read(
+            "Q6",
+            Rel::Scan(scan(t.lineitem, 0.019)),
+            t.l_rows * 0.019,
+            0.0,
+        ),
         // Q7: volume shipping — two years of lineitem through orders and
         // customer, nation-pair filter.
         7 => {
@@ -250,12 +257,7 @@ pub fn query(s: &Schema, n: usize) -> Option<QuerySpec> {
         9 => {
             let rel = Rel::join(
                 Rel::join(
-                    Rel::join(
-                        Rel::Scan(scan(t.part, 0.055)),
-                        full(t.lineitem),
-                        30.0,
-                        None,
-                    ),
+                    Rel::join(Rel::Scan(scan(t.part, 0.055)), full(t.lineitem), 30.0, None),
                     full(t.partsupp?),
                     1.0,
                     t.ps_pk,
@@ -303,12 +305,7 @@ pub fn query(s: &Schema, n: usize) -> Option<QuerySpec> {
         }
         // Q13: customer distribution — big customer/orders hash join.
         13 => {
-            let rel = Rel::join(
-                Rel::Scan(full(t.customer)),
-                scan(t.orders, 0.98),
-                9.8,
-                None,
-            );
+            let rel = Rel::join(Rel::Scan(full(t.customer)), scan(t.orders, 0.98), 9.8, None);
             read("Q13", rel, t.o_rows * 0.98, 50.0)
         }
         // Q14: promotion effect — month of lineitem, part lookups.
@@ -344,12 +341,7 @@ pub fn query(s: &Schema, n: usize) -> Option<QuerySpec> {
         // Q17: small-quantity-order revenue — rare part, lineitem hash join
         // (no partkey index) plus the correlated aggregate re-read.
         17 => {
-            let rel = Rel::join(
-                Rel::Scan(scan(t.part, 0.001)),
-                full(t.lineitem),
-                30.0,
-                None,
-            );
+            let rel = Rel::join(Rel::Scan(scan(t.part, 0.001)), full(t.lineitem), 30.0, None);
             read("Q17", rel, t.l_rows * 0.001 * 30.0, 0.0)
         }
         // Q18: large-volume customer — full lineitem aggregate feeding rare
@@ -411,12 +403,7 @@ pub fn query(s: &Schema, n: usize) -> Option<QuerySpec> {
         }
         // Q22: global sales opportunity — customer anti-join against orders.
         22 => {
-            let rel = Rel::join(
-                Rel::Scan(scan(t.customer, 0.25)),
-                full(t.orders),
-                0.1,
-                None,
-            );
+            let rel = Rel::join(Rel::Scan(scan(t.customer, 0.25)), full(t.orders), 0.1, None);
             read("Q22", rel, 0.0, 7.0)
         }
         _ => return None,
@@ -542,7 +529,11 @@ pub const SUBSET_TEMPLATES: [usize; 11] = [1, 3, 4, 6, 12, 13, 14, 17, 18, 19, 2
 /// (66 queries), executed sequentially (§4.4.1).
 pub fn original_workload(schema: &Schema) -> Workload {
     let queries: Vec<QuerySpec> = (1..=22)
-        .map(|n| query(schema, n).expect("full schema has all templates").with_weight(3.0))
+        .map(|n| {
+            query(schema, n)
+                .expect("full schema has all templates")
+                .with_weight(3.0)
+        })
         .collect();
     Workload::dss("tpch-original", queries)
 }

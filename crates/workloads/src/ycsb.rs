@@ -119,7 +119,12 @@ pub fn workload(s: &Schema, mix: YcsbMix, concurrency: u32) -> Workload {
         queries.push(QuerySpec::read("scan", point(scan_len)).with_weight(scans));
     }
     let tasks = 100.0;
-    Workload::oltp(&format!("ycsb-{}", mix.letter()), queries, concurrency, tasks)
+    Workload::oltp(
+        &format!("ycsb-{}", mix.letter()),
+        queries,
+        concurrency,
+        tasks,
+    )
 }
 
 #[cfg(test)]
@@ -130,7 +135,14 @@ mod tests {
 
     #[test]
     fn shares_sum_to_100() {
-        for mix in [YcsbMix::A, YcsbMix::B, YcsbMix::C, YcsbMix::D, YcsbMix::E, YcsbMix::F] {
+        for mix in [
+            YcsbMix::A,
+            YcsbMix::B,
+            YcsbMix::C,
+            YcsbMix::D,
+            YcsbMix::E,
+            YcsbMix::F,
+        ] {
             let (r, u, i, s) = mix.shares();
             assert!((r + u + i + s - 100.0).abs() < 1e-9, "{mix:?}");
         }
@@ -139,7 +151,14 @@ mod tests {
     #[test]
     fn workloads_validate_and_weights_match_mix() {
         let s = schema(10_000_000.0);
-        for mix in [YcsbMix::A, YcsbMix::B, YcsbMix::C, YcsbMix::D, YcsbMix::E, YcsbMix::F] {
+        for mix in [
+            YcsbMix::A,
+            YcsbMix::B,
+            YcsbMix::C,
+            YcsbMix::D,
+            YcsbMix::E,
+            YcsbMix::F,
+        ] {
             let w = workload(&s, mix, 100);
             w.validate(&s).unwrap();
             assert!((w.queries_per_stream() - 100.0).abs() < 1e-9, "{mix:?}");

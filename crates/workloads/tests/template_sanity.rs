@@ -120,5 +120,9 @@ fn per_template_times_are_distinct() {
         .collect();
     times.sort_unstable();
     times.dedup();
-    assert!(times.len() >= 15, "only {} distinct template times", times.len());
+    assert!(
+        times.len() >= 15,
+        "only {} distinct template times",
+        times.len()
+    );
 }

@@ -26,7 +26,13 @@ fn main() {
 
     for pool in [catalog::box1(), catalog::box2()] {
         println!("== {} ==", pool.name());
-        let problem = Problem::new(&schema, &pool, &workload, SlaSpec::relative(0.5), EngineConfig::dss());
+        let problem = Problem::new(
+            &schema,
+            &pool,
+            &workload,
+            SlaSpec::relative(0.5),
+            EngineConfig::dss(),
+        );
         let cons = constraints::derive(&problem);
 
         println!(
@@ -41,7 +47,13 @@ fn main() {
             );
         }
 
-        let profile = profile_workload(&workload, &schema, &pool, &problem.cfg, ProfileSource::Estimate);
+        let profile = profile_workload(
+            &workload,
+            &schema,
+            &pool,
+            &problem.cfg,
+            ProfileSource::Estimate,
+        );
         let outcome = dot::optimize(&problem, &profile, &cons);
         match outcome.layout {
             Some(layout) => {

@@ -57,7 +57,12 @@ fn main() {
     );
 
     let pool = catalog::box2();
-    let result = provision(&colocation, &pool, EngineConfig::dss(), ProfileSource::Estimate);
+    let result = provision(
+        &colocation,
+        &pool,
+        EngineConfig::dss(),
+        ProfileSource::Estimate,
+    );
     match &result.outcome.layout {
         Some(layout) => {
             println!("joint layout:");

@@ -59,9 +59,12 @@ fn main() {
             }
             None => {
                 // §4.5.3: relax until feasible.
-                let (relaxed, final_sla) = dot::optimize_with_relaxation(&problem, &profile, 0.1, 0.01);
+                let (relaxed, final_sla) =
+                    dot::optimize_with_relaxation(&problem, &profile, 0.1, 0.01);
                 match relaxed.layout {
-                    Some(_) => println!("{ratio:<10} infeasible; relaxed to {:.3}", final_sla.ratio),
+                    Some(_) => {
+                        println!("{ratio:<10} infeasible; relaxed to {:.3}", final_sla.ratio)
+                    }
                     None => println!("{ratio:<10} infeasible"),
                 }
             }

@@ -36,7 +36,10 @@ fn main() {
     let workload = Workload::dss(
         "quickstart",
         vec![
-            QuerySpec::read("nightly_scan", ReadOp::of(Rel::Scan(ScanSpec::full(events)))),
+            QuerySpec::read(
+                "nightly_scan",
+                ReadOp::of(Rel::Scan(ScanSpec::full(events))),
+            ),
             QuerySpec::read(
                 "recent_range",
                 ReadOp::of(Rel::Scan(ScanSpec::indexed(events, 0.005, events_pk))),
@@ -63,8 +66,13 @@ fn main() {
     //    query may be at most 2x slower than with everything on the H-SSD;
     //    0.125 tolerates 8x.
     for ratio in [0.5, 0.125] {
-        let problem =
-            Problem::new(&schema, &pool, &workload, SlaSpec::relative(ratio), EngineConfig::dss());
+        let problem = Problem::new(
+            &schema,
+            &pool,
+            &workload,
+            SlaSpec::relative(ratio),
+            EngineConfig::dss(),
+        );
         let result = dot::run_pipeline(&problem, ProfileSource::Estimate, 2);
         let layout = result.outcome.layout.expect("feasible layout");
 

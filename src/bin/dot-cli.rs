@@ -90,8 +90,9 @@ fn resolve_database(spec: DbSpec) -> Result<(Schema, Workload), String> {
                     Ok((schema, workload))
                 }
                 ["ycsb", records, mix] => {
-                    let records: f64 =
-                        records.parse().map_err(|e| format!("bad record count: {e}"))?;
+                    let records: f64 = records
+                        .parse()
+                        .map_err(|e| format!("bad record count: {e}"))?;
                     let mix = match mix.to_ascii_uppercase().as_str() {
                         "A" => ycsb::YcsbMix::A,
                         "B" => ycsb::YcsbMix::B,

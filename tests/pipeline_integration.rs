@@ -15,7 +15,13 @@ fn tpch_pipeline_end_to_end() {
     let schema = tpch::schema(SF);
     let workload = tpch::original_workload(&schema);
     let pool = catalog::box2();
-    let problem = Problem::new(&schema, &pool, &workload, SlaSpec::relative(0.5), EngineConfig::dss());
+    let problem = Problem::new(
+        &schema,
+        &pool,
+        &workload,
+        SlaSpec::relative(0.5),
+        EngineConfig::dss(),
+    );
     let result = dot::run_pipeline(&problem, ProfileSource::Estimate, 2);
     let outcome = &result.outcome;
     let layout = outcome.layout.as_ref().expect("feasible");
@@ -37,11 +43,21 @@ fn tpch_dot_beats_premium_by_a_wide_margin_at_relaxed_sla() {
     let schema = tpch::schema(SF);
     let workload = tpch::original_workload(&schema);
     for pool in [catalog::box1(), catalog::box2()] {
-        let problem =
-            Problem::new(&schema, &pool, &workload, SlaSpec::relative(0.5), EngineConfig::dss());
+        let problem = Problem::new(
+            &schema,
+            &pool,
+            &workload,
+            SlaSpec::relative(0.5),
+            EngineConfig::dss(),
+        );
         let cons = constraints::derive(&problem);
-        let profile =
-            profile_workload(&workload, &schema, &pool, &problem.cfg, ProfileSource::Estimate);
+        let profile = profile_workload(
+            &workload,
+            &schema,
+            &pool,
+            &problem.cfg,
+            ProfileSource::Estimate,
+        );
         let outcome = dot::optimize(&problem, &profile, &cons);
         let est = outcome.estimate.expect("feasible");
         let saving = cons.reference.toc_cents_per_pass / est.toc_cents_per_pass;
@@ -55,9 +71,21 @@ fn tpch_subset_dot_close_to_exhaustive() {
     let schema = tpch::subset_schema(SF);
     let workload = tpch::subset_workload(&schema);
     let pool = catalog::box2();
-    let problem = Problem::new(&schema, &pool, &workload, SlaSpec::relative(0.5), EngineConfig::dss());
+    let problem = Problem::new(
+        &schema,
+        &pool,
+        &workload,
+        SlaSpec::relative(0.5),
+        EngineConfig::dss(),
+    );
     let cons = constraints::derive(&problem);
-    let profile = profile_workload(&workload, &schema, &pool, &problem.cfg, ProfileSource::Estimate);
+    let profile = profile_workload(
+        &workload,
+        &schema,
+        &pool,
+        &problem.cfg,
+        ProfileSource::Estimate,
+    );
     let dot_out = dot::optimize(&problem, &profile, &cons);
     let es_out = exhaustive::exhaustive_search(&problem, &cons);
     let dot_toc = dot_out.estimate.expect("dot feasible").objective_cents;
@@ -138,7 +166,13 @@ fn refinement_uses_runtime_statistics() {
     let schema = tpch::schema(SF);
     let workload = tpch::modified_workload(&schema);
     let pool = catalog::box1();
-    let problem = Problem::new(&schema, &pool, &workload, SlaSpec::relative(0.25), EngineConfig::dss());
+    let problem = Problem::new(
+        &schema,
+        &pool,
+        &workload,
+        SlaSpec::relative(0.25),
+        EngineConfig::dss(),
+    );
     let result = dot::run_pipeline(&problem, ProfileSource::Estimate, 3);
     assert!(result.refinement_rounds <= 3);
     if let Some(v) = &result.validation {
@@ -151,7 +185,13 @@ fn estimates_are_reproducible_across_calls() {
     let schema = tpch::schema(SF);
     let workload = tpch::original_workload(&schema);
     let pool = catalog::box2();
-    let problem = Problem::new(&schema, &pool, &workload, SlaSpec::relative(0.5), EngineConfig::dss());
+    let problem = Problem::new(
+        &schema,
+        &pool,
+        &workload,
+        SlaSpec::relative(0.5),
+        EngineConfig::dss(),
+    );
     let l = problem.premium_layout();
     let a = toc::estimate_toc(&problem, &l);
     let b = toc::estimate_toc(&problem, &l);

@@ -1,0 +1,123 @@
+//! End-to-end smoke tests for the `dot-cli` binary: every subcommand runs
+//! against a real (small) problem and produces the expected surface, so the
+//! quickstart path documented in the README can never silently rot.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dot-cli"))
+}
+
+/// Write a small problem file into the target directory and return its path.
+fn problem_file(name: &str, contents: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(&dir).expect("create target tmpdir");
+    let path = dir.join(name);
+    std::fs::write(&path, contents).expect("write problem file");
+    path
+}
+
+fn stdout_of(out: &Output) -> String {
+    assert!(
+        out.status.success(),
+        "exit {:?}, stderr: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn catalog_lists_builtin_pools_and_presets() {
+    let out = cli().arg("catalog").output().expect("run dot-cli");
+    let text = stdout_of(&out);
+    for expected in [
+        "built-in pools",
+        "Box 1",
+        "Box 2",
+        "H-SSD",
+        "database presets",
+    ] {
+        assert!(text.contains(expected), "missing {expected:?} in:\n{text}");
+    }
+}
+
+#[test]
+fn provision_recommends_a_layout_for_a_small_dss_problem() {
+    let path = problem_file(
+        "dss.json",
+        r#"{ "pool": "box2", "database": "tpch-subset:1", "sla": 0.5 }"#,
+    );
+    let out = cli()
+        .arg("provision")
+        .arg(&path)
+        .output()
+        .expect("run dot-cli");
+    let text = stdout_of(&out);
+    assert!(
+        text.contains("recommended layout:"),
+        "no layout in:\n{text}"
+    );
+    assert!(text.contains("PSR"), "no PSR report in:\n{text}");
+}
+
+#[test]
+fn provision_json_emits_parsable_evaluation() {
+    let path = problem_file(
+        "dss_json.json",
+        r#"{ "pool": "box2", "database": "tpch-subset:1", "sla": 0.5 }"#,
+    );
+    let out = cli()
+        .arg("provision")
+        .arg(&path)
+        .arg("--json")
+        .output()
+        .expect("run dot-cli");
+    let text = stdout_of(&out);
+    let value: serde::Value = serde_json::from_str(&text).expect("valid JSON evaluation");
+    let object = value.as_object().expect("top-level object");
+    for key in ["label", "layout_cost_cents_per_hour", "placements"] {
+        assert!(
+            object.iter().any(|(k, _)| k == key),
+            "missing key {key:?} in:\n{text}"
+        );
+    }
+}
+
+#[test]
+fn explain_prints_plans_for_the_premium_layout() {
+    let path = problem_file(
+        "explain.json",
+        r#"{ "pool": "box2", "database": "tpch-subset:1", "sla": 0.5 }"#,
+    );
+    let out = cli()
+        .arg("explain")
+        .arg(&path)
+        .output()
+        .expect("run dot-cli");
+    let text = stdout_of(&out);
+    assert!(text.contains("workload:"), "no workload header in:\n{text}");
+}
+
+#[test]
+fn bad_usage_and_bad_input_fail_cleanly() {
+    let out = cli().output().expect("run dot-cli");
+    assert!(!out.status.success(), "no-arg run must fail");
+
+    let out = cli().arg("frobnicate").output().expect("run dot-cli");
+    assert!(!out.status.success(), "unknown subcommand must fail");
+
+    let path = problem_file(
+        "bad_sla.json",
+        r#"{ "pool": "box2", "database": "tpch-subset:1", "sla": 7.0 }"#,
+    );
+    let out = cli()
+        .arg("provision")
+        .arg(&path)
+        .output()
+        .expect("run dot-cli");
+    assert!(!out.status.success(), "out-of-range SLA must fail");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("sla"), "unhelpful error: {err}");
+}

@@ -43,8 +43,7 @@ fn ycsb_a_update_heavy_is_stickier_than_c() {
         let workload = ycsb::workload(&schema, mix, 300);
         let problem = Problem::new(&schema, &pool, &workload, SlaSpec::relative(ratio), cfg);
         let cons = constraints::derive(&problem);
-        let profile =
-            profile_workload(&workload, &schema, &pool, &cfg, ProfileSource::Estimate);
+        let profile = profile_workload(&workload, &schema, &pool, &cfg, ProfileSource::Estimate);
         dot::optimize(&problem, &profile, &cons)
             .estimate
             .map(|e| e.layout_cost_cents_per_hour)
@@ -97,10 +96,21 @@ fn generalized_provisioning_is_consistent_with_per_box_runs() {
     let winner = choice.winning().expect("feasible");
     // Re-running DOT on the winning pool alone reproduces the same TOC.
     let pool = &candidates[winner.index];
-    let problem = Problem::new(&schema, pool, &workload, SlaSpec::relative(0.5), EngineConfig::dss());
+    let problem = Problem::new(
+        &schema,
+        pool,
+        &workload,
+        SlaSpec::relative(0.5),
+        EngineConfig::dss(),
+    );
     let cons = constraints::derive(&problem);
-    let profile =
-        profile_workload(&workload, &schema, pool, &problem.cfg, ProfileSource::Estimate);
+    let profile = profile_workload(
+        &workload,
+        &schema,
+        pool,
+        &problem.cfg,
+        ProfileSource::Estimate,
+    );
     let direct = dot::optimize(&problem, &profile, &cons);
     let a = winner.outcome.estimate.as_ref().unwrap().objective_cents;
     let b = direct.estimate.unwrap().objective_cents;

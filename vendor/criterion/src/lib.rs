@@ -1,0 +1,135 @@
+//! Vendored minimal stand-in for the `criterion` crate so `cargo bench`
+//! works offline. Keeps criterion's bench-definition surface —
+//! `criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `BenchmarkId`, `Bencher::iter` — and replaces statistical sampling with
+//! a fixed warmup + timed-iteration loop that prints a median per bench.
+
+#![deny(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point handed to benchmark functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    sample_size: Option<usize>,
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size.unwrap_or(10),
+            _parent: self,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) {
+        run_bench(&format!("{id}"), self.sample_size.unwrap_or(10), f);
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        run_bench(&format!("{}/{id}", self.name), self.sample_size, f);
+        self
+    }
+
+    /// Finish the group (no-op in the stand-in).
+    pub fn finish(self) {}
+}
+
+/// Identifier combining a function name and a parameter, as in criterion.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Timing loop handle passed to the closure of `bench_function`.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `f`, recording one sample per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warmup, and lets the closure touch its captures once
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut bencher);
+    bencher.samples.sort();
+    let median = bencher
+        .samples
+        .get(bencher.samples.len() / 2)
+        .copied()
+        .unwrap_or_default();
+    println!(
+        "bench: {label:<50} median {median:>12.3?} ({} samples)",
+        bencher.samples.len()
+    );
+}
+
+/// Collect benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,519 @@
+//! Minimal vendored replacement for `serde_derive`, written against the raw
+//! `proc_macro` API so the workspace builds with no network access.
+//!
+//! Supports exactly the shapes this workspace uses: non-generic structs
+//! (named, tuple/newtype, unit) and enums (unit, tuple, and struct
+//! variants), the field attributes `#[serde(default)]` / `#[serde(skip)]`,
+//! and the container attribute `#[serde(untagged)]`. The generated impls
+//! target the `Value`-based `Serialize` / `Deserialize` traits of the
+//! vendored `serde` crate and keep serde's externally-tagged enum JSON
+//! encoding.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = Item::parse(input);
+    item.serialize_impl().parse().expect("serialize codegen")
+}
+
+/// Derive the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = Item::parse(input);
+    item.deserialize_impl()
+        .parse()
+        .expect("deserialize codegen")
+}
+
+#[derive(Clone)]
+struct Field {
+    name: String,
+    default: bool,
+    skip: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Body {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    untagged: bool,
+    body: Body,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Consume leading `#[...]` attributes, returning the words found inside any
+/// `#[serde(...)]` lists (`default`, `skip`, `untagged`, ...).
+fn take_attrs(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> Vec<String> {
+    let mut words = Vec::new();
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                let Some(TokenTree::Group(g)) = tokens.next() else {
+                    panic!("expected [...] after #");
+                };
+                let mut inner = g.stream().into_iter();
+                if let Some(TokenTree::Ident(path)) = inner.next() {
+                    if path.to_string() == "serde" {
+                        if let Some(TokenTree::Group(list)) = inner.next() {
+                            for t in list.stream() {
+                                if let TokenTree::Ident(w) = t {
+                                    words.push(w.to_string());
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            _ => return words,
+        }
+    }
+}
+
+/// Skip an optional `pub` / `pub(...)` visibility.
+fn skip_vis(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if let Some(TokenTree::Ident(i)) = tokens.peek() {
+        if i.to_string() == "pub" {
+            tokens.next();
+            if let Some(TokenTree::Group(g)) = tokens.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    tokens.next();
+                }
+            }
+        }
+    }
+}
+
+/// Count top-level (angle-depth-0) comma-separated segments in a token list.
+fn count_segments(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut segments = 0usize;
+    let mut in_segment = false;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                in_segment = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                in_segment = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if in_segment {
+                    segments += 1;
+                }
+                in_segment = false;
+            }
+            _ => in_segment = true,
+        }
+    }
+    if in_segment {
+        segments += 1;
+    }
+    segments
+}
+
+/// Parse the fields of a named struct or struct variant body.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let words = take_attrs(&mut tokens);
+        if tokens.peek().is_none() {
+            return fields;
+        }
+        skip_vis(&mut tokens);
+        let Some(TokenTree::Ident(name)) = tokens.next() else {
+            panic!("expected field name");
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field {name}, got {other:?}"),
+        }
+        // Skip the type: everything up to the next comma at angle depth 0.
+        let mut depth = 0i32;
+        loop {
+            match tokens.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    depth += 1;
+                    tokens.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    depth -= 1;
+                    tokens.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                    tokens.next();
+                    break;
+                }
+                Some(_) => {
+                    tokens.next();
+                }
+            }
+        }
+        fields.push(Field {
+            name: name.to_string(),
+            default: words.iter().any(|w| w == "default"),
+            skip: words.iter().any(|w| w == "skip"),
+        });
+    }
+}
+
+/// Parse the variants of an enum body.
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        let _words = take_attrs(&mut tokens);
+        let Some(tt) = tokens.next() else {
+            return variants;
+        };
+        let TokenTree::Ident(name) = tt else {
+            panic!("expected variant name, got {tt:?}");
+        };
+        let kind = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_segments(g.stream());
+                tokens.next();
+                VariantKind::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                VariantKind::Named(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional `= <discriminant>` then the trailing comma.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                    tokens.next();
+                    break;
+                }
+                None => break,
+                Some(_) => {
+                    tokens.next();
+                }
+            }
+        }
+        variants.push(Variant {
+            name: name.to_string(),
+            kind,
+        });
+    }
+}
+
+impl Item {
+    fn parse(input: TokenStream) -> Item {
+        let mut tokens = input.into_iter().peekable();
+        let words = take_attrs(&mut tokens);
+        let untagged = words.iter().any(|w| w == "untagged");
+        skip_vis(&mut tokens);
+        let Some(TokenTree::Ident(kw)) = tokens.next() else {
+            panic!("expected struct/enum");
+        };
+        let kw = kw.to_string();
+        let Some(TokenTree::Ident(name)) = tokens.next() else {
+            panic!("expected type name");
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '<' {
+                panic!("vendored serde_derive does not support generic types");
+            }
+        }
+        let body = match (kw.as_str(), tokens.next()) {
+            ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream()))
+            }
+            ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_segments(g.stream()))
+            }
+            ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Body::UnitStruct,
+            ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            (kw, other) => panic!("unsupported item shape: {kw} {other:?}"),
+        };
+        Item {
+            name: name.to_string(),
+            untagged,
+            body,
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // Serialize codegen
+    // -----------------------------------------------------------------------
+
+    fn serialize_impl(&self) -> String {
+        let name = &self.name;
+        let body = match &self.body {
+            Body::NamedStruct(fields) => {
+                let mut s =
+                    String::from("let mut __m: Vec<(String, serde::Value)> = Vec::new();\n");
+                for f in fields.iter().filter(|f| !f.skip) {
+                    let n = &f.name;
+                    s.push_str(&format!(
+                        "__m.push((String::from(\"{n}\"), serde::Serialize::to_value(&self.{n})));\n"
+                    ));
+                }
+                s.push_str("serde::Value::Object(__m)");
+                s
+            }
+            Body::TupleStruct(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+            Body::TupleStruct(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("serde::Value::Array(vec![{}])", items.join(", "))
+            }
+            Body::UnitStruct => "serde::Value::Null".to_string(),
+            Body::Enum(variants) => {
+                let mut arms = String::new();
+                for v in variants {
+                    let vn = &v.name;
+                    let arm = match &v.kind {
+                        VariantKind::Unit => {
+                            if self.untagged {
+                                format!("{name}::{vn} => serde::Value::Null,\n")
+                            } else {
+                                format!(
+                                    "{name}::{vn} => serde::Value::String(String::from(\"{vn}\")),\n"
+                                )
+                            }
+                        }
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let payload = if *n == 1 {
+                                "serde::Serialize::to_value(__f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("serde::Value::Array(vec![{}])", items.join(", "))
+                            };
+                            let tagged = if self.untagged {
+                                payload
+                            } else {
+                                format!(
+                                    "serde::Value::Object(vec![(String::from(\"{vn}\"), {payload})])"
+                                )
+                            };
+                            format!("{name}::{vn}({}) => {tagged},\n", binds.join(", "))
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let mut pushes = String::from(
+                                "let mut __p: Vec<(String, serde::Value)> = Vec::new();\n",
+                            );
+                            for f in fields.iter().filter(|f| !f.skip) {
+                                let n = &f.name;
+                                pushes.push_str(&format!(
+                                    "__p.push((String::from(\"{n}\"), serde::Serialize::to_value({n})));\n"
+                                ));
+                            }
+                            let payload = "serde::Value::Object(__p)".to_string();
+                            let tagged = if self.untagged {
+                                payload
+                            } else {
+                                format!(
+                                    "serde::Value::Object(vec![(String::from(\"{vn}\"), {payload})])"
+                                )
+                            };
+                            format!(
+                                "{name}::{vn} {{ {} }} => {{ {pushes} {tagged} }},\n",
+                                binds.join(", ")
+                            )
+                        }
+                    };
+                    arms.push_str(&arm);
+                }
+                format!("match self {{\n{arms}\n}}")
+            }
+        };
+        format!(
+            "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n{body}\n}}\n}}\n"
+        )
+    }
+
+    // -----------------------------------------------------------------------
+    // Deserialize codegen
+    // -----------------------------------------------------------------------
+
+    fn deserialize_impl(&self) -> String {
+        let name = &self.name;
+        let body = match &self.body {
+            Body::NamedStruct(fields) => {
+                let ctor = named_ctor(name, name, fields, "__m");
+                format!(
+                    "let __m = __v.as_object().ok_or_else(|| serde::Error::expected(\"object\", \"{name}\"))?;\n\
+                     Ok({ctor})"
+                )
+            }
+            Body::TupleStruct(1) => {
+                format!("Ok({name}(serde::Deserialize::from_value(__v)?))")
+            }
+            Body::TupleStruct(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("serde::Deserialize::from_value(&__a[{i}])?"))
+                    .collect();
+                format!(
+                    "let __a = __v.as_array().ok_or_else(|| serde::Error::expected(\"array\", \"{name}\"))?;\n\
+                     if __a.len() != {n} {{ return Err(serde::Error::expected(\"array of length {n}\", \"{name}\")); }}\n\
+                     Ok({name}({}))",
+                    items.join(", ")
+                )
+            }
+            Body::UnitStruct => format!("let _ = __v; Ok({name})"),
+            Body::Enum(variants) if self.untagged => {
+                let mut attempts = String::new();
+                for v in variants {
+                    let vn = &v.name;
+                    let attempt = match &v.kind {
+                        VariantKind::Unit => format!(
+                            "if __v.is_null() {{ return Ok({name}::{vn}); }}\n"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{{ let __r: Result<{name}, serde::Error> = (|| Ok({name}::{vn}(serde::Deserialize::from_value(__v)?)))();\n\
+                             if let Ok(__x) = __r {{ return Ok(__x); }} }}\n"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::Deserialize::from_value(&__a[{i}])?"))
+                                .collect();
+                            format!(
+                                "{{ let __r: Result<{name}, serde::Error> = (|| {{\n\
+                                 let __a = __v.as_array().ok_or_else(|| serde::Error::expected(\"array\", \"{name}\"))?;\n\
+                                 if __a.len() != {n} {{ return Err(serde::Error::expected(\"array of length {n}\", \"{name}\")); }}\n\
+                                 Ok({name}::{vn}({})) }})();\n\
+                                 if let Ok(__x) = __r {{ return Ok(__x); }} }}\n",
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let ctor =
+                                named_ctor(name, &format!("{name}::{vn}"), fields, "__m");
+                            format!(
+                                "{{ let __r: Result<{name}, serde::Error> = (|| {{\n\
+                                 let __m = __v.as_object().ok_or_else(|| serde::Error::expected(\"object\", \"{name}\"))?;\n\
+                                 Ok({ctor}) }})();\n\
+                                 if let Ok(__x) = __r {{ return Ok(__x); }} }}\n"
+                            )
+                        }
+                    };
+                    attempts.push_str(&attempt);
+                }
+                format!(
+                    "{attempts}\nErr(serde::Error::custom(\"no untagged variant of {name} matched\"))"
+                )
+            }
+            Body::Enum(variants) => {
+                let mut unit_arms = String::new();
+                let mut payload_arms = String::new();
+                for v in variants {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => {
+                            unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"))
+                        }
+                        VariantKind::Tuple(1) => payload_arms.push_str(&format!(
+                            "\"{vn}\" => Ok({name}::{vn}(serde::Deserialize::from_value(__pv)?)),\n"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::Deserialize::from_value(&__a[{i}])?"))
+                                .collect();
+                            payload_arms.push_str(&format!(
+                                "\"{vn}\" => {{\n\
+                                 let __a = __pv.as_array().ok_or_else(|| serde::Error::expected(\"array\", \"{name}::{vn}\"))?;\n\
+                                 if __a.len() != {n} {{ return Err(serde::Error::expected(\"array of length {n}\", \"{name}::{vn}\")); }}\n\
+                                 Ok({name}::{vn}({})) }},\n",
+                                items.join(", ")
+                            ));
+                        }
+                        VariantKind::Named(fields) => {
+                            let ctor = named_ctor(name, &format!("{name}::{vn}"), fields, "__m");
+                            payload_arms.push_str(&format!(
+                                "\"{vn}\" => {{\n\
+                                 let __m = __pv.as_object().ok_or_else(|| serde::Error::expected(\"object\", \"{name}::{vn}\"))?;\n\
+                                 Ok({ctor}) }},\n"
+                            ));
+                        }
+                    }
+                }
+                format!(
+                    "match __v {{\n\
+                     serde::Value::String(__s) => match __s.as_str() {{\n\
+                     {unit_arms}\
+                     __other => Err(serde::Error::unknown_variant(\"{name}\", __other)),\n\
+                     }},\n\
+                     serde::Value::Object(__o) if __o.len() == 1 => {{\n\
+                     let (__k, __pv) = &__o[0];\n\
+                     match __k.as_str() {{\n\
+                     {payload_arms}\
+                     __other => Err(serde::Error::unknown_variant(\"{name}\", __other)),\n\
+                     }}\n\
+                     }},\n\
+                     _ => Err(serde::Error::expected(\"string or single-key object\", \"{name}\")),\n\
+                     }}"
+                )
+            }
+        };
+        format!(
+            "impl serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &serde::Value) -> Result<Self, serde::Error> {{\n{body}\n}}\n}}\n"
+        )
+    }
+}
+
+/// Build a `Path { f: ..., ... }` constructor expression reading named fields
+/// out of the object slice bound to `map_var`.
+fn named_ctor(ty_name: &str, path: &str, fields: &[Field], map_var: &str) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        let n = &f.name;
+        if f.skip {
+            inits.push_str(&format!("{n}: ::core::default::Default::default(),\n"));
+            continue;
+        }
+        let missing = if f.default {
+            "::core::default::Default::default()".to_string()
+        } else {
+            format!("return Err(serde::Error::missing_field(\"{ty_name}\", \"{n}\"))")
+        };
+        inits.push_str(&format!(
+            "{n}: match serde::__get({map_var}, \"{n}\") {{\n\
+             Some(__fv) => serde::Deserialize::from_value(__fv)?,\n\
+             None => {missing},\n\
+             }},\n"
+        ));
+    }
+    format!("{path} {{\n{inits}}}")
+}
