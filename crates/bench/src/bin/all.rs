@@ -99,12 +99,12 @@ fn main() {
     println!("\n=== §5.1 (generalized provisioning) ===");
     let gen = experiments::generalized_provisioning(scale, 0.5);
     for o in &gen.all {
-        match &o.outcome.estimate {
-            Some(est) => println!(
+        match &o.recommendation {
+            Ok(rec) => println!(
                 "{:<10} TOC {:>10.4} cents/pass",
-                o.pool_name, est.toc_cents_per_pass
+                o.pool_name, rec.estimate.toc_cents_per_pass
             ),
-            None => println!("{:<10} infeasible", o.pool_name),
+            Err(e) => println!("{:<10} {e}", o.pool_name),
         }
     }
     if let Some(w) = gen.winning() {

@@ -7,12 +7,12 @@ fn main() {
     let choice = experiments::generalized_provisioning(TPCH_SCALE, 0.5);
     println!("§5.1 — generalized provisioning, original TPC-H, SLA 0.5\n");
     for o in &choice.all {
-        match &o.outcome.estimate {
-            Some(est) => println!(
+        match &o.recommendation {
+            Ok(rec) => println!(
                 "{:<10} TOC {:>10.4} cents/pass  ({} layouts investigated)",
-                o.pool_name, est.toc_cents_per_pass, o.outcome.layouts_investigated
+                o.pool_name, rec.estimate.toc_cents_per_pass, rec.provenance.layouts_investigated
             ),
-            None => println!("{:<10} infeasible", o.pool_name),
+            Err(e) => println!("{:<10} {e}", o.pool_name),
         }
     }
     match choice.winning() {

@@ -1,15 +1,20 @@
 //! Experiment implementations, one per paper artifact. See the crate docs
 //! for the artifact↔function map.
+//!
+//! Every experiment drives the [`Advisor`] facade: one advisory session per
+//! (box, workload) pair computes the profile and constraints once, solvers
+//! are selected by registry id, and SLA grids reuse the session via
+//! [`Advisor::with_sla`]. Figure bars for layouts that *violate* the SLA
+//! (the point of several figures) are evaluated with
+//! [`Advisor::evaluate_layout`], which prices any layout against the
+//! session constraints.
 
+use dot_core::advisor::{Advisor, ProvisionError, Recommendation};
 use dot_core::baselines;
-use dot_core::constraints::{self, Constraints};
-use dot_core::dot;
-use dot_core::exhaustive;
 use dot_core::generalized;
-use dot_core::problem::{LayoutCostModel, Problem};
-use dot_core::report::{evaluate, LayoutEvaluation};
+use dot_core::problem::LayoutCostModel;
+use dot_core::report::LayoutEvaluation;
 use dot_dbms::{EngineConfig, Schema};
-use dot_profiler::{profile_workload, ProfileSource};
 use dot_storage::{catalog, cost::CostModel, StoragePool};
 use dot_workloads::{tpcc, tpch, SlaSpec, Workload};
 use serde::Serialize;
@@ -33,6 +38,25 @@ impl DssWorkloadKind {
             DssWorkloadKind::Subset => (tpch::subset_schema(scale), tpch::subset_workload),
         }
     }
+}
+
+/// Open a figure-style advisory session: explicit engine, survey mode (the
+/// figures report the optimization phase — no validation runs, no
+/// infeasibility diagnostics — so the timing columns cover the sweep and
+/// nothing else).
+fn session<'a>(
+    schema: &'a Schema,
+    pool: &'a StoragePool,
+    workload: &'a Workload,
+    sla_ratio: f64,
+    cfg: EngineConfig,
+) -> Advisor<'a> {
+    Advisor::builder(schema, pool, workload)
+        .sla(sla_ratio)
+        .engine(cfg)
+        .survey()
+        .build()
+        .unwrap_or_else(|e| panic!("experiment setup invalid: {e}"))
 }
 
 // ---------------------------------------------------------------------------
@@ -129,30 +153,17 @@ pub fn dss_comparison(kind: DssWorkloadKind, sla_ratio: f64, scale: f64) -> Vec<
     [catalog::box1(), catalog::box2()]
         .into_iter()
         .map(|pool| {
-            let problem = Problem::new(
-                &schema,
-                &pool,
-                &workload,
-                SlaSpec::relative(sla_ratio),
-                EngineConfig::dss(),
-            );
-            let cons = constraints::derive(&problem);
+            let advisor = session(&schema, &pool, &workload, sla_ratio, EngineConfig::dss());
             let mut evaluations = Vec::new();
-            for (label, layout) in baselines::simple_layouts(&problem) {
-                evaluations.push(evaluate(&problem, &cons, &label, &layout));
+            // Simple layouts and OA appear in the figure whether or not
+            // they meet the SLA (that contrast is the figure's point).
+            for (label, layout) in baselines::simple_layouts(advisor.problem()) {
+                evaluations.push(advisor.evaluate_layout(&label, &layout));
             }
-            let oa = baselines::object_advisor(&problem);
-            evaluations.push(evaluate(&problem, &cons, "OA", &oa));
-            let profile = profile_workload(
-                &workload,
-                &schema,
-                &pool,
-                &problem.cfg,
-                ProfileSource::Estimate,
-            );
-            let outcome = dot::optimize(&problem, &profile, &cons);
-            if let Some(layout) = &outcome.layout {
-                evaluations.push(evaluate(&problem, &cons, "DOT", layout));
+            let oa = baselines::object_advisor(advisor.problem());
+            evaluations.push(advisor.evaluate_layout("OA", &oa));
+            if let Ok(rec) = advisor.recommend("dot") {
+                evaluations.push(advisor.evaluate_layout("DOT", &rec.layout));
             }
             DssBoxResult {
                 box_name: pool.name().to_owned(),
@@ -180,7 +191,7 @@ pub struct EsVsDotRow {
     pub dot: Option<LayoutEvaluation>,
     /// ES's evaluation, if feasible.
     pub es: Option<LayoutEvaluation>,
-    /// DOT optimizer wall-clock seconds.
+    /// DOT solver wall-clock seconds.
     pub dot_seconds: f64,
     /// ES wall-clock seconds.
     pub es_seconds: f64,
@@ -188,6 +199,37 @@ pub struct EsVsDotRow {
     pub dot_investigated: usize,
     /// Layouts ES investigated.
     pub es_investigated: usize,
+}
+
+/// Run one solver and time it at full `Instant` resolution (the
+/// millisecond-granular `Provenance.elapsed_ms` is too coarse for the
+/// sub-millisecond DOT sweeps this comparison is about). Profiling is
+/// forced beforehand so the timer covers the solve alone.
+fn timed_solve(advisor: &Advisor<'_>, id: &str) -> (Result<Recommendation, ProvisionError>, f64) {
+    advisor.profile();
+    let start = std::time::Instant::now();
+    let result = advisor.recommend(id);
+    (result, start.elapsed().as_secs_f64())
+}
+
+/// Fold one solver's advisory result into a figure row: evaluation (when
+/// feasible) and layouts investigated.
+fn es_vs_dot_cell(
+    advisor: &Advisor<'_>,
+    label: &str,
+    result: Result<Recommendation, ProvisionError>,
+) -> (Option<LayoutEvaluation>, usize) {
+    match result {
+        Ok(rec) => (
+            Some(advisor.evaluate_layout(label, &rec.layout)),
+            rec.provenance.layouts_investigated,
+        ),
+        Err(ProvisionError::Infeasible {
+            layouts_investigated,
+            ..
+        }) => (None, layouts_investigated),
+        Err(e) => panic!("solver {label} failed unexpectedly: {e}"),
+    }
 }
 
 /// §4.4.3: DOT vs full ES on the 8-object TPC-H subset workload, sweeping a
@@ -221,39 +263,21 @@ pub fn es_vs_dot_tpch(scale: f64, sla_ratio: f64) -> Vec<EsVsDotRow> {
                     format!("{capped_class} ≤ {gb} GB")
                 }
             };
-            let problem = Problem::new(
-                &schema,
-                &pool,
-                &workload,
-                SlaSpec::relative(sla_ratio),
-                EngineConfig::dss(),
-            );
-            let cons = constraints::derive(&problem);
-            let profile = profile_workload(
-                &workload,
-                &schema,
-                &pool,
-                &problem.cfg,
-                ProfileSource::Estimate,
-            );
-            let dot_out = dot::optimize(&problem, &profile, &cons);
-            let es_out = exhaustive::exhaustive_search(&problem, &cons);
+            let advisor = session(&schema, &pool, &workload, sla_ratio, EngineConfig::dss());
+            let (dot_result, dot_seconds) = timed_solve(&advisor, "dot");
+            let (es_result, es_seconds) = timed_solve(&advisor, "es");
+            let (dot, dot_investigated) = es_vs_dot_cell(&advisor, "DOT", dot_result);
+            let (es, es_investigated) = es_vs_dot_cell(&advisor, "ES", es_result);
             rows.push(EsVsDotRow {
                 box_name: box_name.to_owned(),
                 capacity_label,
                 final_sla: sla_ratio,
-                dot: dot_out
-                    .layout
-                    .as_ref()
-                    .map(|l| evaluate(&problem, &cons, "DOT", l)),
-                es: es_out
-                    .layout
-                    .as_ref()
-                    .map(|l| evaluate(&problem, &cons, "ES", l)),
-                dot_seconds: dot_out.elapsed.as_secs_f64(),
-                es_seconds: es_out.elapsed.as_secs_f64(),
-                dot_investigated: dot_out.layouts_investigated,
-                es_investigated: es_out.layouts_investigated,
+                dot,
+                es,
+                dot_seconds,
+                es_seconds,
+                dot_investigated,
+                es_investigated,
             });
         }
     }
@@ -262,7 +286,9 @@ pub fn es_vs_dot_tpch(scale: f64, sla_ratio: f64) -> Vec<EsVsDotRow> {
 
 /// Fig 9 (§4.5.3): DOT vs additive ES on the full TPC-C workload on Box 2,
 /// without and with an H-SSD capacity limit, relaxing the SLA until ES finds
-/// a feasible solution (the paper's procedure).
+/// a feasible solution (the paper's procedure). One advisory session per
+/// capacity setting profiles the workload once for the whole relaxation
+/// loop.
 pub fn es_vs_dot_tpcc(
     warehouses: f64,
     sla_ratio: f64,
@@ -280,52 +306,35 @@ pub fn es_vs_dot_tpcc(
                 format!("H-SSD ≤ {gb} GB")
             }
         };
-        let cfg = EngineConfig::oltp();
-        let profile = profile_workload(&workload, &schema, &pool, &cfg, ProfileSource::Estimate);
+        let base = session(&schema, &pool, &workload, sla_ratio, EngineConfig::oltp());
 
         // Relax the SLA until both solvers find a feasible solution
         // (§4.5.3's loop; the paper reports a single final SLA — 0.13 for
         // the 21 GB cap — at which both ES and DOT are compared).
         let mut ratio = sla_ratio;
-        let (cons, es_out, dot_out, final_ratio) = loop {
-            let problem = Problem::new(
-                &schema,
-                &pool,
-                &workload,
-                SlaSpec::relative(ratio),
-                EngineConfig::oltp(),
-            );
-            let cons = constraints::derive(&problem);
-            let es_out = exhaustive::exhaustive_search_additive(&problem, &profile, &cons);
-            let dot_out = dot::optimize(&problem, &profile, &cons);
-            if (es_out.layout.is_some() && dot_out.layout.is_some()) || ratio <= 0.01 {
-                break (cons, es_out, dot_out, ratio);
+        let (advisor, dot_cell, es_cell, final_ratio) = loop {
+            let advisor = base.with_sla(ratio);
+            let dot_cell = timed_solve(&advisor, "dot");
+            let es_cell = timed_solve(&advisor, "es-additive");
+            if (dot_cell.0.is_ok() && es_cell.0.is_ok()) || ratio <= 0.01 {
+                break (advisor, dot_cell, es_cell, ratio);
             }
             ratio *= 0.8;
         };
-        let problem = Problem::new(
-            &schema,
-            &pool,
-            &workload,
-            SlaSpec::relative(final_ratio),
-            EngineConfig::oltp(),
-        );
+        let (dot_result, dot_seconds) = dot_cell;
+        let (es_result, es_seconds) = es_cell;
+        let (dot, dot_investigated) = es_vs_dot_cell(&advisor, "DOT", dot_result);
+        let (es, es_investigated) = es_vs_dot_cell(&advisor, "ES", es_result);
         rows.push(EsVsDotRow {
             box_name: "Box 2".to_owned(),
             capacity_label,
             final_sla: final_ratio,
-            dot: dot_out
-                .layout
-                .as_ref()
-                .map(|l| evaluate(&problem, &cons, "DOT", l)),
-            es: es_out
-                .layout
-                .as_ref()
-                .map(|l| evaluate(&problem, &cons, "ES", l)),
-            dot_seconds: dot_out.elapsed.as_secs_f64(),
-            es_seconds: es_out.elapsed.as_secs_f64(),
-            dot_investigated: dot_out.layouts_investigated,
-            es_investigated: es_out.layouts_investigated,
+            dot,
+            es,
+            dot_seconds,
+            es_seconds,
+            dot_investigated,
+            es_investigated,
         });
     }
     rows
@@ -345,32 +354,25 @@ pub struct TpccBoxResult {
 }
 
 /// Fig 8: tpmC and TOC of the simple layouts and of DOT under each relative
-/// SLA, on both boxes.
+/// SLA, on both boxes. One session per box; the SLA grid shares its
+/// profile.
 pub fn tpcc_comparison(warehouses: f64, slas: &[f64]) -> Vec<TpccBoxResult> {
     let schema = tpcc::schema(warehouses);
     let workload = tpcc::workload(&schema);
     [catalog::box1(), catalog::box2()]
         .into_iter()
         .map(|pool| {
-            let cfg = EngineConfig::oltp();
-            let profile =
-                profile_workload(&workload, &schema, &pool, &cfg, ProfileSource::Estimate);
-            let mut evaluations = Vec::new();
             // Constraints for labelling PSR: use the loosest SLA.
             let loosest = slas.iter().cloned().fold(f64::INFINITY, f64::min);
-            let base_problem =
-                Problem::new(&schema, &pool, &workload, SlaSpec::relative(loosest), cfg);
-            let base_cons = constraints::derive(&base_problem);
-            for (label, layout) in baselines::simple_layouts(&base_problem) {
-                evaluations.push(evaluate(&base_problem, &base_cons, &label, &layout));
+            let base = session(&schema, &pool, &workload, loosest, EngineConfig::oltp());
+            let mut evaluations = Vec::new();
+            for (label, layout) in baselines::simple_layouts(base.problem()) {
+                evaluations.push(base.evaluate_layout(&label, &layout));
             }
             for &ratio in slas {
-                let problem =
-                    Problem::new(&schema, &pool, &workload, SlaSpec::relative(ratio), cfg);
-                let cons = constraints::derive(&problem);
-                let outcome = dot::optimize(&problem, &profile, &cons);
-                if let Some(layout) = &outcome.layout {
-                    evaluations.push(evaluate(&problem, &cons, &format!("DOT {ratio}"), layout));
+                let advisor = base.with_sla(ratio);
+                if let Ok(rec) = advisor.recommend("dot") {
+                    evaluations.push(advisor.evaluate_layout(&format!("DOT {ratio}"), &rec.layout));
                 }
             }
             TpccBoxResult {
@@ -387,16 +389,19 @@ pub fn tpcc_layouts(warehouses: f64, slas: &[f64]) -> Vec<(f64, Vec<(String, Str
     let schema = tpcc::schema(warehouses);
     let workload = tpcc::workload(&schema);
     let pool = catalog::box2();
-    let cfg = EngineConfig::oltp();
-    let profile = profile_workload(&workload, &schema, &pool, &cfg, ProfileSource::Estimate);
+    let base = session(
+        &schema,
+        &pool,
+        &workload,
+        slas.first().copied().unwrap_or(0.5),
+        EngineConfig::oltp(),
+    );
     slas.iter()
         .map(|&ratio| {
-            let problem = Problem::new(&schema, &pool, &workload, SlaSpec::relative(ratio), cfg);
-            let cons = constraints::derive(&problem);
-            let outcome = dot::optimize(&problem, &profile, &cons);
-            let placements = outcome
-                .layout
-                .map(|l| l.describe(&schema, &pool))
+            let placements = base
+                .with_sla(ratio)
+                .recommend("dot")
+                .map(|rec| rec.placements)
                 .unwrap_or_default();
             (ratio, placements)
         })
@@ -419,7 +424,7 @@ pub fn generalized_provisioning(scale: f64, sla_ratio: f64) -> generalized::Conf
         SlaSpec::relative(sla_ratio),
         EngineConfig::dss(),
         &candidates,
-        ProfileSource::Estimate,
+        dot_profiler::ProfileSource::Estimate,
         LayoutCostModel::Linear,
     )
 }
@@ -436,31 +441,24 @@ pub struct DiscreteRow {
 }
 
 /// §5.2: sweep α over the discrete-sized storage cost model and observe DOT
-/// consolidating onto fewer devices as the fixed cost component grows.
+/// consolidating onto fewer devices as the fixed cost component grows. One
+/// session profiles the workload once; each α is a
+/// [`with_cost_model`](Advisor::with_cost_model) sibling.
 pub fn discrete_cost_sweep(scale: f64, sla_ratio: f64, alphas: &[f64]) -> Vec<DiscreteRow> {
     let schema = tpch::schema(scale);
     let workload = tpch::original_workload(&schema);
     let pool = catalog::box2();
-    let cfg = EngineConfig::dss();
-    let profile = profile_workload(&workload, &schema, &pool, &cfg, ProfileSource::Estimate);
+    let base = session(&schema, &pool, &workload, sla_ratio, EngineConfig::dss());
     alphas
         .iter()
         .map(|&alpha| {
-            let problem =
-                Problem::new(&schema, &pool, &workload, SlaSpec::relative(sla_ratio), cfg)
-                    .with_cost_model(LayoutCostModel::Discrete { alpha });
-            let cons = constraints::derive(&problem);
-            let outcome = dot::optimize(&problem, &profile, &cons);
-            let (toc, classes_used) = match (&outcome.layout, &outcome.estimate) {
-                (Some(l), Some(est)) => {
-                    let used = l
-                        .space_per_class(&schema, &pool)
-                        .iter()
-                        .filter(|&&s| s > 0.0)
-                        .count();
-                    (Some(est.toc_cents_per_pass), used)
-                }
-                _ => (None, 0),
+            let advisor = base.with_cost_model(LayoutCostModel::Discrete { alpha });
+            let (toc, classes_used) = match advisor.recommend("dot") {
+                Ok(rec) => (
+                    Some(rec.estimate.toc_cents_per_pass),
+                    rec.bill.len(), // the bill lists exactly the classes holding data
+                ),
+                Err(_) => (None, 0),
             };
             DiscreteRow {
                 alpha,
@@ -469,11 +467,6 @@ pub fn discrete_cost_sweep(scale: f64, sla_ratio: f64, alphas: &[f64]) -> Vec<Di
             }
         })
         .collect()
-}
-
-/// Convenience: derive constraints for ad-hoc experiment code.
-pub fn derive_constraints(problem: &Problem<'_>) -> Constraints {
-    constraints::derive(problem)
 }
 
 /// Look up a layout evaluation by label.
@@ -497,43 +490,38 @@ pub struct AblationRow {
 }
 
 /// Ablate DOT's two design choices — group moves and the σ = δt/δc ordering
-/// — on the TPC-H subset workload, against the ES optimum.
+/// — on the TPC-H subset workload, against the ES optimum. Every
+/// configuration is one registry entry (`ablation:<granularity>:<order>`)
+/// run on the same session.
 pub fn ablation_comparison(scale: f64, sla_ratio: f64) -> Vec<AblationRow> {
-    use dot_core::ablation::{self, AblationConfig, MoveGranularity, ScoreOrder};
     let schema = tpch::subset_schema(scale);
     let workload = tpch::subset_workload(&schema);
     let pool = catalog::box2();
-    let problem = Problem::new(
-        &schema,
-        &pool,
-        &workload,
-        SlaSpec::relative(sla_ratio),
-        EngineConfig::dss(),
-    );
-    let cons = constraints::derive(&problem);
-    let profile = profile_workload(
-        &workload,
-        &schema,
-        &pool,
-        &problem.cfg,
-        ProfileSource::Estimate,
-    );
-    let es = exhaustive::exhaustive_search(&problem, &cons);
-    let optimal = es.estimate.as_ref().map(|e| e.objective_cents);
+    let advisor = session(&schema, &pool, &workload, sla_ratio, EngineConfig::dss());
+    let optimal = advisor
+        .recommend("es")
+        .ok()
+        .map(|rec| rec.estimate.objective_cents);
 
+    use dot_core::ablation::{AblationConfig, MoveGranularity, ScoreOrder};
     let mut rows = Vec::new();
-    for granularity in [MoveGranularity::Group, MoveGranularity::Object] {
-        for order in [
-            ScoreOrder::TimePerCost,
-            ScoreOrder::CostSaving,
-            ScoreOrder::TimePenalty,
-            ScoreOrder::Unsorted,
+    for (gname, granularity) in [
+        ("group", MoveGranularity::Group),
+        ("object", MoveGranularity::Object),
+    ] {
+        for (oname, order) in [
+            ("time-per-cost", ScoreOrder::TimePerCost),
+            ("cost-saving", ScoreOrder::CostSaving),
+            ("time-penalty", ScoreOrder::TimePenalty),
+            ("unsorted", ScoreOrder::Unsorted),
         ] {
-            let config = AblationConfig { granularity, order };
-            let out = ablation::optimize_ablated(&problem, &profile, &cons, config);
-            let objective = out.estimate.as_ref().map(|e| e.objective_cents);
+            let id = format!("ablation:{gname}:{oname}");
+            let objective = advisor
+                .recommend(&id)
+                .ok()
+                .map(|rec| rec.estimate.objective_cents);
             rows.push(AblationRow {
-                config: config.label(),
+                config: AblationConfig { granularity, order }.label(),
                 objective_cents: objective,
                 vs_optimal: match (objective, optimal) {
                     (Some(o), Some(best)) => Some(o / best),

@@ -87,6 +87,56 @@ impl Constraints {
         true
     }
 
+    /// The same constraints re-expressed against a different reference
+    /// estimate — e.g. a *measured* premium run during validation. Each cap
+    /// keeps its ratio to the reference (`cap_i / ref_i`), so per-query
+    /// SLAs (multi-tenant caps) survive the rescaling; for the uniform case
+    /// this reduces exactly to [`from_reference`] on the new reference.
+    pub fn rescaled(&self, reference: TocEstimate) -> Constraints {
+        let response_caps_ms = self.response_caps_ms.as_ref().map(|caps| {
+            caps.iter()
+                .zip(&self.reference.per_query_ms)
+                .zip(&reference.per_query_ms)
+                .map(|((cap, old), new)| if *old > 0.0 { new * (cap / old) } else { *cap })
+                .collect()
+        });
+        let throughput_floor = self.throughput_floor.map(|floor| {
+            if self.reference.throughput_tasks_per_hour > 0.0 {
+                reference.throughput_tasks_per_hour
+                    * (floor / self.reference.throughput_tasks_per_hour)
+            } else {
+                floor
+            }
+        });
+        Constraints {
+            response_caps_ms,
+            throughput_floor,
+            reference,
+            sla: self.sla,
+        }
+    }
+
+    /// Uniformly relax these constraints by `multiplier` in `(0, 1]`: every
+    /// per-query ratio and the throughput ratio shrink by the same factor,
+    /// so caps grow (and the floor falls) **proportionally** — per-query
+    /// (multi-tenant) cap structure survives, unlike re-deriving from a
+    /// single uniform SLA. `relaxed(1.0)` is the identity.
+    pub fn relaxed(&self, multiplier: f64) -> Constraints {
+        assert!(
+            multiplier > 0.0 && multiplier <= 1.0,
+            "relaxation multiplier must be in (0, 1]"
+        );
+        Constraints {
+            response_caps_ms: self
+                .response_caps_ms
+                .as_ref()
+                .map(|caps| caps.iter().map(|cap| cap / multiplier).collect()),
+            throughput_floor: self.throughput_floor.map(|floor| floor * multiplier),
+            reference: self.reference.clone(),
+            sla: SlaSpec::relative(self.sla.ratio * multiplier),
+        }
+    }
+
     /// Performance satisfaction ratio (§4.3): fraction of queries meeting
     /// their caps. For throughput workloads this is 1.0/0.0 on the floor
     /// (the paper: "the throughput performance itself serves as such an
@@ -155,6 +205,45 @@ mod tests {
         let est = crate::toc::estimate_toc(&p, &hdd);
         assert!(!c.performance_satisfied(&est));
         assert!(c.psr(&est) < 1.0);
+    }
+
+    #[test]
+    fn relaxed_scales_caps_proportionally_and_keeps_their_structure() {
+        let s = synth::bench_schema(2_000_000.0, 120.0);
+        let pool = catalog::box2();
+        let w = synth::mixed_workload(&s);
+        let p = crate::Problem::new(&s, &pool, &w, SlaSpec::relative(0.5), EngineConfig::dss());
+        let c = derive(&p);
+        let relaxed = c.relaxed(0.5);
+        let (before, after) = (
+            c.response_caps_ms.as_ref().unwrap(),
+            relaxed.response_caps_ms.as_ref().unwrap(),
+        );
+        for (b, a) in before.iter().zip(after) {
+            assert!((a - b * 2.0).abs() < 1e-9, "cap {b} relaxed to {a}");
+        }
+        assert!((relaxed.sla.ratio - 0.25).abs() < 1e-12);
+        // Identity at multiplier 1.
+        assert_eq!(c.relaxed(1.0).response_caps_ms, c.response_caps_ms);
+    }
+
+    #[test]
+    fn rescaled_matches_from_reference_for_uniform_slas() {
+        let s = synth::bench_schema(2_000_000.0, 120.0);
+        let pool = catalog::box2();
+        let w = synth::mixed_workload(&s);
+        let p = crate::Problem::new(&s, &pool, &w, SlaSpec::relative(0.5), EngineConfig::dss());
+        let c = derive(&p);
+        let measured = crate::toc::measure_toc(&p, &p.premium_layout(), 7);
+        let a = c.rescaled(measured.clone());
+        let b = from_reference(&p, measured, p.sla);
+        let (ca, cb) = (
+            a.response_caps_ms.as_ref().unwrap(),
+            b.response_caps_ms.as_ref().unwrap(),
+        );
+        for (x, y) in ca.iter().zip(cb) {
+            assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
     }
 
     #[test]

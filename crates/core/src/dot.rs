@@ -5,9 +5,9 @@
 use crate::constraints::{self, Constraints};
 use crate::moves::enumerate_moves;
 use crate::problem::Problem;
-use crate::toc::{estimate_toc, measure_toc, TocEstimate};
+use crate::toc::{estimate_toc, TocEstimate};
 use dot_dbms::Layout;
-use dot_profiler::{profile_workload, ProfileSource, WorkloadProfile};
+use dot_profiler::{ProfileSource, WorkloadProfile};
 use dot_workloads::SlaSpec;
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
@@ -106,61 +106,49 @@ pub struct PipelineResult {
 /// the recommendation with a test run, and — if validation fails — refine by
 /// re-profiling from *runtime statistics* (test-run counts) and re-running
 /// the optimization, up to `max_refinements` times.
+///
+/// This is a thin paper-shaped wrapper over the advisory facade: it opens a
+/// one-shot [`Advisor`](crate::advisor::Advisor) session, runs the `"dot"`
+/// solver, and folds the uniform [`Recommendation`](crate::advisor::Recommendation)
+/// (or typed infeasibility) back into the pipeline's historical result
+/// shape. New code should use the facade directly.
 pub fn run_pipeline(
     problem: &Problem<'_>,
     source: ProfileSource,
     max_refinements: usize,
 ) -> PipelineResult {
-    let cons = constraints::derive(problem);
-    let mut profile = profile_workload(
-        problem.workload,
-        problem.schema,
-        problem.pool,
-        &problem.cfg,
-        source,
-    );
-    let mut outcome = optimize(problem, &profile, &cons);
-    let mut rounds = 0usize;
-
-    loop {
-        let Some(layout) = &outcome.layout else {
-            return PipelineResult {
-                outcome,
+    let mut advisor = crate::advisor::Advisor::for_problem(problem, source);
+    advisor.set_refinements(max_refinements);
+    match advisor.recommend("dot") {
+        Ok(rec) => PipelineResult {
+            outcome: DotOutcome {
+                layout: Some(rec.layout),
+                estimate: Some(rec.estimate),
+                layouts_investigated: rec.provenance.layouts_investigated,
+                elapsed: Duration::from_millis(rec.provenance.elapsed_ms),
+            },
+            validation: rec.validation,
+            refinement_rounds: rec.provenance.refinement_rounds,
+        },
+        Err(err) => {
+            let layouts_investigated = match err {
+                crate::advisor::ProvisionError::Infeasible {
+                    layouts_investigated,
+                    ..
+                } => layouts_investigated,
+                _ => 0,
+            };
+            PipelineResult {
+                outcome: DotOutcome {
+                    layout: None,
+                    estimate: None,
+                    layouts_investigated,
+                    elapsed: Duration::ZERO,
+                },
                 validation: None,
-                refinement_rounds: rounds,
-            };
-        };
-        // Validation: test-run the recommendation and compare against a
-        // test run of the reference layout under the same seed.
-        let seed = 0xD07 + rounds as u64;
-        let measured = measure_toc(problem, layout, seed);
-        let measured_ref = measure_toc(problem, &problem.premium_layout(), seed);
-        let measured_cons = constraints::from_reference(problem, measured_ref, problem.sla);
-        let psr = measured_cons.psr(&measured);
-        let passed = measured_cons.satisfied(problem, layout, &measured);
-        let validation = Some(ValidationReport {
-            measured,
-            psr,
-            passed,
-        });
-        if passed || rounds >= max_refinements {
-            return PipelineResult {
-                outcome,
-                validation,
-                refinement_rounds: rounds,
-            };
+                refinement_rounds: 0,
+            }
         }
-        // Refinement: rebuild the profile from runtime statistics (test-run
-        // counts) and redo the optimization phase.
-        rounds += 1;
-        profile = profile_workload(
-            problem.workload,
-            problem.schema,
-            problem.pool,
-            &problem.cfg,
-            ProfileSource::TestRun { seed },
-        );
-        outcome = optimize(problem, &profile, &cons);
     }
 }
 
@@ -191,6 +179,7 @@ pub fn optimize_with_relaxation(
 mod tests {
     use super::*;
     use dot_dbms::EngineConfig;
+    use dot_profiler::profile_workload;
     use dot_storage::catalog;
     use dot_workloads::{synth, SlaSpec};
 

@@ -1,25 +1,37 @@
 //! The generalized provisioning problem (§5.1): given a set of candidate
 //! storage configurations `F = {f_1, …, f_X}`, pick the configuration *and*
-//! layout minimizing TOC while meeting the SLA — running DOT once per
-//! configuration and comparing recommendations.
+//! layout minimizing TOC while meeting the SLA — one advisory session per
+//! configuration, comparing the uniform recommendations.
 
-use crate::dot::DotOutcome;
-use crate::problem::{LayoutCostModel, Problem};
-use crate::{constraints, dot};
+use crate::advisor::{Advisor, ProvisionError, Recommendation};
+use crate::problem::LayoutCostModel;
 use dot_dbms::{EngineConfig, Schema};
-use dot_profiler::{profile_workload, ProfileSource};
+use dot_profiler::ProfileSource;
 use dot_storage::StoragePool;
 use dot_workloads::{SlaSpec, Workload};
 
-/// DOT's recommendation for one candidate configuration.
+/// The advisory outcome for one candidate configuration: a uniform
+/// [`Recommendation`] or the typed reason this configuration cannot serve
+/// the workload.
 #[derive(Debug, Clone)]
 pub struct ConfigurationOutcome {
     /// Configuration (pool) name.
     pub pool_name: String,
     /// Index into the candidate list.
     pub index: usize,
-    /// The optimization outcome on this configuration.
-    pub outcome: DotOutcome,
+    /// The DOT recommendation on this configuration, or why there is none.
+    pub recommendation: Result<Recommendation, ProvisionError>,
+}
+
+impl ConfigurationOutcome {
+    /// The recommendation's objective in cents, if this configuration is
+    /// feasible.
+    pub fn objective_cents(&self) -> Option<f64> {
+        self.recommendation
+            .as_ref()
+            .ok()
+            .map(|r| r.estimate.objective_cents)
+    }
 }
 
 /// Result of the generalized provisioning search.
@@ -38,9 +50,9 @@ impl ConfigurationChoice {
     }
 }
 
-/// Solve §5.1: run the DOT profiling + optimization phases on every
-/// candidate configuration and return the feasible recommendation with the
-/// lowest TOC.
+/// Solve §5.1: open an advisory session on every candidate configuration,
+/// run the `"dot"` solver, and return the feasible recommendation with the
+/// lowest objective.
 pub fn choose_configuration(
     schema: &Schema,
     workload: &Workload,
@@ -54,20 +66,23 @@ pub fn choose_configuration(
     let mut winner: Option<usize> = None;
     let mut best_toc = f64::INFINITY;
     for (index, pool) in candidates.iter().enumerate() {
-        let problem = Problem::new(schema, pool, workload, sla, cfg).with_cost_model(cost_model);
-        let cons = constraints::derive(&problem);
-        let profile = profile_workload(workload, schema, pool, &cfg, source);
-        let outcome = dot::optimize(&problem, &profile, &cons);
-        if let Some(est) = &outcome.estimate {
-            if est.objective_cents < best_toc {
-                best_toc = est.objective_cents;
+        let recommendation = Advisor::builder(schema, pool, workload)
+            .sla_spec(sla)
+            .engine(cfg)
+            .cost_model(cost_model)
+            .profile_source(source)
+            .build()
+            .and_then(|advisor| advisor.recommend("dot"));
+        if let Ok(rec) = &recommendation {
+            if rec.estimate.objective_cents < best_toc {
+                best_toc = rec.estimate.objective_cents;
                 winner = Some(index);
             }
         }
         all.push(ConfigurationOutcome {
             pool_name: pool.name().to_owned(),
             index,
-            outcome,
+            recommendation,
         });
     }
     ConfigurationChoice { all, winner }
@@ -96,12 +111,42 @@ mod tests {
         assert_eq!(choice.all.len(), 2);
         let win = choice.winning().expect("a feasible configuration exists");
         // The winner's TOC is minimal among feasible outcomes.
-        let win_toc = win.outcome.estimate.as_ref().unwrap().toc_cents_per_pass;
+        let win_toc = win
+            .recommendation
+            .as_ref()
+            .unwrap()
+            .estimate
+            .toc_cents_per_pass;
         for o in &choice.all {
-            if let Some(est) = &o.outcome.estimate {
-                assert!(win_toc <= est.toc_cents_per_pass + 1e-12);
+            if let Ok(rec) = &o.recommendation {
+                assert!(win_toc <= rec.estimate.toc_cents_per_pass + 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn infeasible_configurations_carry_their_typed_reason() {
+        let s = synth::bench_schema(5_000_000.0, 120.0);
+        let w = synth::mixed_workload(&s);
+        let mut tiny = catalog::box2();
+        for class in ["HDD", "L-SSD RAID 0", "H-SSD"] {
+            tiny.set_capacity(class, 0.001);
+        }
+        let choice = choose_configuration(
+            &s,
+            &w,
+            SlaSpec::relative(0.25),
+            EngineConfig::dss(),
+            &[tiny, catalog::box2()],
+            ProfileSource::Estimate,
+            LayoutCostModel::Linear,
+        );
+        assert_eq!(choice.winner, Some(1));
+        assert!(matches!(
+            choice.all[0].recommendation,
+            Err(ProvisionError::CapacityExceeded { .. })
+        ));
+        assert!(choice.all[0].objective_cents().is_none());
     }
 
     #[test]

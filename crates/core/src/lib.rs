@@ -2,7 +2,8 @@
 //!
 //! **DOT** — the TOC-minimizing data-layout optimizer of *Towards
 //! Cost-Effective Storage Provisioning for DBMSs* (VLDB 2011) — together
-//! with every comparator the paper evaluates against.
+//! with every comparator the paper evaluates against, all behind one
+//! advisory facade.
 //!
 //! The problem (§2.5): given database objects `O`, storage classes `D` with
 //! prices `P` and capacities `C`, and a workload `W` with performance
@@ -10,8 +11,50 @@
 //! operating cost `TOC = C(L) · t(L, W)` subject to capacity and SLA
 //! constraints.
 //!
-//! Modules, following the paper's structure:
+//! ## Quickstart: the `Advisor` facade
 //!
+//! An [`advisor::Advisor`] session owns one provisioning request, computes
+//! the workload profile and derived constraints once, and answers for any
+//! optimizer in the [`advisor::Registry`] — selected **by name** — with a
+//! uniform, serializable [`advisor::Recommendation`]. Failures are typed
+//! ([`advisor::ProvisionError`]), including infeasibility with a suggested
+//! relaxed SLA.
+//!
+//! ```
+//! use dot_core::advisor::Advisor;
+//! use dot_storage::catalog;
+//! use dot_workloads::synth;
+//!
+//! let schema = synth::bench_schema(20_000_000.0, 120.0);
+//! let pool = catalog::box2();
+//! let workload = synth::mixed_workload(&schema);
+//!
+//! let advisor = Advisor::builder(&schema, &pool, &workload)
+//!     .sla(0.5) // every query may be at most 2x slower than all-premium
+//!     .build()?;
+//!
+//! // Optimizers are selected by registry id: "dot", "es", "oa",
+//! // "all-hssd", "ablation:object:unsorted", ...
+//! let rec = advisor.recommend("dot")?;
+//! assert_eq!(rec.provenance.solver, "dot");
+//!
+//! // DOT never beats the premium reference's performance, but never loses
+//! // to it on cost; the same session answers for any other solver without
+//! // re-profiling the workload.
+//! let premium = advisor.recommend("all-premium")?;
+//! assert!(
+//!     rec.estimate.layout_cost_cents_per_hour
+//!         <= premium.estimate.layout_cost_cents_per_hour
+//! );
+//! assert_eq!(advisor.profile_builds(), 1);
+//! # Ok::<(), dot_core::advisor::ProvisionError>(())
+//! ```
+//!
+//! ## Modules, following the paper's structure
+//!
+//! * [`advisor`] — the facade: `Advisor` sessions, the `Solver` trait and
+//!   name-keyed registry, uniform `Recommendation`s, typed
+//!   `ProvisionError`s, and preset resolution for the scriptable surface;
 //! * [`problem`] — the problem statement plus the two layout-cost models
 //!   (linear §2.1, discrete-sized §5.2);
 //! * [`toc`] — `estimateTOC`: price a layout's workload behaviour through
@@ -21,9 +64,9 @@
 //!   capacity checks, PSR;
 //! * [`moves`] — Procedure 2: object groups, per-group placement moves,
 //!   priority scores `σ = δ_time / δ_cost` (§3.3);
-//! * [`dot`] — Procedure 1 (the greedy move sweep) and the full pipeline of
-//!   Figure 2: profiling → optimization → validation → refinement, plus the
-//!   SLA-relaxation loop used when constraints are unsatisfiable (§4.5.3);
+//! * [`dot`] — Procedure 1 (the greedy move sweep); the Figure 2 pipeline
+//!   of `run_pipeline` is kept as a thin wrapper over the facade's `"dot"`
+//!   solver, as is the §4.5.3 SLA-relaxation loop;
 //! * [`exhaustive`] — the ES comparator (§4.4.3/§4.5.3): full `M^N`
 //!   enumeration through the planner, and an additive branch-and-bound
 //!   variant for throughput workloads whose plans are placement-stable;
@@ -32,41 +75,20 @@
 //! * [`ablation`] — switchable design choices (group vs. object moves,
 //!   score orderings) for measuring what each of DOT's decisions buys;
 //! * [`generalized`] — §5.1: choose the best storage configuration from a
-//!   set of options by running DOT on each;
+//!   set of options by running the advisor on each;
 //! * [`report`] — serializable evaluation records shared by the experiment
 //!   harness and the examples;
 //! * [`sweep`] — SLA and price sensitivity sweeps (the purchasing/capacity
 //!   planning direction §7 sketches as future work);
 //! * [`tenancy`] — multi-tenant colocation: several databases with distinct
-//!   SLAs jointly provisioned on one box (the paper's acknowledged
-//!   limitation, §1).
-//!
-//! ## Quickstart
-//!
-//! ```
-//! use dot_core::{dot, problem::Problem};
-//! use dot_dbms::EngineConfig;
-//! use dot_storage::catalog;
-//! use dot_workloads::{spec::SlaSpec, synth};
-//!
-//! let schema = synth::bench_schema(20_000_000.0, 120.0);
-//! let pool = catalog::box2();
-//! let workload = synth::mixed_workload(&schema);
-//! let problem = Problem::new(&schema, &pool, &workload, SlaSpec::relative(0.5),
-//!                            EngineConfig::dss());
-//! let result = dot::run_pipeline(&problem, dot_profiler::ProfileSource::Estimate, 1);
-//! let outcome = result.outcome;
-//! let layout = outcome.layout.expect("feasible");
-//! // DOT found something cheaper than the all-premium initial layout.
-//! let premium = dot_dbms::Layout::uniform(pool.most_expensive(), schema.object_count());
-//! assert!(problem.layout_cost_cents_per_hour(&layout)
-//!     <= problem.layout_cost_cents_per_hour(&premium));
-//! ```
+//!   SLAs jointly provisioned on one box through per-query SLA caps (the
+//!   paper's acknowledged limitation, §1).
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod ablation;
+pub mod advisor;
 pub mod baselines;
 pub mod constraints;
 pub mod dot;
@@ -79,6 +101,7 @@ pub mod sweep;
 pub mod tenancy;
 pub mod toc;
 
+pub use advisor::{Advisor, ProvisionError, Recommendation, Solver};
 pub use constraints::Constraints;
 pub use dot::{DotOutcome, PipelineResult};
 pub use problem::{LayoutCostModel, Problem};

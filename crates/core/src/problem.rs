@@ -30,24 +30,42 @@ impl LayoutCostModel {
         schema: &Schema,
         pool: &StoragePool,
     ) -> f64 {
+        self.class_costs_cents_per_hour(layout, schema, pool)
+            .iter()
+            .sum()
+    }
+
+    /// The per-class decomposition of `C(L)`: element `j` is what class `j`
+    /// charges for this layout (0 for unused classes), and the sum is
+    /// exactly [`layout_cost_cents_per_hour`](Self::layout_cost_cents_per_hour).
+    /// This is the itemized bill the advisory API reports per
+    /// recommendation.
+    pub fn class_costs_cents_per_hour(
+        &self,
+        layout: &Layout,
+        schema: &Schema,
+        pool: &StoragePool,
+    ) -> Vec<f64> {
         let space = layout.space_per_class(schema, pool);
         match *self {
             LayoutCostModel::Linear => space
                 .iter()
                 .zip(pool.classes())
                 .map(|(&s, c)| c.price_cents_per_gb_hour * s)
-                .sum(),
+                .collect(),
             LayoutCostModel::Discrete { alpha } => {
                 assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0,1]");
                 space
                     .iter()
                     .zip(pool.classes())
-                    .filter(|(&s, _)| s > 0.0)
                     .map(|(&s, c)| {
+                        if s <= 0.0 {
+                            return 0.0;
+                        }
                         let device = c.price_cents_per_gb_hour * c.capacity_gb;
                         alpha * device + (1.0 - alpha) * (s / c.capacity_gb) * device
                     })
-                    .sum()
+                    .collect()
             }
         }
     }

@@ -4,14 +4,14 @@
 //! framework to help make purchasing and capacity planning decisions; for
 //! example, by running DOT iteratively to determine the TOC and SLA
 //! performance of different hardware configurations under consideration"
-//! (§7). These helpers run DOT across a grid of SLAs or perturbed prices
-//! and return the resulting cost/performance curves.
+//! (§7). These helpers drive the [`Advisor`] facade across a grid of SLAs
+//! or perturbed prices and return the resulting cost/performance curves.
+//! One advisory session serves a whole SLA sweep, so the workload is
+//! profiled exactly once per grid.
 
-use crate::constraints;
-use crate::dot;
-use crate::problem::Problem;
+use crate::advisor::{Advisor, ProvisionError, Recommendation};
 use dot_dbms::{EngineConfig, Schema};
-use dot_profiler::{profile_workload, ProfileSource, WorkloadProfile};
+use dot_profiler::ProfileSource;
 use dot_storage::StoragePool;
 use dot_workloads::{SlaSpec, Workload};
 use serde::Serialize;
@@ -31,8 +31,14 @@ pub struct SlaPoint {
 
 /// Run DOT at each SLA ratio and report the cost/placement trajectory —
 /// the data behind Fig 8's "TOC decreases as the SLA relaxes" and Table 3's
-/// migration gradient. The profile is built once and reused (it is
-/// SLA-independent).
+/// migration gradient. One advisor session drives the whole grid: its
+/// profile is computed once and shared by every [`with_sla`] sibling.
+///
+/// Fails with a typed error only when the request itself is broken (e.g.
+/// the database cannot fit on the pool at all); per-point infeasibility is
+/// reported in the point.
+///
+/// [`with_sla`]: Advisor::with_sla
 pub fn sla_sweep(
     schema: &Schema,
     pool: &StoragePool,
@@ -40,40 +46,41 @@ pub fn sla_sweep(
     cfg: EngineConfig,
     ratios: &[f64],
     source: ProfileSource,
-) -> Vec<SlaPoint> {
-    let profile = profile_workload(workload, schema, pool, &cfg, source);
-    ratios
+) -> Result<Vec<SlaPoint>, ProvisionError> {
+    let advisor = Advisor::builder(schema, pool, workload)
+        .engine(cfg)
+        .profile_source(source)
+        .build()?;
+    Ok(ratios
         .iter()
-        .map(|&ratio| {
-            let problem = Problem::new(schema, pool, workload, SlaSpec::relative(ratio), cfg);
-            point_for(&problem, &profile, ratio)
-        })
-        .collect()
+        .map(|&ratio| point_for(&advisor.with_sla(ratio), ratio))
+        .collect())
 }
 
-fn point_for(problem: &Problem<'_>, profile: &WorkloadProfile, ratio: f64) -> SlaPoint {
-    let cons = constraints::derive(problem);
-    let outcome = dot::optimize(problem, profile, &cons);
-    let premium = problem.pool.most_expensive();
-    match (&outcome.layout, &outcome.estimate) {
-        (Some(layout), Some(est)) => SlaPoint {
+fn point_for(advisor: &Advisor<'_>, ratio: f64) -> SlaPoint {
+    match advisor.recommend("dot") {
+        Ok(rec) => SlaPoint {
             ratio,
-            objective_cents: Some(est.objective_cents),
-            layout_cost_cents_per_hour: Some(est.layout_cost_cents_per_hour),
-            objects_moved: problem
-                .schema
-                .objects()
-                .iter()
-                .filter(|o| layout.class_of(o.id) != premium)
-                .count(),
+            objective_cents: Some(rec.estimate.objective_cents),
+            layout_cost_cents_per_hour: Some(rec.estimate.layout_cost_cents_per_hour),
+            objects_moved: objects_moved(advisor, &rec),
         },
-        _ => SlaPoint {
+        Err(_) => SlaPoint {
             ratio,
             objective_cents: None,
             layout_cost_cents_per_hour: None,
             objects_moved: 0,
         },
     }
+}
+
+fn objects_moved(advisor: &Advisor<'_>, rec: &Recommendation) -> usize {
+    let premium = advisor.problem().pool.most_expensive();
+    rec.layout
+        .assignment()
+        .iter()
+        .filter(|&&class| class != premium)
+        .count()
 }
 
 /// One point of a price-sensitivity sweep.
@@ -90,8 +97,8 @@ pub struct PricePoint {
 }
 
 /// Re-run DOT with the named class's price scaled by each factor — "how far
-/// would flash have to fall for DOT to move the fact table there?" Profiles
-/// depend on placement, not price, so one profile serves all factors.
+/// would flash have to fall for DOT to move the fact table there?" Each
+/// factor gets its own advisory session over the perturbed pool.
 #[allow(clippy::too_many_arguments)] // a sweep is inherently a wide config
 pub fn price_sensitivity(
     schema: &Schema,
@@ -102,10 +109,13 @@ pub fn price_sensitivity(
     class_name: &str,
     factors: &[f64],
     source: ProfileSource,
-) -> Vec<PricePoint> {
+) -> Result<Vec<PricePoint>, ProvisionError> {
     let base_price = base_pool
         .class_by_name(class_name)
-        .unwrap_or_else(|| panic!("unknown class {class_name}"))
+        .ok_or_else(|| ProvisionError::ClassUnavailable {
+            class: class_name.to_owned(),
+            pool: base_pool.name().to_owned(),
+        })?
         .price_cents_per_gb_hour;
     factors
         .iter()
@@ -113,25 +123,26 @@ pub fn price_sensitivity(
             let mut pool = base_pool.clone();
             let price = base_price * factor;
             pool.set_price(class_name, price);
-            let problem = Problem::new(schema, &pool, workload, sla, cfg);
-            let cons = constraints::derive(&problem);
-            let profile = profile_workload(workload, schema, &pool, &cfg, source);
-            let outcome = dot::optimize(&problem, &profile, &cons);
+            let advisor = Advisor::builder(schema, &pool, workload)
+                .sla_spec(sla)
+                .engine(cfg)
+                .profile_source(source)
+                .build()?;
             let class_id = pool.class_by_name(class_name).expect("still present").id;
-            match (&outcome.layout, &outcome.estimate) {
-                (Some(layout), Some(est)) => PricePoint {
+            Ok(match advisor.recommend("dot") {
+                Ok(rec) => PricePoint {
                     factor,
                     price_cents_per_gb_hour: price,
-                    objective_cents: Some(est.objective_cents),
-                    gb_on_class: layout.space_per_class(schema, &pool)[class_id.0],
+                    objective_cents: Some(rec.estimate.objective_cents),
+                    gb_on_class: rec.layout.space_per_class(schema, &pool)[class_id.0],
                 },
-                _ => PricePoint {
+                Err(_) => PricePoint {
                     factor,
                     price_cents_per_gb_hour: price,
                     objective_cents: None,
                     gb_on_class: 0.0,
                 },
-            }
+            })
         })
         .collect()
 }
@@ -154,7 +165,8 @@ mod tests {
             EngineConfig::dss(),
             &[0.9, 0.5, 0.25, 0.1],
             ProfileSource::Estimate,
-        );
+        )
+        .expect("request is well-formed");
         assert_eq!(points.len(), 4);
         let mut last_cost = f64::INFINITY;
         for p in &points {
@@ -182,7 +194,8 @@ mod tests {
             "H-SSD",
             &[0.001, 1.0, 10.0],
             ProfileSource::Estimate,
-        );
+        )
+        .expect("request is well-formed");
         let nearly_free = points[0].gb_on_class;
         let expensive = points[2].gb_on_class;
         assert!(
@@ -194,22 +207,41 @@ mod tests {
     }
 
     #[test]
-    fn infeasible_points_are_reported_not_panicked() {
+    fn unfittable_database_is_a_typed_error_not_a_panic() {
         let schema = tpch::subset_schema(2.0);
         let workload = tpch::subset_workload(&schema);
         let mut pool = catalog::box2();
-        pool.set_capacity("H-SSD", 0.001); // nothing fits anywhere premium
+        pool.set_capacity("H-SSD", 0.001); // nothing fits anywhere
         pool.set_capacity("HDD", 0.001);
         pool.set_capacity("L-SSD RAID 0", 0.001);
-        let points = sla_sweep(
+        let err = sla_sweep(
             &schema,
             &pool,
             &workload,
             EngineConfig::dss(),
             &[0.5],
             ProfileSource::Estimate,
-        );
-        assert!(points[0].objective_cents.is_none());
-        assert_eq!(points[0].objects_moved, 0);
+        )
+        .expect_err("database cannot fit");
+        assert!(matches!(err, ProvisionError::CapacityExceeded { .. }));
+    }
+
+    #[test]
+    fn unknown_price_class_is_a_typed_error() {
+        let schema = tpch::subset_schema(1.0);
+        let workload = tpch::subset_workload(&schema);
+        let pool = catalog::box2();
+        let err = price_sensitivity(
+            &schema,
+            &pool,
+            &workload,
+            SlaSpec::relative(0.5),
+            EngineConfig::dss(),
+            "Optane",
+            &[1.0],
+            ProfileSource::Estimate,
+        )
+        .expect_err("no such class");
+        assert!(matches!(err, ProvisionError::ClassUnavailable { .. }));
     }
 }

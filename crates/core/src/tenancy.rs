@@ -13,13 +13,10 @@
 //! Only response-time (DSS) tenants are supported: per-query caps compose
 //! across tenants, a single shared throughput floor does not.
 
-use crate::constraints::Constraints;
-use crate::dot::{self, DotOutcome};
-use crate::problem::Problem;
-use crate::toc::estimate_toc;
+use crate::advisor::{Advisor, ProvisionError, Recommendation};
 use dot_dbms::query::{Op, QuerySpec, Rel};
 use dot_dbms::{EngineConfig, IndexId, Schema, SchemaBuilder, TableId};
-use dot_profiler::{profile_workload, ProfileSource};
+use dot_profiler::ProfileSource;
 use dot_storage::StoragePool;
 use dot_workloads::spec::PerfMetric;
 use dot_workloads::{SlaSpec, Workload};
@@ -189,66 +186,52 @@ fn remap_rel(
     }
 }
 
-/// Result of a multi-tenant provisioning run.
+/// Result of a successful multi-tenant provisioning run.
 #[derive(Debug, Clone)]
 pub struct TenancyOutcome {
-    /// The merged problem's optimization outcome.
-    pub outcome: DotOutcome,
+    /// The joint recommendation over the merged problem.
+    pub recommendation: Recommendation,
     /// Per-tenant PSR under the recommendation (parallel to tenant order).
     pub tenant_psr: Vec<f64>,
 }
 
-/// Provision all tenants jointly on `pool`: merge, derive per-query caps
-/// from each tenant's own SLA against the shared premium reference, and run
-/// DOT on the combined problem.
+/// Provision all tenants jointly on `pool`: open one advisory session over
+/// the merged problem with each tenant's own SLA as a per-query cap, and
+/// run the `"dot"` solver. Joint infeasibility (or an undersized pool)
+/// surfaces as the session's typed error.
 pub fn provision(
     colocation: &Colocation,
     pool: &StoragePool,
     cfg: EngineConfig,
     source: ProfileSource,
-) -> TenancyOutcome {
-    // The per-tenant SLA is irrelevant to Problem's own field (caps are
-    // built manually below); use the tightest for documentation purposes.
+) -> Result<TenancyOutcome, ProvisionError> {
+    // Problem::sla is a summary only — the binding caps are per-query.
     let tightest = colocation.query_slas.iter().cloned().fold(1.0f64, f64::min);
-    let problem = Problem::new(
-        &colocation.schema,
-        pool,
-        &colocation.workload,
-        SlaSpec::relative(tightest),
-        cfg,
-    );
-    // Per-query caps with per-tenant ratios.
-    let reference = estimate_toc(&problem, &problem.premium_layout());
-    let caps: Vec<f64> = reference
-        .per_query_ms
+    let advisor = Advisor::builder(&colocation.schema, pool, &colocation.workload)
+        .sla(tightest)
+        .engine(cfg)
+        .profile_source(source)
+        .per_query_slas(colocation.query_slas.clone())
+        .build()?;
+    let recommendation = advisor.recommend("dot")?;
+    let caps = advisor
+        .constraints()
+        .response_caps_ms
+        .as_ref()
+        .expect("colocated workloads are response-time");
+    let tenant_psr = colocation
+        .query_spans
         .iter()
-        .zip(&colocation.query_slas)
-        .map(|(t, ratio)| t / ratio)
+        .map(|&(start, len)| {
+            let times = &recommendation.estimate.per_query_ms[start..start + len];
+            let caps = &caps[start..start + len];
+            dot_workloads::spec::performance_satisfaction_ratio(times, caps)
+        })
         .collect();
-    let cons = Constraints {
-        response_caps_ms: Some(caps),
-        throughput_floor: None,
-        reference,
-        sla: SlaSpec::relative(tightest),
-    };
-    let profile = profile_workload(&colocation.workload, &colocation.schema, pool, &cfg, source);
-    let outcome = dot::optimize(&problem, &profile, &cons);
-    let tenant_psr = match (&outcome.estimate, &cons.response_caps_ms) {
-        (Some(est), Some(caps)) => colocation
-            .query_spans
-            .iter()
-            .map(|&(start, len)| {
-                let times = &est.per_query_ms[start..start + len];
-                let caps = &caps[start..start + len];
-                dot_workloads::spec::performance_satisfaction_ratio(times, caps)
-            })
-            .collect(),
-        _ => vec![0.0; colocation.query_spans.len()],
-    };
-    TenancyOutcome {
-        outcome,
+    Ok(TenancyOutcome {
+        recommendation,
         tenant_psr,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -336,8 +319,9 @@ mod tests {
         let ts = tenants();
         let c = colocate(&ts);
         let pool = catalog::box2();
-        let result = provision(&c, &pool, EngineConfig::dss(), ProfileSource::Estimate);
-        let layout = result.outcome.layout.as_ref().expect("feasible");
+        let result = provision(&c, &pool, EngineConfig::dss(), ProfileSource::Estimate)
+            .expect("jointly feasible");
+        let layout = &result.recommendation.layout;
         assert!(layout.fits(&c.schema, &pool));
         for (psr, name) in result.tenant_psr.iter().zip(&c.tenant_names) {
             assert!((*psr - 1.0).abs() < 1e-12, "tenant {name} PSR {psr}");

@@ -1,0 +1,187 @@
+//! Solver-conformance suite: every entry in the builtin registry is held to
+//! the same contract, on a DSS problem and an OLTP problem —
+//!
+//! * deterministic: two runs on the same session agree on everything but
+//!   wall-clock;
+//! * honest: every returned layout satisfies the session constraints
+//!   (capacity + SLA) and carries a bill that sums to its layout cost;
+//! * typed: a solver that cannot answer fails with `Infeasible` or
+//!   `UnsupportedWorkload`, never a panic or an unknown-id error;
+//! * ordered: ES (optimal) never loses to DOT, and DOT never loses to the
+//!   best feasible simple layout / Object Advisor;
+//! * frugal: the whole suite computes each session's workload profile once.
+
+use dot_core::advisor::{Advisor, ProvisionError, Recommendation};
+use dot_storage::catalog;
+use dot_workloads::{tpcc, tpch};
+
+fn dss_inputs() -> (
+    dot_dbms::Schema,
+    dot_storage::StoragePool,
+    dot_workloads::Workload,
+) {
+    let schema = tpch::subset_schema(1.0);
+    let workload = tpch::subset_workload(&schema);
+    (schema, catalog::box2(), workload)
+}
+
+fn oltp_inputs() -> (
+    dot_dbms::Schema,
+    dot_storage::StoragePool,
+    dot_workloads::Workload,
+) {
+    let schema = tpcc::schema(5.0);
+    let workload = tpcc::workload(&schema);
+    (schema, catalog::box2(), workload)
+}
+
+/// Everything except timing must be reproducible.
+fn assert_deterministic(id: &str, a: &Recommendation, b: &Recommendation) {
+    assert_eq!(a.layout, b.layout, "{id}: layout differs between runs");
+    assert_eq!(a.estimate, b.estimate, "{id}: estimate differs");
+    assert_eq!(a.label, b.label, "{id}: label differs");
+    assert_eq!(a.placements, b.placements, "{id}: placements differ");
+    assert_eq!(a.bill, b.bill, "{id}: bill differs");
+    assert_eq!(
+        a.provenance.layouts_investigated, b.provenance.layouts_investigated,
+        "{id}: investigated count differs"
+    );
+    assert_eq!(
+        a.provenance.final_sla, b.provenance.final_sla,
+        "{id}: final SLA differs"
+    );
+}
+
+/// Run every registry entry twice on one session and check the common
+/// contract. Returns the feasible recommendations by id.
+fn run_conformance(advisor: &Advisor<'_>) -> Vec<(String, Recommendation)> {
+    let mut feasible = Vec::new();
+    for id in advisor.solver_ids() {
+        let first = advisor.recommend(&id);
+        let second = advisor.recommend(&id);
+        match (first, second) {
+            (Ok(a), Ok(b)) => {
+                assert_deterministic(&id, &a, &b);
+                let problem = advisor.problem();
+                assert!(
+                    advisor.constraints().satisfied(problem, &a.layout, &a.estimate)
+                        // The relaxation solver answers for a looser SLA; it
+                        // must still fit and meet the SLA it reports.
+                        || a.provenance.final_sla < problem.sla.ratio,
+                    "{id}: returned layout violates the constraints"
+                );
+                assert!(
+                    a.layout.fits(problem.schema, problem.pool),
+                    "{id}: layout exceeds capacity"
+                );
+                let billed: f64 = a.bill.iter().map(|l| l.cents_per_hour).sum();
+                assert!(
+                    (billed - a.estimate.layout_cost_cents_per_hour).abs() < 1e-9,
+                    "{id}: bill sums to {billed}, layout costs {}",
+                    a.estimate.layout_cost_cents_per_hour
+                );
+                assert_eq!(
+                    a.provenance.solver, id,
+                    "{id}: provenance names {}",
+                    a.provenance.solver
+                );
+                assert!(a.provenance.layouts_investigated >= 1);
+                feasible.push((id, a));
+            }
+            (Err(a), Err(b)) => {
+                assert_eq!(a.kind(), b.kind(), "{id}: error kind differs between runs");
+                assert!(
+                    matches!(
+                        a,
+                        ProvisionError::Infeasible { .. }
+                            | ProvisionError::UnsupportedWorkload { .. }
+                    ),
+                    "{id}: unexpected error {a}"
+                );
+            }
+            (first, second) => panic!(
+                "{id}: feasibility flapped between runs ({} then {})",
+                if first.is_ok() { "ok" } else { "err" },
+                if second.is_ok() { "ok" } else { "err" },
+            ),
+        }
+    }
+    feasible
+}
+
+fn objective(feasible: &[(String, Recommendation)], id: &str) -> Option<f64> {
+    feasible
+        .iter()
+        .find(|(i, _)| i == id)
+        .map(|(_, r)| r.estimate.objective_cents)
+}
+
+/// The §4.2 comparison points: simple layouts plus the Object Advisor.
+const BASELINE_IDS: [&str; 7] = [
+    "all-hssd",
+    "all-lssd",
+    "all-hdd",
+    "all-premium",
+    "all-cheapest",
+    "index-split",
+    "oa",
+];
+
+fn best_feasible_baseline(feasible: &[(String, Recommendation)]) -> Option<f64> {
+    feasible
+        .iter()
+        .filter(|(id, _)| BASELINE_IDS.contains(&id.as_str()))
+        .map(|(_, r)| r.estimate.objective_cents)
+        .min_by(|a, b| a.partial_cmp(b).expect("finite objectives"))
+}
+
+#[test]
+fn every_solver_conforms_on_the_dss_problem() {
+    let (schema, pool, workload) = dss_inputs();
+    let advisor = Advisor::builder(&schema, &pool, &workload)
+        .sla(0.5)
+        .build()
+        .expect("well-formed request");
+    let feasible = run_conformance(&advisor);
+
+    // The whole grid — two runs of 19 solvers — profiled the workload once.
+    assert_eq!(advisor.profile_builds(), 1, "profile must be computed once");
+
+    // ES is optimal: DOT can never beat it; DOT never loses to a simple
+    // layout or the OA (§4.4.3's ordering).
+    let es = objective(&feasible, "es").expect("ES feasible at SLA 0.5");
+    let dot = objective(&feasible, "dot").expect("DOT feasible at SLA 0.5");
+    assert!(es <= dot + 1e-9, "ES {es} must not lose to DOT {dot}");
+    let baseline = best_feasible_baseline(&feasible).expect("premium is always feasible");
+    assert!(
+        dot <= baseline + 1e-9,
+        "DOT {dot} must not lose to the best baseline {baseline}"
+    );
+    // The premium reference is always feasible by construction.
+    assert!(feasible.iter().any(|(id, _)| id == "all-premium"));
+}
+
+#[test]
+fn every_solver_conforms_on_the_oltp_problem() {
+    let (schema, pool, workload) = oltp_inputs();
+    let advisor = Advisor::builder(&schema, &pool, &workload)
+        .sla(0.25)
+        .build()
+        .expect("well-formed request");
+    let feasible = run_conformance(&advisor);
+    assert_eq!(advisor.profile_builds(), 1, "profile must be computed once");
+
+    // On the throughput problem the additive ES is the optimality anchor
+    // ("es" refuses: 3^19 layouts).
+    let es = objective(&feasible, "es-additive").expect("additive ES feasible");
+    let dot = objective(&feasible, "dot").expect("DOT feasible");
+    assert!(
+        es <= dot * 1.001,
+        "additive ES {es} must not lose to DOT {dot}"
+    );
+    let baseline = best_feasible_baseline(&feasible).expect("premium is always feasible");
+    assert!(
+        dot <= baseline + 1e-9,
+        "DOT {dot} must not lose to the best baseline {baseline}"
+    );
+}

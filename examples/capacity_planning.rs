@@ -1,9 +1,11 @@
 //! Capacity planning with the §5 extensions: choose server hardware from a
 //! set of candidate storage configurations (§5.1) and price layouts with
-//! the discrete-sized device cost model (§5.2).
+//! the discrete-sized device cost model (§5.2). Every candidate is one
+//! advisory session; infeasible candidates report their typed reason.
 //!
 //! Run with: `cargo run --release --example capacity_planning`
 
+use dot_core::advisor::Advisor;
 use dot_core::generalized::choose_configuration;
 use dot_core::problem::LayoutCostModel;
 use dot_dbms::EngineConfig;
@@ -43,12 +45,14 @@ fn main() {
         LayoutCostModel::Linear,
     );
     for o in &choice.all {
-        match &o.outcome.estimate {
-            Some(est) => println!(
+        match &o.recommendation {
+            Ok(rec) => println!(
                 "{:<10} TOC {:>8.4} cents/pass, layout cost {:>7.4} cents/hour",
-                o.pool_name, est.toc_cents_per_pass, est.layout_cost_cents_per_hour
+                o.pool_name,
+                rec.estimate.toc_cents_per_pass,
+                rec.estimate.layout_cost_cents_per_hour
             ),
-            None => println!("{:<10} infeasible", o.pool_name),
+            Err(e) => println!("{:<10} {e}", o.pool_name),
         }
     }
     match choice.winning() {
@@ -58,24 +62,23 @@ fn main() {
 
     // §5.2: the same decision under discrete device pricing. As alpha grows
     // toward 1 (pay for whole devices regardless of use), spreading data
-    // over many classes stops paying off.
+    // over many classes stops paying off. One session, one profile; each
+    // alpha is a cost-model sibling.
     println!("§5.2 — discrete-sized cost model (alpha sweep, Box 2)");
     let pool = catalog::box2();
+    let advisor = Advisor::builder(&schema, &pool, &workload)
+        .sla(0.5)
+        .build()
+        .expect("well-formed request");
     for alpha in [0.0, 0.5, 1.0] {
-        let choice = choose_configuration(
-            &schema,
-            &workload,
-            SlaSpec::relative(0.5),
-            EngineConfig::dss(),
-            std::slice::from_ref(&pool),
-            ProfileSource::Estimate,
-            LayoutCostModel::Discrete { alpha },
-        );
-        if let Some(est) = choice.all[0].outcome.estimate.as_ref() {
-            println!(
-                "alpha {alpha:<4} -> TOC {:>8.4} cents/pass",
-                est.toc_cents_per_pass
-            );
+        let session = advisor.with_cost_model(LayoutCostModel::Discrete { alpha });
+        match session.recommend("dot") {
+            Ok(rec) => println!(
+                "alpha {alpha:<4} -> TOC {:>8.4} cents/pass on {} class(es)",
+                rec.estimate.toc_cents_per_pass,
+                rec.bill.len()
+            ),
+            Err(e) => println!("alpha {alpha:<4} -> {e}"),
         }
     }
 }

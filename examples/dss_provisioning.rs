@@ -1,14 +1,13 @@
 //! Provision a decision-support (TPC-H-like) database across heterogeneous
 //! storage, comparing DOT against every simple layout — a compact version
-//! of the paper's §4.4 evaluation.
+//! of the paper's §4.4 evaluation, driven through the advisory facade.
 //!
 //! Run with: `cargo run --release --example dss_provisioning [scale_factor]`
 
-use dot_core::{baselines, constraints, dot, problem::Problem, report};
-use dot_dbms::EngineConfig;
-use dot_profiler::{profile_workload, ProfileSource};
+use dot_core::advisor::Advisor;
+use dot_core::baselines;
 use dot_storage::catalog;
-use dot_workloads::{tpch, SlaSpec};
+use dot_workloads::tpch;
 
 fn main() {
     let scale: f64 = std::env::args()
@@ -26,52 +25,47 @@ fn main() {
 
     for pool in [catalog::box1(), catalog::box2()] {
         println!("== {} ==", pool.name());
-        let problem = Problem::new(
-            &schema,
-            &pool,
-            &workload,
-            SlaSpec::relative(0.5),
-            EngineConfig::dss(),
-        );
-        let cons = constraints::derive(&problem);
+        let advisor = Advisor::builder(&schema, &pool, &workload)
+            .sla(0.5)
+            .build()
+            .expect("well-formed request");
 
         println!(
             "{:<26}{:>12}{:>16}{:>8}",
             "layout", "resp (s)", "TOC (c/pass)", "PSR"
         );
-        for (label, layout) in baselines::simple_layouts(&problem) {
-            let e = report::evaluate(&problem, &cons, &label, &layout);
+        // The figure-style bars: every simple layout priced against the
+        // session constraints, feasible or not.
+        for (label, layout) in baselines::simple_layouts(advisor.problem()) {
+            let e = advisor.evaluate_layout(&label, &layout);
             println!(
                 "{:<26}{:>12.0}{:>16.4}{:>7.0}%",
                 e.label, e.response_time_s, e.toc_cents_per_pass, e.psr_percent
             );
         }
 
-        let profile = profile_workload(
-            &workload,
-            &schema,
-            &pool,
-            &problem.cfg,
-            ProfileSource::Estimate,
-        );
-        let outcome = dot::optimize(&problem, &profile, &cons);
-        match outcome.layout {
-            Some(layout) => {
-                let e = report::evaluate(&problem, &cons, "DOT", &layout);
-                println!(
-                    "{:<26}{:>12.0}{:>16.4}{:>7.0}%   ({} layouts investigated)",
-                    e.label,
-                    e.response_time_s,
-                    e.toc_cents_per_pass,
-                    e.psr_percent,
-                    outcome.layouts_investigated
-                );
-                println!("\nDOT placement:");
-                for (object, class) in &e.placements {
-                    println!("    {object:<20} -> {class}");
+        // The contenders, selected from the registry by name.
+        for id in ["oa", "dot"] {
+            match advisor.recommend(id) {
+                Ok(rec) => {
+                    let e = advisor.evaluate_layout(&rec.label, &rec.layout);
+                    println!(
+                        "{:<26}{:>12.0}{:>16.4}{:>7.0}%   ({} layouts investigated)",
+                        e.label,
+                        e.response_time_s,
+                        e.toc_cents_per_pass,
+                        e.psr_percent,
+                        rec.provenance.layouts_investigated
+                    );
+                    if id == "dot" {
+                        println!("\nDOT placement:");
+                        for (object, class) in &rec.placements {
+                            println!("    {object:<20} -> {class}");
+                        }
+                    }
                 }
+                Err(e) => println!("{id}: {e}"),
             }
-            None => println!("DOT: infeasible under this SLA"),
         }
         println!();
     }

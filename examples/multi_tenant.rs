@@ -1,7 +1,8 @@
 //! Multi-tenant provisioning: an analytics tenant with a loose SLA and a
-//! latency-sensitive serving tenant share one box; DOT provisions them
-//! jointly under shared capacity — the setting the paper's introduction
-//! motivates and scopes to future work (§1).
+//! latency-sensitive serving tenant share one box; one advisory session
+//! provisions them jointly under shared capacity with per-query SLA caps —
+//! the setting the paper's introduction motivates and scopes to future
+//! work (§1).
 //!
 //! Run with: `cargo run --release --example multi_tenant`
 
@@ -57,27 +58,28 @@ fn main() {
     );
 
     let pool = catalog::box2();
-    let result = provision(
+    match provision(
         &colocation,
         &pool,
         EngineConfig::dss(),
         ProfileSource::Estimate,
-    );
-    match &result.outcome.layout {
-        Some(layout) => {
+    ) {
+        Ok(result) => {
+            let rec = &result.recommendation;
             println!("joint layout:");
-            for (obj, class) in layout.describe(&colocation.schema, &pool) {
+            for (obj, class) in &rec.placements {
                 println!("    {obj:<28} -> {class}");
             }
             for (name, psr) in colocation.tenant_names.iter().zip(&result.tenant_psr) {
                 println!("tenant {name:<12} PSR {:.0}%", psr * 100.0);
             }
-            let est = result.outcome.estimate.as_ref().unwrap();
             println!(
                 "\nlayout cost {:.4} cents/hour ({} layouts investigated)",
-                est.layout_cost_cents_per_hour, result.outcome.layouts_investigated
+                rec.estimate.layout_cost_cents_per_hour, rec.provenance.layouts_investigated
             );
         }
-        None => println!("infeasible: the tenants' SLAs cannot be met together on this box"),
+        // The tenants' SLAs cannot be met together on this box (or the box
+        // is too small outright) — the error says which and what to relax.
+        Err(e) => println!("provisioning failed: {e}"),
     }
 }

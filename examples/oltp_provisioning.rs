@@ -1,14 +1,13 @@
 //! Provision an OLTP (TPC-C-like) database: throughput-floor SLAs, layout
-//! cost as the objective, and the SLA-relaxation loop — the paper's §4.5
-//! scenario in miniature.
+//! cost as the objective, and typed infeasibility with a suggested relaxed
+//! SLA — the paper's §4.5 scenario in miniature, through the advisory
+//! facade.
 //!
 //! Run with: `cargo run --release --example oltp_provisioning [warehouses]`
 
-use dot_core::{constraints, dot, problem::Problem, report};
-use dot_dbms::EngineConfig;
-use dot_profiler::{profile_workload, ProfileSource};
+use dot_core::advisor::{Advisor, ProvisionError};
 use dot_storage::catalog;
-use dot_workloads::{tpcc, SlaSpec};
+use dot_workloads::tpcc;
 
 fn main() {
     let warehouses: f64 = std::env::args()
@@ -25,49 +24,43 @@ fn main() {
         workload.concurrency
     );
 
-    let cfg = EngineConfig::oltp();
-    let profile = profile_workload(&workload, &schema, &pool, &cfg, ProfileSource::Estimate);
-    println!(
-        "profiling: {} baselines, {} actually run after plan-signature pruning\n",
-        profile.baseline_count, profile.profiled_count
-    );
+    // One session; every SLA on the dial reuses its profile.
+    let advisor = Advisor::builder(&schema, &pool, &workload)
+        .sla(0.5)
+        .refinements(0)
+        .build()
+        .expect("well-formed request");
 
     println!(
         "{:<10}{:>12}{:>18}{:>10}",
         "SLA", "tpmC", "TOC cents (1h)", "moved"
     );
     for ratio in [0.5, 0.25, 0.125] {
-        let problem = Problem::new(&schema, &pool, &workload, SlaSpec::relative(ratio), cfg);
-        let cons = constraints::derive(&problem);
-        let outcome = dot::optimize(&problem, &profile, &cons);
-        match outcome.layout {
-            Some(layout) => {
-                let e = report::evaluate(&problem, &cons, "DOT", &layout);
+        let session = advisor.with_sla(ratio);
+        match session.recommend("dot") {
+            Ok(rec) => {
                 let premium = pool.most_expensive();
-                let moved = schema
-                    .objects()
+                let moved = rec
+                    .layout
+                    .assignment()
                     .iter()
-                    .filter(|o| layout.class_of(o.id) != premium)
+                    .filter(|&&class| class != premium)
                     .count();
                 println!(
                     "{:<10}{:>12.0}{:>18.4}{:>10}",
                     ratio,
-                    e.throughput_tasks_per_hour / 60.0,
-                    e.objective_cents,
+                    rec.estimate.throughput_tasks_per_hour / 60.0,
+                    rec.estimate.objective_cents,
                     format!("{moved}/{}", schema.object_count())
                 );
             }
-            None => {
-                // §4.5.3: relax until feasible.
-                let (relaxed, final_sla) =
-                    dot::optimize_with_relaxation(&problem, &profile, 0.1, 0.01);
-                match relaxed.layout {
-                    Some(_) => {
-                        println!("{ratio:<10} infeasible; relaxed to {:.3}", final_sla.ratio)
-                    }
-                    None => println!("{ratio:<10} infeasible"),
-                }
-            }
+            // §4.5.3: the typed error carries the SLA to relax to.
+            Err(ProvisionError::Infeasible {
+                suggested_sla: Some(suggested),
+                ..
+            }) => println!("{ratio:<10} infeasible; relax the SLA to {suggested:.3}"),
+            Err(e) => println!("{ratio:<10} {e}"),
         }
     }
+    assert_eq!(advisor.profile_builds(), 1, "one profile serves the dial");
 }

@@ -1,17 +1,16 @@
 //! Quickstart: provision storage for a small custom database.
 //!
-//! Shows the core API loop: describe a schema, describe a workload, pick a
-//! storage pool and an SLA, then run the DOT pipeline and inspect the
-//! recommended layout.
+//! Shows the advisory API loop: describe a schema, describe a workload,
+//! pick a storage pool, open an `Advisor` session per SLA, and ask the
+//! `"dot"` solver for a `Recommendation`.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use dot_core::{constraints, dot, problem::Problem, report};
+use dot_core::advisor::Advisor;
 use dot_dbms::query::{QuerySpec, ReadOp, Rel, ScanSpec};
-use dot_dbms::{EngineConfig, SchemaBuilder};
-use dot_profiler::ProfileSource;
+use dot_dbms::SchemaBuilder;
 use dot_storage::catalog;
-use dot_workloads::{SlaSpec, Workload};
+use dot_workloads::Workload;
 
 fn main() {
     // 1. Describe the database: a 12 GB events table with a primary index,
@@ -61,36 +60,38 @@ fn main() {
     // 3. Pick hardware: the paper's "Box 2" (HDD, L-SSD RAID 0, H-SSD).
     let pool = catalog::box2();
 
-    // 4. Run the DOT pipeline (profile -> optimize -> validate) under two
-    //    SLAs to see the cost/performance dial: relative SLA 0.5 means every
-    //    query may be at most 2x slower than with everything on the H-SSD;
-    //    0.125 tolerates 8x.
+    // 4. Open one advisory session and run DOT under two SLAs to see the
+    //    cost/performance dial: relative SLA 0.5 means every query may be
+    //    at most 2x slower than with everything on the H-SSD; 0.125
+    //    tolerates 8x. `with_sla` reuses the session's workload profile.
+    let advisor = Advisor::builder(&schema, &pool, &workload)
+        .sla(0.5)
+        .refinements(2)
+        .build()
+        .expect("well-formed request");
+    let premium = advisor
+        .recommend("all-premium")
+        .expect("the premium layout is always feasible");
     for ratio in [0.5, 0.125] {
-        let problem = Problem::new(
-            &schema,
-            &pool,
-            &workload,
-            SlaSpec::relative(ratio),
-            EngineConfig::dss(),
-        );
-        let result = dot::run_pipeline(&problem, ProfileSource::Estimate, 2);
-        let layout = result.outcome.layout.expect("feasible layout");
-
-        let cons = constraints::derive(&problem);
-        let premium = report::evaluate(&problem, &cons, "All H-SSD", &problem.premium_layout());
-        let dot_eval = report::evaluate(&problem, &cons, "DOT", &layout);
+        let session = advisor.with_sla(ratio);
+        let rec = match session.recommend("dot") {
+            Ok(rec) => rec,
+            Err(e) => {
+                println!("\n== relative SLA {ratio} ==\n{e}");
+                continue;
+            }
+        };
         println!("\n== relative SLA {ratio} ==");
-        for (object, class) in &dot_eval.placements {
+        for (object, class) in &rec.placements {
             println!("    {object:<16} -> {class}");
         }
         println!(
-            "TOC: {:.4} cents/pass (all H-SSD: {:.4}) — {:.1}x cheaper, PSR {:.0}%",
-            dot_eval.toc_cents_per_pass,
-            premium.toc_cents_per_pass,
-            premium.toc_cents_per_pass / dot_eval.toc_cents_per_pass,
-            dot_eval.psr_percent
+            "TOC: {:.4} cents/pass (all H-SSD: {:.4}) — {:.1}x cheaper",
+            rec.estimate.toc_cents_per_pass,
+            premium.estimate.toc_cents_per_pass,
+            premium.estimate.toc_cents_per_pass / rec.estimate.toc_cents_per_pass,
         );
-        if let Some(v) = &result.validation {
+        if let Some(v) = &rec.validation {
             println!(
                 "validation: PSR {:.0}% ({})",
                 v.psr * 100.0,
@@ -98,4 +99,6 @@ fn main() {
             );
         }
     }
+    // The whole dial cost one profiling pass.
+    assert_eq!(advisor.profile_builds(), 1);
 }

@@ -1,8 +1,12 @@
-//! `dot-cli` — provision storage from the command line.
+//! `dot-cli` — provision storage from the command line, through the
+//! `dot_core::advisor` facade.
 //!
 //! ```text
 //! dot-cli catalog                      list built-in pools and Table 1 profiles
-//! dot-cli provision <problem.json>     run the DOT pipeline on a problem file
+//! dot-cli solvers                      list every registered solver id
+//! dot-cli provision <problem.json>     run a solver on a problem file
+//!         [--solver <id>]              pick the optimizer (default "dot")
+//!         [--json]                     emit the serialized Recommendation
 //! dot-cli explain   <problem.json>     show premium-layout plans and I/O
 //! ```
 //!
@@ -13,12 +17,15 @@
 //! ```json
 //! { "pool": "box2", "database": "tpch:4:original", "sla": 0.5, "engine": "dss" }
 //! ```
+//!
+//! Failures exit with a distinct code per [`ProvisionError`] variant (see
+//! [`exit_code`]), so scripts can tell an unknown pool from an infeasible
+//! SLA without parsing stderr; `--json` renders the error itself as JSON.
 
-use dot_core::{constraints, dot, problem::Problem, report};
+use dot_core::advisor::{presets, Advisor, ProvisionError, Recommendation};
 use dot_dbms::{explain, planner, EngineConfig, Schema};
-use dot_profiler::ProfileSource;
-use dot_storage::{catalog, StoragePool};
-use dot_workloads::{tpcc, tpch, ycsb, SlaSpec, Workload};
+use dot_storage::StoragePool;
+use dot_workloads::Workload;
 use serde::Deserialize;
 use std::process::ExitCode;
 
@@ -47,107 +54,50 @@ enum DbSpec {
     Custom { schema: Schema, workload: Workload },
 }
 
-fn resolve_pool(spec: PoolSpec) -> Result<StoragePool, String> {
-    match spec {
-        PoolSpec::Custom(pool) => Ok(pool),
-        PoolSpec::Name(name) => match name.as_str() {
-            "box1" => Ok(catalog::box1()),
-            "box2" => Ok(catalog::box2()),
-            "full" => Ok(catalog::full_pool()),
-            other => Err(format!("unknown pool preset {other:?} (box1|box2|full)")),
-        },
-    }
+/// Everything a problem file resolves to.
+struct Request {
+    pool: StoragePool,
+    schema: Schema,
+    workload: Workload,
+    sla: f64,
+    engine: EngineConfig,
+    refinements: usize,
 }
 
-fn resolve_database(spec: DbSpec) -> Result<(Schema, Workload), String> {
-    match spec {
-        DbSpec::Custom { schema, workload } => Ok((schema, workload)),
-        DbSpec::Preset(preset) => {
-            let parts: Vec<&str> = preset.split(':').collect();
-            match parts.as_slice() {
-                ["tpch", sf, flavor] => {
-                    let sf: f64 = sf.parse().map_err(|e| format!("bad scale factor: {e}"))?;
-                    let schema = tpch::schema(sf);
-                    let workload = match *flavor {
-                        "original" => tpch::original_workload(&schema),
-                        "modified" => tpch::modified_workload(&schema),
-                        other => return Err(format!("unknown tpch flavor {other:?}")),
-                    };
-                    Ok((schema, workload))
-                }
-                ["tpch-subset", sf] => {
-                    let sf: f64 = sf.parse().map_err(|e| format!("bad scale factor: {e}"))?;
-                    let schema = tpch::subset_schema(sf);
-                    let workload = tpch::subset_workload(&schema);
-                    Ok((schema, workload))
-                }
-                ["tpcc", warehouses] => {
-                    let w: f64 = warehouses
-                        .parse()
-                        .map_err(|e| format!("bad warehouse count: {e}"))?;
-                    let schema = tpcc::schema(w);
-                    let workload = tpcc::workload(&schema);
-                    Ok((schema, workload))
-                }
-                ["ycsb", records, mix] => {
-                    let records: f64 = records
-                        .parse()
-                        .map_err(|e| format!("bad record count: {e}"))?;
-                    let mix = match mix.to_ascii_uppercase().as_str() {
-                        "A" => ycsb::YcsbMix::A,
-                        "B" => ycsb::YcsbMix::B,
-                        "C" => ycsb::YcsbMix::C,
-                        "D" => ycsb::YcsbMix::D,
-                        "E" => ycsb::YcsbMix::E,
-                        "F" => ycsb::YcsbMix::F,
-                        other => return Err(format!("unknown YCSB mix {other:?}")),
-                    };
-                    let schema = ycsb::schema(records);
-                    let workload = ycsb::workload(&schema, mix, 300);
-                    Ok((schema, workload))
-                }
-                _ => Err(format!(
-                    "unknown database preset {preset:?} \
-                     (tpch:<sf>:<original|modified> | tpch-subset:<sf> | tpcc:<w> | ycsb:<n>:<A-F>)"
-                )),
-            }
-        }
-    }
-}
-
-fn resolve_engine(name: Option<&str>, workload: &Workload) -> Result<EngineConfig, String> {
-    match name {
-        Some("dss") => Ok(EngineConfig::dss()),
-        Some("oltp") => Ok(EngineConfig::oltp()),
-        Some(other) => Err(format!("unknown engine preset {other:?} (dss|oltp)")),
-        None => Ok(match workload.metric {
-            dot_workloads::PerfMetric::ResponseTime => EngineConfig::dss(),
-            dot_workloads::PerfMetric::Throughput => EngineConfig::oltp(),
-        }),
-    }
-}
-
-fn load(path: &str) -> Result<(StoragePool, Schema, Workload, f64, EngineConfig, usize), String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+fn load(path: &str) -> Result<Request, ProvisionError> {
+    let text = std::fs::read_to_string(path).map_err(|e| ProvisionError::InvalidRequest {
+        reason: format!("read {path}: {e}"),
+    })?;
     let file: ProblemFile =
-        serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))?;
+        serde_json::from_str(&text).map_err(|e| ProvisionError::InvalidRequest {
+            reason: format!("parse {path}: {e}"),
+        })?;
     if !(file.sla > 0.0 && file.sla <= 1.0) {
-        return Err(format!("sla {} out of (0, 1]", file.sla));
+        return Err(ProvisionError::InvalidRequest {
+            reason: format!("sla {} out of (0, 1]", file.sla),
+        });
     }
-    let pool = resolve_pool(file.pool)?;
-    let (schema, workload) = resolve_database(file.database)?;
-    let engine = resolve_engine(file.engine.as_deref(), &workload)?;
-    Ok((
+    let pool = match file.pool {
+        PoolSpec::Custom(pool) => pool,
+        PoolSpec::Name(name) => presets::pool(&name)?,
+    };
+    let (schema, workload) = match file.database {
+        DbSpec::Custom { schema, workload } => (schema, workload),
+        DbSpec::Preset(preset) => presets::database(&preset)?,
+    };
+    let engine = presets::engine(file.engine.as_deref(), &workload)?;
+    Ok(Request {
         pool,
         schema,
         workload,
-        file.sla,
+        sla: file.sla,
         engine,
-        file.refinements.unwrap_or(1),
-    ))
+        refinements: file.refinements.unwrap_or(1),
+    })
 }
 
 fn cmd_catalog() {
+    use dot_storage::catalog;
     println!("built-in pools:");
     for pool in [catalog::box1(), catalog::box2(), catalog::full_pool()] {
         println!("  {} —", pool.name());
@@ -161,88 +111,174 @@ fn cmd_catalog() {
             );
         }
     }
-    println!("\ndatabase presets: tpch:<sf>:<original|modified>, tpch-subset:<sf>, tpcc:<warehouses>, ycsb:<records>:<A-F>");
+    println!("\ndatabase presets: {}", presets::DATABASE_HINT);
 }
 
-fn cmd_provision(path: &str, json: bool) -> Result<(), String> {
-    let (pool, schema, workload, sla, engine, refinements) = load(path)?;
-    let problem = Problem::new(&schema, &pool, &workload, SlaSpec::relative(sla), engine);
-    let result = dot::run_pipeline(&problem, ProfileSource::Estimate, refinements);
-    let Some(layout) = &result.outcome.layout else {
-        return Err("infeasible: no layout satisfies the SLA and capacities".into());
-    };
-    let cons = constraints::derive(&problem);
-    let eval = report::evaluate(&problem, &cons, "DOT", layout);
+fn cmd_solvers() {
+    let registry = dot_core::advisor::Registry::builtin();
+    println!("registered solvers (pass to provision via --solver <id>):");
+    for solver in registry.iter() {
+        println!("  {:<28} {}", solver.id(), solver.describe());
+    }
+}
+
+fn cmd_provision(path: &str, solver: &str, json: bool) -> Result<(), ProvisionError> {
+    let req = load(path)?;
+    let advisor = Advisor::builder(&req.schema, &req.pool, &req.workload)
+        .sla(req.sla)
+        .engine(req.engine)
+        .refinements(req.refinements)
+        .build()?;
+    let rec = advisor.recommend(solver)?;
     if json {
         println!(
             "{}",
-            serde_json::to_string_pretty(&eval).map_err(|e| e.to_string())?
+            serde_json::to_string_pretty(&rec).map_err(|e| ProvisionError::InvalidRequest {
+                reason: format!("serialize recommendation: {e}"),
+            })?
         );
         return Ok(());
     }
+    print_report(&req, &advisor, &rec);
+    Ok(())
+}
+
+fn print_report(req: &Request, advisor: &Advisor<'_>, rec: &Recommendation) {
     println!(
-        "database: {} objects, {:.1} GB; pool {}; relative SLA {sla}\n",
-        schema.object_count(),
-        schema.total_size_gb(),
-        pool.name()
+        "database: {} objects, {:.1} GB; pool {}; relative SLA {}; solver {}\n",
+        req.schema.object_count(),
+        req.schema.total_size_gb(),
+        req.pool.name(),
+        req.sla,
+        rec.provenance.solver,
     );
-    println!("recommended layout:");
-    for (object, class) in &eval.placements {
+    println!("recommended layout ({}):", rec.label);
+    for (object, class) in &rec.placements {
         println!("    {object:<28} -> {class}");
     }
-    let premium = report::evaluate(&problem, &cons, "premium", &problem.premium_layout());
+    println!("\nbill:");
+    for line in &rec.bill {
+        println!(
+            "    {:<14} {:>10.2} GB  {:>10.4} cents/hour",
+            line.class, line.gb, line.cents_per_hour
+        );
+    }
+    let premium = advisor.evaluate_layout("premium", &advisor.problem().premium_layout());
     println!(
-        "\nlayout cost {:.4} cents/hour (all-premium: {:.4}); objective {:.4} cents; PSR {:.0}%",
-        eval.layout_cost_cents_per_hour,
+        "\nlayout cost {:.4} cents/hour (all-premium: {:.4}); objective {:.4} cents; \
+         {} layouts investigated in {} ms",
+        rec.estimate.layout_cost_cents_per_hour,
         premium.layout_cost_cents_per_hour,
-        eval.objective_cents,
-        eval.psr_percent
+        rec.estimate.objective_cents,
+        rec.provenance.layouts_investigated,
+        rec.provenance.elapsed_ms,
     );
-    if let Some(v) = &result.validation {
+    if (rec.provenance.final_sla - req.sla).abs() > 1e-12 {
+        println!(
+            "SLA relaxed from {} to {:.3} to admit a layout",
+            req.sla, rec.provenance.final_sla
+        );
+    }
+    if let Some(v) = &rec.validation {
         println!(
             "validation: PSR {:.0}% ({}), {} refinement round(s)",
             v.psr * 100.0,
             if v.passed { "passed" } else { "not passed" },
-            result.refinement_rounds
+            rec.provenance.refinement_rounds
         );
     }
+}
+
+fn cmd_explain(path: &str) -> Result<(), ProvisionError> {
+    let req = load(path)?;
+    let layout = dot_dbms::Layout::uniform(req.pool.most_expensive(), req.schema.object_count());
+    let planned = planner::plan_workload(
+        &req.workload.queries,
+        &req.schema,
+        &layout,
+        &req.pool,
+        &req.engine,
+    );
+    print!(
+        "{}",
+        explain::explain_workload(&planned, &req.schema, &layout, &req.pool, &req.engine)
+    );
     Ok(())
 }
 
-fn cmd_explain(path: &str) -> Result<(), String> {
-    let (pool, schema, workload, _sla, engine, _) = load(path)?;
-    let layout = dot_dbms::Layout::uniform(pool.most_expensive(), schema.object_count());
-    let planned = planner::plan_workload(&workload.queries, &schema, &layout, &pool, &engine);
-    print!(
-        "{}",
-        explain::explain_workload(&planned, &schema, &layout, &pool, &engine)
+/// One distinct exit code per [`ProvisionError`] variant, so scripts can
+/// branch on the failure kind. 1 stays reserved for usage errors.
+fn exit_code(err: &ProvisionError) -> u8 {
+    match err {
+        ProvisionError::InvalidRequest { .. } => 2,
+        ProvisionError::UnknownSolver { .. } => 3,
+        ProvisionError::UnknownPool { .. } => 4,
+        ProvisionError::UnknownPreset { .. } => 5,
+        ProvisionError::UnknownEngine { .. } => 6,
+        ProvisionError::Infeasible { .. } => 7,
+        ProvisionError::CapacityExceeded { .. } => 8,
+        ProvisionError::UnsupportedWorkload { .. } => 9,
+        ProvisionError::ClassUnavailable { .. } => 10,
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: dot-cli <catalog|solvers|provision|explain> [args]\n\
+         \n\
+         dot-cli catalog\n\
+         dot-cli solvers\n\
+         dot-cli provision <problem.json> [--solver <id>] [--json]\n\
+         dot-cli explain <problem.json>"
     );
-    Ok(())
+    ExitCode::FAILURE
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let json = args.iter().any(|a| a == "--json");
+    let solver = args
+        .iter()
+        .position(|a| a == "--solver")
+        .map(|i| args.get(i + 1).cloned());
+    let solver = match solver {
+        Some(None) => {
+            eprintln!("error: --solver needs a solver id (see dot-cli solvers)");
+            return ExitCode::FAILURE;
+        }
+        Some(Some(id)) => id,
+        None => "dot".to_owned(),
+    };
     let result = match args.get(1).map(String::as_str) {
         Some("catalog") => {
             cmd_catalog();
             Ok(())
         }
-        Some("provision") => match args.get(2) {
-            Some(path) => cmd_provision(path, json),
-            None => Err("usage: dot-cli provision <problem.json> [--json]".into()),
+        Some("solvers") => {
+            cmd_solvers();
+            Ok(())
+        }
+        Some("provision") => match args.get(2).filter(|a| !a.starts_with("--")) {
+            Some(path) => cmd_provision(path, &solver, json),
+            None => return usage(),
         },
         Some("explain") => match args.get(2) {
             Some(path) => cmd_explain(path),
-            None => Err("usage: dot-cli explain <problem.json>".into()),
+            None => return usage(),
         },
-        _ => Err("usage: dot-cli <catalog|provision|explain> [args]".into()),
+        _ => return usage(),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            if json {
+                // Machine consumers get the typed error itself.
+                if let Ok(body) = serde_json::to_string_pretty(&e) {
+                    println!("{body}");
+                }
+            }
+            eprintln!("error[{}]: {e}", e.kind());
+            ExitCode::from(exit_code(&e))
         }
     }
 }

@@ -68,7 +68,8 @@ fn sla_sweep_traces_the_cost_performance_dial() {
         EngineConfig::dss(),
         &[1.0, 0.5, 0.2],
         ProfileSource::Estimate,
-    );
+    )
+    .expect("request is well-formed");
     // Ratio 1.0 permits no degradation: only zero-traffic objects (unused
     // indexes) may leave the premium class.
     assert!(points[0].objects_moved < points[2].objects_moved);
@@ -112,7 +113,12 @@ fn generalized_provisioning_is_consistent_with_per_box_runs() {
         ProfileSource::Estimate,
     );
     let direct = dot::optimize(&problem, &profile, &cons);
-    let a = winner.outcome.estimate.as_ref().unwrap().objective_cents;
+    let a = winner
+        .recommendation
+        .as_ref()
+        .unwrap()
+        .estimate
+        .objective_cents;
     let b = direct.estimate.unwrap().objective_cents;
     assert!((a - b).abs() < 1e-9);
 }
