@@ -21,7 +21,7 @@ use crate::constraints::Constraints;
 use crate::dot::DotOutcome;
 use crate::moves::{enumerate_moves, Move};
 use crate::problem::Problem;
-use crate::toc::estimate_toc;
+use crate::toc::Estimator;
 use dot_profiler::baseline::group_placements;
 use dot_profiler::WorkloadProfile;
 use serde::{Deserialize, Serialize};
@@ -151,6 +151,20 @@ pub fn optimize_ablated(
     cons: &Constraints,
     config: AblationConfig,
 ) -> DotOutcome {
+    optimize_ablated_with(problem, profile, cons, config, &Estimator::direct())
+}
+
+/// [`optimize_ablated`] with an explicit TOC estimator, so sessions backed
+/// by a [`CachedEstimator`](crate::toc::CachedEstimator) memoize the
+/// ablated sweeps too (all eight grid cells investigate heavily-overlapping
+/// layout sets).
+pub fn optimize_ablated_with(
+    problem: &Problem<'_>,
+    profile: &WorkloadProfile,
+    cons: &Constraints,
+    config: AblationConfig,
+    toc: &Estimator<'_>,
+) -> DotOutcome {
     let start = Instant::now();
     let mut moves = match config.granularity {
         MoveGranularity::Group => enumerate_moves(problem, profile),
@@ -159,7 +173,7 @@ pub fn optimize_ablated(
     sort_moves(&mut moves, config.order);
 
     let l0 = problem.premium_layout();
-    let est0 = estimate_toc(problem, &l0);
+    let est0 = toc.estimate(problem, &l0);
     let mut investigated = 1usize;
     let mut current = l0.clone();
     let (mut best, mut best_est, mut best_toc) = if cons.satisfied(problem, &l0, &est0) {
@@ -170,7 +184,7 @@ pub fn optimize_ablated(
     };
     for m in &moves {
         let candidate = m.apply(&current);
-        let est = estimate_toc(problem, &candidate);
+        let est = toc.estimate(problem, &candidate);
         investigated += 1;
         if cons.satisfied(problem, &candidate, &est) && est.objective_cents < best_toc {
             best_toc = est.objective_cents;

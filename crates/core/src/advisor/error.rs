@@ -82,6 +82,25 @@ pub enum ProvisionError {
 }
 
 impl ProvisionError {
+    /// Typed domain check for a relative SLA ratio, shared by every
+    /// surface that accepts one (problem files, fleet manifests, fleet
+    /// tenant requests) so the accepted range and wording cannot drift.
+    /// `context` names the offender on multi-tenant surfaces (e.g.
+    /// `tenant "acme"`); pass `""` for single requests.
+    pub fn check_sla(ratio: f64, context: &str) -> Result<(), ProvisionError> {
+        if ratio > 0.0 && ratio <= 1.0 {
+            return Ok(());
+        }
+        let prefix = if context.is_empty() {
+            String::new()
+        } else {
+            format!("{context}: ")
+        };
+        Err(ProvisionError::InvalidRequest {
+            reason: format!("{prefix}sla {ratio} out of (0, 1]"),
+        })
+    }
+
     /// Stable machine-readable kind name (one per variant); the CLI maps
     /// these onto distinct exit codes.
     pub fn kind(&self) -> &'static str {

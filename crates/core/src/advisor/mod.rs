@@ -43,7 +43,7 @@ use crate::constraints::{self, Constraints};
 use crate::dot::ValidationReport;
 use crate::problem::{LayoutCostModel, Problem};
 use crate::report::{self, LayoutEvaluation};
-use crate::toc::TocEstimate;
+use crate::toc::{CachedEstimator, Estimator, TocEstimate};
 use dot_dbms::{EngineConfig, Layout, Schema};
 use dot_profiler::{profile_workload, ProfileSource, WorkloadProfile};
 use dot_storage::StoragePool;
@@ -51,6 +51,7 @@ use dot_workloads::{PerfMetric, SlaSpec, Workload};
 use serde::{Deserialize, Serialize};
 use std::cell::{Cell, OnceCell};
 use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// One line of the per-class bill: what a recommendation spends on each
@@ -129,9 +130,18 @@ pub struct SolveContext<'s, 'a> {
     /// infeasibility diagnostics (the suggested-SLA search), answering with
     /// the optimization phase alone — what the figure harness times.
     pub diagnostics: bool,
+    /// How solvers obtain TOC estimates: straight through the planner, or
+    /// memoized when the session carries a
+    /// [`CachedEstimator`]. Cached and direct
+    /// estimates are bit identical, so this never changes a recommendation.
+    pub toc: Estimator<'s>,
 }
 
 impl SolveContext<'_, '_> {
+    /// Estimate `layout`'s TOC through the session's estimator.
+    pub fn estimate(&self, layout: &Layout) -> TocEstimate {
+        self.toc.estimate(self.problem, layout)
+    }
     /// Assemble a [`Recommendation`] from a solved layout, pricing the
     /// per-class bill under the problem's cost model.
     #[allow(clippy::too_many_arguments)] // a provenance record is inherently wide
@@ -224,6 +234,7 @@ pub struct AdvisorBuilder<'a> {
     diagnostics: bool,
     per_query_slas: Option<Vec<f64>>,
     registry: Option<Registry>,
+    toc_cache: Option<Arc<CachedEstimator>>,
 }
 
 impl<'a> AdvisorBuilder<'a> {
@@ -287,6 +298,18 @@ impl<'a> AdvisorBuilder<'a> {
         self
     }
 
+    /// Attach a shared, memoized TOC cache. Every estimate the session's
+    /// solvers request is then routed through the cache, keyed by the
+    /// problem's [fingerprint](crate::toc::problem_fingerprint) and the
+    /// candidate layout — so repeated estimates (across solvers, SLA-sweep
+    /// siblings, or identically-shaped fleet tenants sharing the same
+    /// `Arc`) are computed once. Recommendations are bit-identical with and
+    /// without a cache; the conformance matrix asserts this.
+    pub fn toc_cache(mut self, cache: Arc<CachedEstimator>) -> Self {
+        self.toc_cache = Some(cache);
+        self
+    }
+
     /// Validate the request and open the session. The workload profile is
     /// computed lazily on the first `recommend` call, then cached.
     pub fn build(self) -> Result<Advisor<'a>, ProvisionError> {
@@ -338,6 +361,8 @@ impl<'a> AdvisorBuilder<'a> {
             profile: OnceCell::new(),
             constraints: OnceCell::new(),
             profile_builds: Rc::new(Cell::new(0)),
+            toc_cache: self.toc_cache,
+            problem_fp: OnceCell::new(),
         })
     }
 }
@@ -357,6 +382,11 @@ pub struct Advisor<'a> {
     /// Shared with sessions derived via [`with_sla`](Self::with_sla), so a
     /// whole sweep can assert "profiled once".
     profile_builds: Rc<Cell<usize>>,
+    /// Memoized TOC estimation, shared across siblings (and, through the
+    /// `Arc`, across whole fleets of sessions on other threads).
+    toc_cache: Option<Arc<CachedEstimator>>,
+    /// The problem's cache fingerprint, computed at most once per session.
+    problem_fp: OnceCell<u64>,
 }
 
 impl<'a> Advisor<'a> {
@@ -378,6 +408,7 @@ impl<'a> Advisor<'a> {
             diagnostics: true,
             per_query_slas: None,
             registry: None,
+            toc_cache: None,
         }
     }
 
@@ -393,6 +424,8 @@ impl<'a> Advisor<'a> {
             profile: OnceCell::new(),
             constraints: OnceCell::new(),
             profile_builds: Rc::new(Cell::new(0)),
+            toc_cache: None,
+            problem_fp: OnceCell::new(),
         }
     }
 
@@ -437,15 +470,39 @@ impl<'a> Advisor<'a> {
         self.profile_builds.get()
     }
 
+    /// The session's TOC estimator: memoized when a cache is attached
+    /// (the fingerprint is computed once per session), direct otherwise.
+    pub fn estimator(&self) -> Estimator<'_> {
+        match &self.toc_cache {
+            Some(cache) => {
+                let fp = *self
+                    .problem_fp
+                    .get_or_init(|| crate::toc::problem_fingerprint(&self.problem));
+                cache.estimate_view(fp)
+            }
+            None => Estimator::direct(),
+        }
+    }
+
+    /// The attached TOC cache, if any — e.g. to read its hit-rate stats.
+    pub fn toc_cache(&self) -> Option<&CachedEstimator> {
+        self.toc_cache.as_deref()
+    }
+
     /// The derived constraints, computed on first use and cached. With
     /// per-query SLAs, each query's cap uses its own ratio against the
     /// shared premium reference (the multi-tenant construction).
     pub fn constraints(&self) -> &Constraints {
         self.constraints.get_or_init(|| match &self.per_query_slas {
-            None => constraints::derive(&self.problem),
+            None => constraints::derive_with_estimator(
+                &self.problem,
+                self.problem.sla,
+                &self.estimator(),
+            ),
             Some(ratios) => {
-                let reference =
-                    crate::toc::estimate_toc(&self.problem, &self.problem.premium_layout());
+                let reference = self
+                    .estimator()
+                    .estimate(&self.problem, &self.problem.premium_layout());
                 let caps = reference
                     .per_query_ms
                     .iter()
@@ -471,6 +528,7 @@ impl<'a> Advisor<'a> {
             constraints: self.constraints(),
             refinements: self.refinements,
             diagnostics: self.diagnostics,
+            toc: self.estimator(),
         }
     }
 
@@ -491,9 +549,16 @@ impl<'a> Advisor<'a> {
 
     /// Evaluate an arbitrary labelled layout against this session's
     /// constraints — the figure-bar path of the experiment harness, which
-    /// needs numbers even for layouts that violate the SLA.
+    /// needs numbers even for layouts that violate the SLA. Routed through
+    /// the session's estimator, so an attached TOC cache is reused.
     pub fn evaluate_layout(&self, label: &str, layout: &Layout) -> LayoutEvaluation {
-        report::evaluate(&self.problem, self.constraints(), label, layout)
+        report::evaluate_with(
+            &self.problem,
+            self.constraints(),
+            label,
+            layout,
+            &self.estimator(),
+        )
     }
 
     /// Derive a sibling session at a different uniform SLA, **sharing this
@@ -523,6 +588,11 @@ impl<'a> Advisor<'a> {
             profile: self.profile.clone(),
             constraints: OnceCell::new(),
             profile_builds: Rc::clone(&self.profile_builds),
+            // Siblings share the cache but re-fingerprint lazily: an SLA
+            // sibling would hash identically (estimates ignore the SLA),
+            // but a cost-model sibling must not share entries.
+            toc_cache: self.toc_cache.clone(),
+            problem_fp: OnceCell::new(),
         }
     }
 }
@@ -555,6 +625,24 @@ mod tests {
         let _ = sibling.recommend("dot").unwrap();
         assert_eq!(advisor.profile_builds(), 1);
         assert_eq!(sibling.profile_builds(), 1);
+    }
+
+    #[test]
+    fn evaluate_layout_reuses_the_attached_cache() {
+        let (s, pool, w) = setup();
+        let cache = Arc::new(CachedEstimator::new());
+        let advisor = Advisor::builder(&s, &pool, &w)
+            .toc_cache(Arc::clone(&cache))
+            .build()
+            .unwrap();
+        let premium = advisor.problem().premium_layout();
+        let first = advisor.evaluate_layout("premium", &premium);
+        let before = cache.stats();
+        let second = advisor.evaluate_layout("premium", &premium);
+        let after = cache.stats();
+        assert_eq!(first, second);
+        assert_eq!(after.misses, before.misses, "repeat must not recompute");
+        assert!(after.hits > before.hits, "repeat must hit the cache");
     }
 
     #[test]

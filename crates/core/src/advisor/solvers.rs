@@ -10,7 +10,7 @@ use crate::constraints::Constraints;
 use crate::dot::{self, DotOutcome, ValidationReport};
 use crate::exhaustive;
 use crate::problem::LayoutCostModel;
-use crate::toc::{estimate_toc, measure_toc};
+use crate::toc::measure_toc;
 use dot_dbms::Layout;
 use dot_profiler::{profile_workload, ProfileSource};
 use dot_workloads::PerfMetric;
@@ -163,7 +163,7 @@ impl Solver for DotSolver {
         let problem = cx.problem;
         let mut active_cons = cx.constraints.clone();
         let mut final_sla = problem.sla.ratio;
-        let mut outcome = dot::optimize(problem, cx.profile, &active_cons);
+        let mut outcome = dot::optimize_with(problem, cx.profile, &active_cons, &cx.toc);
         let mut investigated = outcome.layouts_investigated;
 
         if outcome.layout.is_none() {
@@ -176,7 +176,8 @@ impl Solver for DotSolver {
                     loop {
                         let next = (ratio * (1.0 - r.step)).max(r.min_ratio);
                         let relaxed_cons = cx.constraints.relaxed(next / problem.sla.ratio);
-                        let relaxed = dot::optimize(problem, cx.profile, &relaxed_cons);
+                        let relaxed =
+                            dot::optimize_with(problem, cx.profile, &relaxed_cons, &cx.toc);
                         investigated += relaxed.layouts_investigated;
                         if relaxed.layout.is_some() {
                             final_sla = next;
@@ -266,7 +267,7 @@ impl Solver for DotSolver {
                 &problem.cfg,
                 ProfileSource::TestRun { seed },
             );
-            let next = dot::optimize(problem, &refined, &active_cons);
+            let next = dot::optimize_with(problem, &refined, &active_cons, &cx.toc);
             investigated += next.layouts_investigated;
             if next.layout.is_none() {
                 // Refinement lost feasibility: keep the last good layout.
@@ -298,7 +299,7 @@ fn suggest_relaxed_sla(cx: &SolveContext<'_, '_>, investigated: &mut usize) -> O
         reference: cx.constraints.reference.clone(),
         sla: cx.constraints.sla,
     };
-    let out = dot::optimize(cx.problem, cx.profile, &unconstrained);
+    let out = dot::optimize_with(cx.problem, cx.profile, &unconstrained, &cx.toc);
     *investigated += out.layouts_investigated;
     let est = out.estimate?;
     cx.max_feasible_sla(&est)
@@ -341,7 +342,7 @@ impl Solver for EsSolver {
                 ),
             });
         }
-        let out = exhaustive::exhaustive_search(problem, cx.constraints);
+        let out = exhaustive::exhaustive_search_with(problem, cx.constraints, &cx.toc);
         finish_search(
             cx,
             self.id(),
@@ -386,7 +387,12 @@ impl Solver for EsAdditiveSolver {
                 reason: "additive ES requires the linear cost model".to_owned(),
             });
         }
-        let out = exhaustive::exhaustive_search_additive(problem, cx.profile, cx.constraints);
+        let out = exhaustive::exhaustive_search_additive_with(
+            problem,
+            cx.profile,
+            cx.constraints,
+            &cx.toc,
+        );
         finish_search(
             cx,
             self.id(),
@@ -585,7 +591,7 @@ fn finish_fixed_layout(
     layout: Layout,
     start: Instant,
 ) -> Result<Recommendation, ProvisionError> {
-    let est = estimate_toc(cx.problem, &layout);
+    let est = cx.estimate(&layout);
     if !cx.constraints.satisfied(cx.problem, &layout, &est) {
         let suggested = layout
             .fits(cx.problem.schema, cx.problem.pool)
@@ -663,7 +669,13 @@ impl Solver for AblationSolver {
 
     fn solve(&self, cx: &SolveContext<'_, '_>) -> Result<Recommendation, ProvisionError> {
         let start = Instant::now();
-        let out = ablation::optimize_ablated(cx.problem, cx.profile, cx.constraints, self.config);
+        let out = ablation::optimize_ablated_with(
+            cx.problem,
+            cx.profile,
+            cx.constraints,
+            self.config,
+            &cx.toc,
+        );
         let DotOutcome {
             layout,
             estimate,

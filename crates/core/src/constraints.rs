@@ -7,7 +7,7 @@
 //! checked against every candidate's estimate.
 
 use crate::problem::Problem;
-use crate::toc::{estimate_toc, TocEstimate};
+use crate::toc::{Estimator, TocEstimate};
 use dot_dbms::Layout;
 use dot_workloads::spec::{performance_satisfaction_ratio, PerfMetric};
 use dot_workloads::SlaSpec;
@@ -33,7 +33,19 @@ pub fn derive(problem: &Problem<'_>) -> Constraints {
 
 /// Derive constraints for an explicit SLA (used by the relaxation loop).
 pub fn derive_with_sla(problem: &Problem<'_>, sla: SlaSpec) -> Constraints {
-    let reference = estimate_toc(problem, &problem.premium_layout());
+    derive_with_estimator(problem, sla, &Estimator::direct())
+}
+
+/// Derive constraints for an explicit SLA, obtaining the premium-layout
+/// reference through `toc` — so sessions backed by a
+/// [`CachedEstimator`](crate::toc::CachedEstimator) share the reference
+/// estimate with the optimizers' own `L_0` evaluation.
+pub fn derive_with_estimator(
+    problem: &Problem<'_>,
+    sla: SlaSpec,
+    toc: &Estimator<'_>,
+) -> Constraints {
+    let reference = toc.estimate(problem, &problem.premium_layout());
     from_reference(problem, reference, sla)
 }
 

@@ -5,7 +5,7 @@
 use crate::constraints::{self, Constraints};
 use crate::moves::enumerate_moves;
 use crate::problem::Problem;
-use crate::toc::{estimate_toc, TocEstimate};
+use crate::toc::{Estimator, TocEstimate};
 use dot_dbms::Layout;
 use dot_profiler::{ProfileSource, WorkloadProfile};
 use dot_workloads::SlaSpec;
@@ -46,9 +46,22 @@ pub fn optimize(
     profile: &WorkloadProfile,
     cons: &Constraints,
 ) -> DotOutcome {
+    optimize_with(problem, profile, cons, &Estimator::direct())
+}
+
+/// [`optimize`] with an explicit TOC estimator, so a
+/// [`CachedEstimator`](crate::toc::CachedEstimator) scope can memoize the
+/// sweep's inner-loop estimates (the advisory facade wires this up when a
+/// cache is attached to the session).
+pub fn optimize_with(
+    problem: &Problem<'_>,
+    profile: &WorkloadProfile,
+    cons: &Constraints,
+    toc: &Estimator<'_>,
+) -> DotOutcome {
     let start = Instant::now();
     let l0 = problem.premium_layout();
-    let est0 = estimate_toc(problem, &l0);
+    let est0 = toc.estimate(problem, &l0);
     let mut investigated = 1usize;
 
     let mut current = l0.clone();
@@ -61,7 +74,7 @@ pub fn optimize(
 
     for m in enumerate_moves(problem, profile) {
         let candidate = m.apply(&current);
-        let est = estimate_toc(problem, &candidate);
+        let est = toc.estimate(problem, &candidate);
         investigated += 1;
         if cons.satisfied(problem, &candidate, &est) && est.objective_cents < best_toc {
             best_toc = est.objective_cents;

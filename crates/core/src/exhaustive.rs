@@ -18,7 +18,7 @@
 
 use crate::constraints::Constraints;
 use crate::problem::{LayoutCostModel, Problem};
-use crate::toc::{estimate_toc, TocEstimate};
+use crate::toc::{Estimator, TocEstimate};
 use dot_dbms::Layout;
 use dot_profiler::baseline::group_placements;
 use dot_profiler::WorkloadProfile;
@@ -47,6 +47,18 @@ pub struct EsOutcome {
 /// Work is split over the first object's class across threads; each thread
 /// runs its own odometer over the remaining objects.
 pub fn exhaustive_search(problem: &Problem<'_>, cons: &Constraints) -> EsOutcome {
+    exhaustive_search_with(problem, cons, &Estimator::direct())
+}
+
+/// [`exhaustive_search`] with an explicit TOC estimator. The estimator view
+/// is `Copy` and thread-safe, so every enumeration worker shares the same
+/// [`CachedEstimator`](crate::toc::CachedEstimator) shards when one is
+/// attached.
+pub fn exhaustive_search_with(
+    problem: &Problem<'_>,
+    cons: &Constraints,
+    toc: &Estimator<'_>,
+) -> EsOutcome {
     let start = Instant::now();
     let n = problem.schema.object_count();
     let classes: Vec<ClassId> = problem.pool.ids().collect();
@@ -77,7 +89,7 @@ pub fn exhaustive_search(problem: &Problem<'_>, cons: &Constraints) -> EsOutcome
             best.evaluated += 1;
             // Cheap capacity pre-check before paying for planning.
             if layout.fits(problem.schema, problem.pool) {
-                let est = estimate_toc(problem, &layout);
+                let est = toc.estimate(problem, &layout);
                 if cons.performance_satisfied(&est) && est.objective_cents < best.toc {
                     best.toc = est.objective_cents;
                     best.layout = Some(layout);
@@ -147,6 +159,20 @@ pub fn exhaustive_search_additive(
     problem: &Problem<'_>,
     profile: &WorkloadProfile,
     cons: &Constraints,
+) -> EsOutcome {
+    exhaustive_search_additive_with(problem, profile, cons, &Estimator::direct())
+}
+
+/// [`exhaustive_search_additive`] with an explicit TOC estimator for the
+/// planner-verification step of each candidate optimum.
+///
+/// # Panics
+/// As [`exhaustive_search_additive`].
+pub fn exhaustive_search_additive_with(
+    problem: &Problem<'_>,
+    profile: &WorkloadProfile,
+    cons: &Constraints,
+    toc: &Estimator<'_>,
 ) -> EsOutcome {
     assert_eq!(
         problem.workload.metric,
@@ -322,7 +348,7 @@ pub fn exhaustive_search_additive(
             }
         }
         let layout = Layout::from_assignment(assignment);
-        let est = estimate_toc(problem, &layout);
+        let est = toc.estimate(problem, &layout);
         if cons.performance_satisfied(&est) {
             result = (Some(layout), Some(est));
             break;

@@ -70,6 +70,10 @@
 //! * [`exhaustive`] — the ES comparator (§4.4.3/§4.5.3): full `M^N`
 //!   enumeration through the planner, and an additive branch-and-bound
 //!   variant for throughput workloads whose plans are placement-stable;
+//! * [`fleet`] — batch provisioning: N tenant databases advised
+//!   concurrently over a scoped-thread worker pool, sharing one memoized
+//!   TOC cache ([`toc::CachedEstimator`]), with an aggregate bill and
+//!   cache hit-rate in the report;
 //! * [`baselines`] — the six simple layouts of §4.2 and the Object Advisor
 //!   of Canim et al. as characterized in §6;
 //! * [`ablation`] — switchable design choices (group vs. object moves,
@@ -93,6 +97,7 @@ pub mod baselines;
 pub mod constraints;
 pub mod dot;
 pub mod exhaustive;
+pub mod fleet;
 pub mod generalized;
 pub mod moves;
 pub mod problem;
@@ -104,5 +109,6 @@ pub mod toc;
 pub use advisor::{Advisor, ProvisionError, Recommendation, Solver};
 pub use constraints::Constraints;
 pub use dot::{DotOutcome, PipelineResult};
+pub use fleet::{provision_fleet, FleetConfig, FleetReport, TenantRequest};
 pub use problem::{LayoutCostModel, Problem};
-pub use toc::TocEstimate;
+pub use toc::{CacheStats, CachedEstimator, TocEstimate};

@@ -3,7 +3,7 @@
 
 use crate::constraints::Constraints;
 use crate::problem::Problem;
-use crate::toc::{estimate_toc, measure_toc, TocEstimate};
+use crate::toc::{measure_toc, Estimator, TocEstimate};
 use dot_dbms::Layout;
 use serde::{Deserialize, Serialize};
 
@@ -62,7 +62,20 @@ pub fn evaluate(
     label: &str,
     layout: &Layout,
 ) -> LayoutEvaluation {
-    let est = estimate_toc(problem, layout);
+    evaluate_with(problem, cons, label, layout, &Estimator::direct())
+}
+
+/// [`evaluate`] with an explicit TOC estimator, so sessions backed by a
+/// [`CachedEstimator`](crate::toc::CachedEstimator) reuse estimates their
+/// solvers already computed.
+pub fn evaluate_with(
+    problem: &Problem<'_>,
+    cons: &Constraints,
+    label: &str,
+    layout: &Layout,
+    toc: &Estimator<'_>,
+) -> LayoutEvaluation {
+    let est = toc.estimate(problem, layout);
     build(problem, cons, label, layout, est)
 }
 

@@ -4,11 +4,28 @@
 //! the layout. Estimates go through the storage-aware planner; measured
 //! values (for validation) go through the execution simulator with the
 //! buffer pool engaged.
+//!
+//! [`estimate_toc`] is a pure function of the problem and the layout, and
+//! every optimizer in the crate calls it in its inner loop — DOT's greedy
+//! sweep, both ES variants, the ablation grid, and the SLA sweep all
+//! re-derive identical estimates from scratch. [`CachedEstimator`] memoizes
+//! those calls behind a sharded map keyed by `(problem fingerprint, layout)`
+//! so repeated work — within one solver run, across solvers on one session,
+//! across SLA-sweep siblings, and across identically-shaped tenants of a
+//! [fleet](crate::fleet) — is paid for once. Cached values are **bit
+//! identical** to uncached ones (the cache only ever returns a clone of a
+//! previously computed [`TocEstimate`]); the conformance matrix in
+//! `tests/solver_conformance.rs` and the property suite assert exactly that.
 
 use crate::problem::Problem;
 use dot_dbms::plan::PlanStats;
 use dot_dbms::{exec, Layout};
 use serde::{Deserialize, Serialize};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Everything `estimateTOC` knows about one layout.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -81,6 +98,17 @@ pub fn estimate_toc(problem: &Problem<'_>, layout: &Layout) -> TocEstimate {
 
 /// Measure the TOC of `layout` with a simulated test run (the validation
 /// phase): buffer pool engaged, seeded run-to-run variation.
+///
+/// # Seed contract
+///
+/// The run-to-run variation is derived **only** from `seed` (and the
+/// problem/layout inputs): no global RNG, no time source, no thread-local
+/// state. The same `(problem, layout, seed)` triple therefore yields a
+/// bit-identical [`TocEstimate`] no matter which thread computes it or how
+/// many worker threads (e.g. a [fleet](crate::fleet) pool) run
+/// concurrently. Validation results stay reproducible under parallel batch
+/// provisioning; `measured_toc_is_deterministic_across_thread_counts`
+/// below pins this down.
 pub fn measure_toc(problem: &Problem<'_>, layout: &Layout, seed: u64) -> TocEstimate {
     let run = exec::simulate_workload(
         &problem.workload.queries,
@@ -91,6 +119,211 @@ pub fn measure_toc(problem: &Problem<'_>, layout: &Layout, seed: u64) -> TocEsti
         seed,
     );
     TocEstimate::from_run(problem, layout, run)
+}
+
+// ---------------------------------------------------------------------------
+// Memoized estimation
+// ---------------------------------------------------------------------------
+
+/// Fingerprint of everything [`estimate_toc`] reads from a problem: schema,
+/// pool (prices, capacities, device profiles), workload, engine
+/// configuration, and cost model. The SLA is deliberately **excluded** —
+/// estimates do not depend on it, so SLA-sweep siblings share cache entries.
+pub fn problem_fingerprint(problem: &Problem<'_>) -> u64 {
+    // The vendored serde_json prints floats with shortest-round-trip
+    // precision, so distinct inputs serialize to distinct payloads.
+    let payload = serde_json::to_string(&(
+        (problem.schema, problem.pool),
+        (problem.workload, &problem.cfg, &problem.cost_model),
+    ))
+    .expect("problem components serialize");
+    let mut hasher = DefaultHasher::new();
+    payload.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// Snapshot of a [`CachedEstimator`]'s counters; serializable so fleet
+/// reports can carry it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Estimates answered from the cache.
+    pub hits: u64,
+    /// Estimates computed through the planner (and then inserted).
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// `hits / (hits + misses)`, or 0 when the cache was never consulted.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+const SHARD_COUNT: usize = 16;
+const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// A sharded, memoized front for [`estimate_toc`], safe to share across
+/// threads (each shard is an independently locked map, so concurrent
+/// workers rarely contend).
+///
+/// Keys are `(problem fingerprint, layout)`: the fingerprint covers every
+/// input the estimate depends on ([`problem_fingerprint`]), and the layout
+/// is compared exactly, so a hit can only ever return the value
+/// [`estimate_toc`] would have computed — bit identical, because it *is* a
+/// clone of one it previously computed. Planner work happens outside the
+/// shard lock; two threads missing on the same key concurrently both
+/// compute the (identical) value and one insert wins.
+///
+/// Eviction: each shard holds at most `capacity / 16` entries and is
+/// flushed wholesale when full. Eviction affects only the hit rate, never
+/// returned values — an evicted key is simply recomputed.
+pub struct CachedEstimator {
+    /// Fingerprint → (layout → estimate), nested so lookups borrow the
+    /// candidate layout instead of cloning it into a tuple key.
+    shards: Vec<Mutex<HashMap<u64, HashMap<Layout, TocEstimate>>>>,
+    shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CachedEstimator {
+    /// A cache holding up to ~65k estimates.
+    pub fn new() -> CachedEstimator {
+        CachedEstimator::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// A cache bounded at roughly `max_entries` estimates.
+    pub fn with_capacity(max_entries: usize) -> CachedEstimator {
+        CachedEstimator {
+            shards: (0..SHARD_COUNT)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            shard_capacity: (max_entries / SHARD_COUNT).max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Open a per-problem view, paying the fingerprint computation once.
+    /// The view routes [`Estimator::estimate`] calls through this cache.
+    pub fn scope<'c>(&'c self, problem: &Problem<'_>) -> Estimator<'c> {
+        self.estimate_view(problem_fingerprint(problem))
+    }
+
+    /// A view for a problem whose [`problem_fingerprint`] the caller
+    /// already holds (sessions compute it once and reuse it).
+    pub fn estimate_view(&self, problem_fp: u64) -> Estimator<'_> {
+        Estimator {
+            cache: Some((self, problem_fp)),
+        }
+    }
+
+    /// Memoized [`estimate_toc`]: `problem_fp` must be
+    /// [`problem_fingerprint`]`(problem)` (precomputed by the caller so hot
+    /// loops don't re-serialize the problem).
+    pub fn estimate(&self, problem_fp: u64, problem: &Problem<'_>, layout: &Layout) -> TocEstimate {
+        let mut hasher = DefaultHasher::new();
+        (problem_fp, layout).hash(&mut hasher);
+        let shard = &self.shards[hasher.finish() as usize % SHARD_COUNT];
+        if let Some(found) = shard
+            .lock()
+            .expect("shard lock")
+            .get(&problem_fp)
+            .and_then(|per_layout| per_layout.get(layout))
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return found.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let computed = estimate_toc(problem, layout);
+        let mut map = shard.lock().expect("shard lock");
+        if map.values().map(HashMap::len).sum::<usize>() >= self.shard_capacity {
+            map.clear();
+        }
+        map.entry(problem_fp)
+            .or_default()
+            .insert(layout.clone(), computed.clone());
+        computed
+    }
+
+    /// Counter and occupancy snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| {
+                    s.lock()
+                        .expect("shard lock")
+                        .values()
+                        .map(HashMap::len)
+                        .sum::<usize>()
+                })
+                .sum(),
+        }
+    }
+
+    /// Drop every entry (counters are kept).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("shard lock").clear();
+        }
+    }
+}
+
+impl Default for CachedEstimator {
+    fn default() -> Self {
+        CachedEstimator::new()
+    }
+}
+
+/// How an optimizer obtains TOC estimates: straight through the planner
+/// ([`Estimator::direct`]) or memoized through a [`CachedEstimator`]
+/// ([`CachedEstimator::scope`]). `Copy`, and `Sync` when the underlying
+/// cache is, so ES's scoped worker threads can share one view.
+#[derive(Clone, Copy)]
+pub struct Estimator<'c> {
+    cache: Option<(&'c CachedEstimator, u64)>,
+}
+
+impl std::fmt::Debug for Estimator<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.cache {
+            Some((_, fp)) => write!(f, "Estimator::cached(problem_fp: {fp:#x})"),
+            None => write!(f, "Estimator::direct"),
+        }
+    }
+}
+
+impl Estimator<'_> {
+    /// The cache-blind estimator: every call runs the planner.
+    pub fn direct() -> Estimator<'static> {
+        Estimator { cache: None }
+    }
+
+    /// Estimate `layout`'s TOC, consulting the cache when one is attached.
+    /// `problem` must be the problem this view was scoped to (the
+    /// fingerprint was computed from it).
+    pub fn estimate(&self, problem: &Problem<'_>, layout: &Layout) -> TocEstimate {
+        match self.cache {
+            Some((cache, fp)) => cache.estimate(fp, problem, layout),
+            None => estimate_toc(problem, layout),
+        }
+    }
+
+    /// Whether a cache backs this view.
+    pub fn is_cached(&self) -> bool {
+        self.cache.is_some()
+    }
 }
 
 #[cfg(test)]
@@ -228,5 +461,94 @@ mod tests {
         let p = crate::Problem::new(&s, &pool, &w, SlaSpec::relative(0.5), EngineConfig::dss());
         let l = p.premium_layout();
         assert_eq!(measure_toc(&p, &l, 1), measure_toc(&p, &l, 1));
+    }
+
+    #[test]
+    fn measured_toc_is_deterministic_across_thread_counts() {
+        // The seed contract: the same (problem, layout, seed) triple is
+        // bit-identical whether computed serially or by any number of
+        // concurrent workers — fleet validation must not drift with the
+        // worker-pool size.
+        let (s, pool, w) = setup();
+        let p = crate::Problem::new(&s, &pool, &w, SlaSpec::relative(0.5), EngineConfig::dss());
+        let l = p.premium_layout();
+        let serial = measure_toc(&p, &l, 42);
+        for workers in [1usize, 2, 8] {
+            let measured: Vec<TocEstimate> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| scope.spawn(|| measure_toc(&p, &l, 42)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("measure worker"))
+                    .collect()
+            });
+            for m in measured {
+                assert_eq!(m, serial, "{workers} workers drifted from serial");
+            }
+        }
+    }
+
+    #[test]
+    fn cached_estimates_are_bit_identical_and_count_hits() {
+        let (s, pool, w) = setup();
+        let p = crate::Problem::new(&s, &pool, &w, SlaSpec::relative(0.5), EngineConfig::dss());
+        let cache = CachedEstimator::new();
+        let toc = cache.scope(&p);
+        let layouts: Vec<Layout> = pool
+            .ids()
+            .map(|c| dot_dbms::Layout::uniform(c, s.object_count()))
+            .collect();
+        for l in &layouts {
+            assert_eq!(toc.estimate(&p, l), estimate_toc(&p, l), "miss path");
+            assert_eq!(toc.estimate(&p, l), estimate_toc(&p, l), "hit path");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, layouts.len() as u64);
+        assert_eq!(stats.hits, layouts.len() as u64);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(stats.entries, layouts.len());
+    }
+
+    #[test]
+    fn eviction_recomputes_identical_values() {
+        let (s, pool, w) = setup();
+        let p = crate::Problem::new(&s, &pool, &w, SlaSpec::relative(0.5), EngineConfig::dss());
+        // Capacity below the shard count: every shard flushes constantly.
+        let cache = CachedEstimator::with_capacity(1);
+        let toc = cache.scope(&p);
+        let layouts: Vec<Layout> = pool
+            .ids()
+            .map(|c| dot_dbms::Layout::uniform(c, s.object_count()))
+            .collect();
+        for round in 0..3 {
+            for l in &layouts {
+                assert_eq!(toc.estimate(&p, l), estimate_toc(&p, l), "round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_separates_problems_and_ignores_sla() {
+        let (s, pool, w) = setup();
+        let p = crate::Problem::new(&s, &pool, &w, SlaSpec::relative(0.5), EngineConfig::dss());
+        let sibling = p.clone().with_sla(SlaSpec::relative(0.25));
+        assert_eq!(
+            problem_fingerprint(&p),
+            problem_fingerprint(&sibling),
+            "estimates do not depend on the SLA, so siblings must share entries"
+        );
+        let discrete = p
+            .clone()
+            .with_cost_model(crate::LayoutCostModel::Discrete { alpha: 0.5 });
+        assert_ne!(
+            problem_fingerprint(&p),
+            problem_fingerprint(&discrete),
+            "the cost model changes layout costs, so entries must not be shared"
+        );
+        let mut repriced = pool.clone();
+        repriced.set_price("HDD", 99.0);
+        let other = crate::Problem::new(&s, &repriced, &w, p.sla, EngineConfig::dss());
+        assert_ne!(problem_fingerprint(&p), problem_fingerprint(&other));
     }
 }

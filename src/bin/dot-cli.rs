@@ -7,6 +7,9 @@
 //! dot-cli provision <problem.json>     run a solver on a problem file
 //!         [--solver <id>]              pick the optimizer (default "dot")
 //!         [--json]                     emit the serialized Recommendation
+//! dot-cli fleet     <manifest.json>    batch-provision N tenant databases
+//!         [--solver <id>]              default solver for tenants naming none
+//!         [--json]                     emit the serialized FleetReport
 //! dot-cli explain   <problem.json>     show premium-layout plans and I/O
 //! ```
 //!
@@ -18,11 +21,28 @@
 //! { "pool": "box2", "database": "tpch:4:original", "sla": 0.5, "engine": "dss" }
 //! ```
 //!
+//! A fleet manifest is a worker count plus one such entry per tenant —
+//! the same fields as a problem file (`engine` and `refinements`
+//! included), plus optional `name` and `solver`:
+//!
+//! ```json
+//! { "workers": 4, "tenants": [
+//!     { "name": "acme", "pool": "box2", "database": "tpch-subset:1", "sla": 0.5 },
+//!     { "pool": "box2", "database": "tpcc:2", "sla": 0.25, "solver": "es-additive" }
+//! ] }
+//! ```
+//!
+//! Tenants are provisioned concurrently over one shared memoized TOC cache
+//! (`dot_core::fleet`); the report carries per-tenant recommendations or
+//! typed errors, the fleet-wide bill, and the cache hit rate. Per-tenant
+//! failures do not fail the batch — only a malformed manifest does.
+//!
 //! Failures exit with a distinct code per [`ProvisionError`] variant (see
 //! [`exit_code`]), so scripts can tell an unknown pool from an infeasible
 //! SLA without parsing stderr; `--json` renders the error itself as JSON.
 
 use dot_core::advisor::{presets, Advisor, ProvisionError, Recommendation};
+use dot_core::fleet::{self, FleetConfig, FleetReport, TenantRequest};
 use dot_dbms::{explain, planner, EngineConfig, Schema};
 use dot_storage::StoragePool;
 use dot_workloads::Workload;
@@ -72,11 +92,7 @@ fn load(path: &str) -> Result<Request, ProvisionError> {
         serde_json::from_str(&text).map_err(|e| ProvisionError::InvalidRequest {
             reason: format!("parse {path}: {e}"),
         })?;
-    if !(file.sla > 0.0 && file.sla <= 1.0) {
-        return Err(ProvisionError::InvalidRequest {
-            reason: format!("sla {} out of (0, 1]", file.sla),
-        });
-    }
+    ProvisionError::check_sla(file.sla, "")?;
     let pool = match file.pool {
         PoolSpec::Custom(pool) => pool,
         PoolSpec::Name(name) => presets::pool(&name)?,
@@ -94,6 +110,159 @@ fn load(path: &str) -> Result<Request, ProvisionError> {
         engine,
         refinements: file.refinements.unwrap_or(1),
     })
+}
+
+#[derive(Deserialize)]
+struct FleetManifest {
+    #[serde(default)]
+    workers: Option<usize>,
+    #[serde(default)]
+    cache_capacity: Option<usize>,
+    tenants: Vec<TenantEntry>,
+}
+
+#[derive(Deserialize)]
+struct TenantEntry {
+    #[serde(default)]
+    name: Option<String>,
+    pool: PoolSpec,
+    database: DbSpec,
+    sla: f64,
+    #[serde(default)]
+    solver: Option<String>,
+    #[serde(default)]
+    engine: Option<String>,
+    #[serde(default)]
+    refinements: Option<usize>,
+}
+
+fn load_fleet(path: &str) -> Result<(Vec<TenantRequest>, FleetConfig), ProvisionError> {
+    let text = std::fs::read_to_string(path).map_err(|e| ProvisionError::InvalidRequest {
+        reason: format!("read {path}: {e}"),
+    })?;
+    let manifest: FleetManifest =
+        serde_json::from_str(&text).map_err(|e| ProvisionError::InvalidRequest {
+            reason: format!("parse {path}: {e}"),
+        })?;
+    if manifest.tenants.is_empty() {
+        return Err(ProvisionError::InvalidRequest {
+            reason: format!("{path}: a fleet manifest needs at least one tenant"),
+        });
+    }
+    let mut tenants = Vec::with_capacity(manifest.tenants.len());
+    for (i, entry) in manifest.tenants.into_iter().enumerate() {
+        let name = entry.name.unwrap_or_else(|| format!("tenant-{i}"));
+        ProvisionError::check_sla(entry.sla, &format!("tenant {name:?}"))?;
+        let pool = match entry.pool {
+            PoolSpec::Custom(pool) => pool,
+            PoolSpec::Name(name) => presets::pool(&name)?,
+        };
+        let (schema, workload) = match entry.database {
+            DbSpec::Custom { schema, workload } => (schema, workload),
+            DbSpec::Preset(preset) => presets::database(&preset)?,
+        };
+        // A named engine preset resolves here; absent, the library picks
+        // the workload-metric default (same as single-tenant problems).
+        let engine = match entry.engine.as_deref() {
+            Some(name) => Some(presets::engine(Some(name), &workload)?),
+            None => None,
+        };
+        tenants.push(TenantRequest {
+            name,
+            pool,
+            schema,
+            workload,
+            sla: entry.sla,
+            solver: entry.solver,
+            engine,
+            refinements: entry.refinements,
+        });
+    }
+    let defaults = FleetConfig::default();
+    Ok((
+        tenants,
+        FleetConfig {
+            workers: manifest.workers.unwrap_or(defaults.workers),
+            cache_capacity: manifest.cache_capacity.unwrap_or(defaults.cache_capacity),
+            ..defaults
+        },
+    ))
+}
+
+fn cmd_fleet(path: &str, default_solver: Option<&str>, json: bool) -> Result<(), ProvisionError> {
+    let (mut tenants, config) = load_fleet(path)?;
+    // An explicit --solver becomes the default for tenants whose manifest
+    // entry names none (a per-tenant "solver" field still wins). The flag
+    // is an operator-level input like pool/engine presets: a typo fails
+    // the whole batch fast with the unknown-solver exit code, rather than
+    // surfacing as N identical per-tenant errors and a zero exit.
+    if let Some(default) = default_solver {
+        dot_core::advisor::Registry::builtin().get(default)?;
+        for tenant in &mut tenants {
+            tenant.solver.get_or_insert_with(|| default.to_owned());
+        }
+    }
+    let report = fleet::provision_fleet(&tenants, &config);
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| {
+                ProvisionError::InvalidRequest {
+                    reason: format!("serialize fleet report: {e}"),
+                }
+            })?
+        );
+        return Ok(());
+    }
+    print_fleet_report(&report);
+    Ok(())
+}
+
+fn print_fleet_report(report: &FleetReport) {
+    println!("fleet of {} tenant(s):", report.tenants.len());
+    for outcome in &report.tenants {
+        match (&outcome.recommendation, &outcome.error) {
+            (Some(rec), _) => println!(
+                "    {:<20} {:<12} {:>10.4} cents/hour  ({} layouts in {} ms)",
+                outcome.tenant,
+                outcome.solver,
+                rec.estimate.layout_cost_cents_per_hour,
+                rec.provenance.layouts_investigated,
+                rec.provenance.elapsed_ms,
+            ),
+            (None, Some(err)) => {
+                println!(
+                    "    {:<20} {:<12} error[{}]: {err}",
+                    outcome.tenant,
+                    outcome.solver,
+                    err.kind()
+                )
+            }
+            (None, None) => unreachable!("an outcome is a recommendation or an error"),
+        }
+    }
+    println!(
+        "\naggregate bill ({} provisioned, {} failed):",
+        report.aggregate.tenants_provisioned, report.aggregate.tenants_failed
+    );
+    for line in &report.aggregate.classes {
+        println!(
+            "    {:<14} {:>10.2} GB  {:>10.4} cents/hour",
+            line.class, line.gb, line.cents_per_hour
+        );
+    }
+    println!(
+        "    total {:.4} cents/hour",
+        report.aggregate.total_cents_per_hour
+    );
+    println!(
+        "\nTOC cache: {} hits / {} misses (hit rate {:.1}%), {} entries; wall clock {} ms",
+        report.cache.hits,
+        report.cache.misses,
+        report.cache.hit_rate() * 100.0,
+        report.cache.entries,
+        report.wall_ms,
+    );
 }
 
 fn cmd_catalog() {
@@ -224,11 +393,12 @@ fn exit_code(err: &ProvisionError) -> u8 {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: dot-cli <catalog|solvers|provision|explain> [args]\n\
+        "usage: dot-cli <catalog|solvers|provision|fleet|explain> [args]\n\
          \n\
          dot-cli catalog\n\
          dot-cli solvers\n\
          dot-cli provision <problem.json> [--solver <id>] [--json]\n\
+         dot-cli fleet <manifest.json> [--solver <id>] [--json]\n\
          dot-cli explain <problem.json>"
     );
     ExitCode::FAILURE
@@ -237,17 +407,18 @@ fn usage() -> ExitCode {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let json = args.iter().any(|a| a == "--json");
-    let solver = args
-        .iter()
-        .position(|a| a == "--solver")
-        .map(|i| args.get(i + 1).cloned());
-    let solver = match solver {
-        Some(None) => {
-            eprintln!("error: --solver needs a solver id (see dot-cli solvers)");
-            return ExitCode::FAILURE;
-        }
-        Some(Some(id)) => id,
-        None => "dot".to_owned(),
+    // `provision` defaults a missing flag to "dot"; `fleet` keeps the
+    // distinction so the manifest's per-tenant solvers are only overridden
+    // by an explicit flag.
+    let solver_flag = match args.iter().position(|a| a == "--solver") {
+        Some(i) => match args.get(i + 1) {
+            Some(id) => Some(id.clone()),
+            None => {
+                eprintln!("error: --solver needs a solver id (see dot-cli solvers)");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
     };
     let result = match args.get(1).map(String::as_str) {
         Some("catalog") => {
@@ -259,7 +430,11 @@ fn main() -> ExitCode {
             Ok(())
         }
         Some("provision") => match args.get(2).filter(|a| !a.starts_with("--")) {
-            Some(path) => cmd_provision(path, &solver, json),
+            Some(path) => cmd_provision(path, solver_flag.as_deref().unwrap_or("dot"), json),
+            None => return usage(),
+        },
+        Some("fleet") => match args.get(2).filter(|a| !a.starts_with("--")) {
+            Some(path) => cmd_fleet(path, solver_flag.as_deref(), json),
             None => return usage(),
         },
         Some("explain") => match args.get(2) {

@@ -154,6 +154,231 @@ fn provision_json_emits_a_serialized_recommendation_per_solver() {
     }
 }
 
+const FLEET_MANIFEST: &str = r#"{ "workers": 4, "tenants": [
+    { "name": "acme",  "pool": "box2", "database": "tpch-subset:1", "sla": 0.5 },
+    { "name": "bravo", "pool": "box2", "database": "tpch-subset:1", "sla": 0.25 },
+    { "pool": "box2", "database": "tpcc:2", "sla": 0.25, "solver": "es-additive" }
+] }"#;
+
+#[test]
+fn fleet_provisions_a_manifest_and_reports_cache_stats() {
+    let path = problem_file("fleet.json", FLEET_MANIFEST);
+    let out = cli().arg("fleet").arg(&path).output().expect("run dot-cli");
+    let text = stdout_of(&out);
+    for expected in [
+        "fleet of 3 tenant(s)",
+        "acme",
+        "bravo",
+        "tenant-2", // unnamed tenants get positional names
+        "aggregate bill (3 provisioned, 0 failed)",
+        "TOC cache:",
+        "hit rate",
+    ] {
+        assert!(text.contains(expected), "missing {expected:?} in:\n{text}");
+    }
+}
+
+#[test]
+fn fleet_json_round_trips_through_serde() {
+    let path = problem_file("fleet_json.json", FLEET_MANIFEST);
+    let out = cli()
+        .args(["fleet"])
+        .arg(&path)
+        .arg("--json")
+        .output()
+        .expect("run dot-cli");
+    let text = stdout_of(&out);
+    // The emitted report parses back into the typed FleetReport...
+    let report: dot_core::fleet::FleetReport =
+        serde_json::from_str(&text).expect("fleet report deserializes");
+    assert_eq!(report.tenants.len(), 3);
+    assert_eq!(report.aggregate.tenants_provisioned, 3);
+    assert!(
+        report.cache.hits > 0,
+        "shared cache must hit across tenants"
+    );
+    // ...and the identically-shaped tenants got bit-identical layouts.
+    let acme = report.tenants[0].recommendation.as_ref().unwrap();
+    assert_eq!(report.tenants[0].tenant, "acme");
+    assert_eq!(report.tenants[0].solver, "dot");
+    assert!(acme.provenance.layouts_investigated >= 1);
+    // Re-serializing loses nothing.
+    let again = serde_json::to_string(&report).expect("report re-serializes");
+    let back: dot_core::fleet::FleetReport = serde_json::from_str(&again).unwrap();
+    assert_eq!(back, report);
+}
+
+#[test]
+fn fleet_aggregate_bill_schema_snapshot() {
+    // The aggregate-bill JSON shape is scriptable surface: pin its keys.
+    let path = problem_file("fleet_schema.json", FLEET_MANIFEST);
+    let out = cli()
+        .args(["fleet"])
+        .arg(&path)
+        .arg("--json")
+        .output()
+        .expect("run dot-cli");
+    let text = stdout_of(&out);
+    let value: serde::Value = serde_json::from_str(&text).expect("valid JSON");
+    let report = value.as_object().expect("top-level object");
+    let report_keys: Vec<&str> = report.iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(report_keys, ["tenants", "aggregate", "cache", "wall_ms"]);
+    let (_, aggregate) = report.iter().find(|(k, _)| k == "aggregate").unwrap();
+    let aggregate = aggregate.as_object().expect("aggregate object");
+    let keys: Vec<&str> = aggregate.iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(
+        keys,
+        [
+            "classes",
+            "total_cents_per_hour",
+            "tenants_provisioned",
+            "tenants_failed"
+        ],
+        "aggregate-bill schema changed: update the README's Fleet mode section"
+    );
+    let (_, classes) = aggregate.iter().find(|(k, _)| k == "classes").unwrap();
+    let first = classes.as_array().expect("classes array")[0]
+        .as_object()
+        .expect("class line object");
+    let line_keys: Vec<&str> = first.iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(line_keys, ["class", "gb", "cents_per_hour"]);
+}
+
+#[test]
+fn fleet_malformed_manifest_is_invalid_request_exit_2() {
+    for (name, manifest, needle) in [
+        ("fleet_trunc.json", r#"{ "tenants": ["#, "parse"),
+        ("fleet_empty.json", r#"{ "tenants": [] }"#, "at least one"),
+        (
+            "fleet_sla.json",
+            r#"{ "tenants": [ { "pool": "box2", "database": "tpcc:2", "sla": 9.0 } ] }"#,
+            "sla",
+        ),
+    ] {
+        let path = problem_file(name, manifest);
+        let out = cli().arg("fleet").arg(&path).output().expect("run dot-cli");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{name}: stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains(needle), "{name}: unhelpful error: {err}");
+    }
+    // An unknown preset inside a tenant keeps its own exit code.
+    let path = problem_file(
+        "fleet_preset.json",
+        r#"{ "tenants": [ { "pool": "box2", "database": "oracle:12c", "sla": 0.5 } ] }"#,
+    );
+    let out = cli().arg("fleet").arg(&path).output().expect("run dot-cli");
+    assert_eq!(out.status.code(), Some(5));
+    // So does an unknown engine preset — the field is honored, not dropped.
+    let path = problem_file(
+        "fleet_engine.json",
+        r#"{ "tenants": [
+            { "pool": "box2", "database": "tpch-subset:1", "sla": 0.5, "engine": "olap" }
+        ] }"#,
+    );
+    let out = cli().arg("fleet").arg(&path).output().expect("run dot-cli");
+    assert_eq!(out.status.code(), Some(6));
+}
+
+#[test]
+fn fleet_tenant_entries_honor_engine_and_refinements() {
+    // The single-tenant problem-file fields keep working inside a fleet
+    // manifest instead of being silently dropped.
+    let path = problem_file(
+        "fleet_tuned.json",
+        r#"{ "tenants": [
+            { "name": "tuned", "pool": "box2", "database": "tpch-subset:1", "sla": 0.5,
+              "engine": "dss", "refinements": 0 }
+        ] }"#,
+    );
+    let out = cli()
+        .args(["fleet"])
+        .arg(&path)
+        .arg("--json")
+        .output()
+        .expect("run dot-cli");
+    let text = stdout_of(&out);
+    let report: dot_core::fleet::FleetReport =
+        serde_json::from_str(&text).expect("fleet report deserializes");
+    let rec = report.tenants[0]
+        .recommendation
+        .as_ref()
+        .expect("provisioned");
+    assert_eq!(rec.provenance.refinement_rounds, 0);
+    assert!(rec.validation.is_some());
+}
+
+#[test]
+fn fleet_solver_flag_sets_the_default_without_overriding_manifest_entries() {
+    // --solver fills in tenants whose manifest entry names no solver; an
+    // explicit per-tenant "solver" field still wins.
+    let path = problem_file(
+        "fleet_solver_flag.json",
+        r#"{ "tenants": [
+            { "name": "defaulted", "pool": "box2", "database": "tpch-subset:1", "sla": 0.5 },
+            { "name": "pinned", "pool": "box2", "database": "tpch-subset:1", "sla": 0.5,
+              "solver": "all-premium" }
+        ] }"#,
+    );
+    let out = cli()
+        .args(["fleet"])
+        .arg(&path)
+        .args(["--solver", "oa", "--json"])
+        .output()
+        .expect("run dot-cli");
+    let text = stdout_of(&out);
+    let report: dot_core::fleet::FleetReport =
+        serde_json::from_str(&text).expect("fleet report deserializes");
+    assert_eq!(report.tenants[0].solver, "oa");
+    assert_eq!(report.tenants[1].solver, "all-premium");
+
+    // A typo'd flag fails the batch fast with the unknown-solver exit
+    // code, matching `provision` — never a "successful" all-error report.
+    let out = cli()
+        .args(["fleet"])
+        .arg(&path)
+        .args(["--solver", "dto"])
+        .output()
+        .expect("run dot-cli");
+    assert_eq!(out.status.code(), Some(3));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("dto"), "{err}");
+}
+
+#[test]
+fn fleet_per_tenant_failures_do_not_fail_the_batch() {
+    // One healthy tenant plus one whose solver mismatches the workload:
+    // the batch exits 0 and reports the typed per-tenant error in-band.
+    let path = problem_file(
+        "fleet_partial.json",
+        r#"{ "tenants": [
+            { "name": "ok",  "pool": "box2", "database": "tpch-subset:1", "sla": 0.5 },
+            { "name": "bad", "pool": "box2", "database": "tpch-subset:1", "sla": 0.5,
+              "solver": "es-additive" }
+        ] }"#,
+    );
+    let out = cli()
+        .args(["fleet"])
+        .arg(&path)
+        .arg("--json")
+        .output()
+        .expect("run dot-cli");
+    let text = stdout_of(&out);
+    let report: dot_core::fleet::FleetReport =
+        serde_json::from_str(&text).expect("fleet report deserializes");
+    assert_eq!(report.aggregate.tenants_provisioned, 1);
+    assert_eq!(report.aggregate.tenants_failed, 1);
+    let bad = &report.tenants[1];
+    assert!(matches!(
+        bad.error,
+        Some(dot_core::ProvisionError::UnsupportedWorkload { .. })
+    ));
+}
+
 #[test]
 fn explain_prints_plans_for_the_premium_layout() {
     let path = problem_file("explain.json", DSS_PROBLEM);

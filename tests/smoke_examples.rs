@@ -1,4 +1,4 @@
-//! Smoke tests running each of the five `examples/` end-to-end via
+//! Smoke tests running each of the `examples/` end-to-end via
 //! `cargo run --example`, so the documented quickstart commands keep
 //! working. Examples are built in release mode (as their doc headers
 //! instruct) and share the workspace target directory, so after
@@ -60,4 +60,14 @@ fn capacity_planning_runs() {
 fn multi_tenant_runs() {
     let text = run_example("multi_tenant");
     assert!(!text.trim().is_empty(), "multi_tenant printed nothing");
+}
+
+#[test]
+fn fleet_provisioning_runs() {
+    let text = run_example("fleet_provisioning");
+    assert!(
+        text.contains("provisioned 64 of 64 tenants"),
+        "output:\n{text}"
+    );
+    assert!(text.contains("hit rate"), "output:\n{text}");
 }

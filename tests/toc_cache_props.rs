@@ -1,0 +1,164 @@
+//! Property suite for `toc::CachedEstimator`: for random problems and
+//! layouts, cached estimates are **bit-identical** to the uncached
+//! `estimate_toc` — on the miss path, the hit path, after eviction has
+//! flushed entries, across concurrent threads sharing one cache, and when
+//! several distinct problems share one cache.
+
+use dot_core::problem::{LayoutCostModel, Problem};
+use dot_core::toc::{self, CachedEstimator};
+use dot_dbms::query::{QuerySpec, ReadOp, Rel, ScanSpec};
+use dot_dbms::{EngineConfig, Layout, SchemaBuilder};
+use dot_storage::{catalog, ClassId};
+use dot_workloads::{SlaSpec, Workload};
+use proptest::prelude::*;
+
+/// Random schema: 1–4 tables, each with a primary index and 0–1 secondary.
+fn arb_schema() -> impl Strategy<Value = dot_dbms::Schema> {
+    proptest::collection::vec(
+        (
+            1_000.0..5_000_000.0f64, // rows
+            40.0..400.0f64,          // row bytes
+            proptest::bool::ANY,     // secondary index?
+        ),
+        1..4,
+    )
+    .prop_map(|tables| {
+        let mut b = SchemaBuilder::new("prop");
+        for (i, (rows, bytes, secondary)) in tables.into_iter().enumerate() {
+            b = b.table(&format!("t{i}"), rows, bytes).primary_index(8.0);
+            if secondary {
+                b = b.index(&format!("t{i}_sec"), 8.0);
+            }
+        }
+        b.build()
+    })
+}
+
+/// Random read-mostly workload over a schema.
+fn workload_for(schema: &dot_dbms::Schema, sel: f64) -> Workload {
+    let queries: Vec<QuerySpec> = schema
+        .tables()
+        .iter()
+        .map(|t| {
+            let pk = schema.primary_index_of(t.id).expect("pk").id;
+            QuerySpec::read(
+                &format!("q_{}", t.name),
+                ReadOp::of(Rel::Scan(ScanSpec::indexed(t.id, sel, pk))),
+            )
+        })
+        .collect();
+    Workload::dss("prop", queries)
+}
+
+/// Random layouts over box2's three classes, seeded by a digit vector.
+fn layouts_from_seed(object_count: usize, seed: &[usize]) -> Vec<Layout> {
+    let pool = catalog::box2();
+    let classes: Vec<ClassId> = pool.ids().collect();
+    // A handful of distinct layouts: rotate the seed for each.
+    (0..4)
+        .map(|rot| {
+            let assignment: Vec<ClassId> = (0..object_count)
+                .map(|i| classes[seed[(i + rot) % seed.len()] % classes.len()])
+                .collect();
+            Layout::from_assignment(assignment)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Miss, hit, and post-eviction paths all return the exact value the
+    /// cache-blind `estimate_toc` computes — even with a capacity so small
+    /// that shards flush constantly.
+    #[test]
+    fn cached_estimates_match_uncached_incl_eviction(
+        schema in arb_schema(),
+        sel in 1e-4..0.5f64,
+        seed in proptest::collection::vec(0usize..3, 1..16),
+        capacity in 1usize..64,
+    ) {
+        let pool = catalog::box2();
+        let w = workload_for(&schema, sel);
+        let p = Problem::new(&schema, &pool, &w, SlaSpec::relative(0.5), EngineConfig::dss());
+        let layouts = layouts_from_seed(schema.object_count(), &seed);
+        let reference: Vec<_> = layouts.iter().map(|l| toc::estimate_toc(&p, l)).collect();
+
+        let cache = CachedEstimator::with_capacity(capacity);
+        let view = cache.scope(&p);
+        for round in 0..3 {
+            for (l, expect) in layouts.iter().zip(&reference) {
+                let got = view.estimate(&p, l);
+                prop_assert_eq!(&got, expect, "round {} diverged", round);
+            }
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.hits + stats.misses, 3 * layouts.len() as u64);
+    }
+
+    /// Concurrent workers sharing one cache all read bit-identical values,
+    /// racing misses included.
+    #[test]
+    fn shared_cache_is_consistent_across_threads(
+        schema in arb_schema(),
+        sel in 1e-4..0.5f64,
+        seed in proptest::collection::vec(0usize..3, 1..16),
+    ) {
+        let pool = catalog::box2();
+        let w = workload_for(&schema, sel);
+        let p = Problem::new(&schema, &pool, &w, SlaSpec::relative(0.5), EngineConfig::dss());
+        let layouts = layouts_from_seed(schema.object_count(), &seed);
+        let reference: Vec<_> = layouts.iter().map(|l| toc::estimate_toc(&p, l)).collect();
+
+        let cache = CachedEstimator::new();
+        let view = cache.scope(&p);
+        let from_threads: Vec<Vec<toc::TocEstimate>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(|| layouts.iter().map(|l| view.estimate(&p, l)).collect())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("cache worker"))
+                .collect()
+        });
+        for worker in from_threads {
+            for (got, expect) in worker.iter().zip(&reference) {
+                prop_assert_eq!(got, expect);
+            }
+        }
+    }
+
+    /// Distinct problems sharing one cache never cross-contaminate: the
+    /// cost model changes the estimate, so each problem must read back its
+    /// own values.
+    #[test]
+    fn problems_do_not_cross_contaminate(
+        schema in arb_schema(),
+        sel in 1e-4..0.5f64,
+        seed in proptest::collection::vec(0usize..3, 1..16),
+        alpha in 0.1..1.0f64,
+    ) {
+        let pool = catalog::box2();
+        let w = workload_for(&schema, sel);
+        let linear =
+            Problem::new(&schema, &pool, &w, SlaSpec::relative(0.5), EngineConfig::dss());
+        let discrete = linear
+            .clone()
+            .with_cost_model(LayoutCostModel::Discrete { alpha });
+        let layouts = layouts_from_seed(schema.object_count(), &seed);
+
+        let cache = CachedEstimator::new();
+        let linear_view = cache.scope(&linear);
+        let discrete_view = cache.scope(&discrete);
+        for l in &layouts {
+            // Interleave so a confused key would surface immediately.
+            prop_assert_eq!(linear_view.estimate(&linear, l), toc::estimate_toc(&linear, l));
+            prop_assert_eq!(
+                discrete_view.estimate(&discrete, l),
+                toc::estimate_toc(&discrete, l)
+            );
+        }
+    }
+}
