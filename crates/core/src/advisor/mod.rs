@@ -547,6 +547,31 @@ impl<'a> Advisor<'a> {
         solver.solve(&self.context())
     }
 
+    /// Re-provision a deployed layout for this session's (drifted)
+    /// workload: run the `"dot"` solver for the fresh target and plan the
+    /// migration from `current` to it, with no budget. See
+    /// [`crate::replan`] for the plan's semantics.
+    pub fn replan(
+        &self,
+        current: &Layout,
+    ) -> Result<crate::replan::ReplanRecommendation, ProvisionError> {
+        self.replan_with(current, "dot", &crate::replan::MigrationBudget::unbounded())
+    }
+
+    /// [`replan`](Self::replan) with an explicit target solver and
+    /// migration budget. The target recommendation is exactly what
+    /// [`recommend`](Self::recommend) returns for `solver`; the plan
+    /// honors every ceiling `budget` sets.
+    pub fn replan_with(
+        &self,
+        current: &Layout,
+        solver: &str,
+        budget: &crate::replan::MigrationBudget,
+    ) -> Result<crate::replan::ReplanRecommendation, ProvisionError> {
+        let target = self.recommend(solver)?;
+        crate::replan::plan_migration(&self.context(), current, target, budget)
+    }
+
     /// Evaluate an arbitrary labelled layout against this session's
     /// constraints — the figure-bar path of the experiment harness, which
     /// needs numbers even for layouts that violate the SLA. Routed through

@@ -41,7 +41,9 @@
 //! ```
 
 use crate::advisor::{Advisor, ProvisionError, Recommendation};
+use crate::replan::{MigrationBudget, MigrationDecision, ReplanRecommendation};
 use crate::toc::{CacheStats, CachedEstimator};
+use dot_dbms::Layout;
 use dot_dbms::{EngineConfig, Schema};
 use dot_storage::StoragePool;
 use dot_workloads::Workload;
@@ -166,23 +168,43 @@ pub struct FleetReport {
 /// database, unknown solver id, ...) are typed outcomes in the report, not
 /// errors of the batch: a fleet run always returns a full report.
 pub fn provision_fleet(tenants: &[TenantRequest], config: &FleetConfig) -> FleetReport {
+    let (outcomes, cache, wall_ms) = run_pool(tenants, config, |tenant, cache| {
+        provision_one(tenant, cache, config.refinements)
+    });
+    let aggregate = aggregate_bill(&outcomes);
+    FleetReport {
+        aggregate,
+        cache,
+        wall_ms,
+        tenants: outcomes,
+    }
+}
+
+/// The shared batch machinery of [`provision_fleet`] and [`replan_fleet`]:
+/// run `work` over every item on a scoped-thread worker pool sized by
+/// `config`, every call sharing one memoized TOC cache. Outcomes come back
+/// in item order, with the cache's stats and the batch wall clock.
+fn run_pool<T, O, F>(items: &[T], config: &FleetConfig, work: F) -> (Vec<O>, CacheStats, u64)
+where
+    T: Sync,
+    O: Send,
+    F: Fn(&T, &Arc<CachedEstimator>) -> O + Sync,
+{
     let start = Instant::now();
     let cache = Arc::new(CachedEstimator::with_capacity(config.cache_capacity.max(1)));
-    let slots: Vec<Mutex<Option<TenantOutcome>>> =
-        tenants.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<O>>> = items.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
-    let workers = effective_workers(config.workers, tenants.len());
+    let workers = effective_workers(config.workers, items.len());
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(tenant) = tenants.get(i) else { break };
-                let outcome = provision_one(tenant, &cache, config.refinements);
-                *slots[i].lock().expect("outcome slot") = Some(outcome);
+                let Some(item) = items.get(i) else { break };
+                *slots[i].lock().expect("outcome slot") = Some(work(item, &cache));
             });
         }
     });
-    let outcomes: Vec<TenantOutcome> = slots
+    let outcomes: Vec<O> = slots
         .into_iter()
         .map(|slot| {
             slot.into_inner()
@@ -190,13 +212,7 @@ pub fn provision_fleet(tenants: &[TenantRequest], config: &FleetConfig) -> Fleet
                 .expect("every index was claimed by a worker")
         })
         .collect();
-    let aggregate = aggregate_bill(&outcomes);
-    FleetReport {
-        aggregate,
-        cache: cache.stats(),
-        wall_ms: start.elapsed().as_millis() as u64,
-        tenants: outcomes,
-    }
+    (outcomes, cache.stats(), start.elapsed().as_millis() as u64)
 }
 
 fn effective_workers(requested: usize, tenant_count: usize) -> usize {
@@ -207,24 +223,47 @@ fn effective_workers(requested: usize, tenant_count: usize) -> usize {
     workers.clamp(1, tenant_count.max(1))
 }
 
+/// Validate the SLA and open a cache-sharing session — the per-tenant
+/// front half shared by both batch paths.
+#[allow(clippy::too_many_arguments)] // mirrors the tenant-request surface
+fn tenant_advisor<'a>(
+    name: &str,
+    schema: &'a Schema,
+    pool: &'a StoragePool,
+    workload: &'a Workload,
+    sla: f64,
+    refinements: usize,
+    engine: Option<EngineConfig>,
+    cache: &Arc<CachedEstimator>,
+) -> Result<Advisor<'a>, ProvisionError> {
+    ProvisionError::check_sla(sla, &format!("tenant {name:?}"))?;
+    let mut builder = Advisor::builder(schema, pool, workload)
+        .sla(sla)
+        .refinements(refinements)
+        .toc_cache(Arc::clone(cache));
+    if let Some(engine) = engine {
+        builder = builder.engine(engine);
+    }
+    builder.build()
+}
+
 fn provision_one(
     tenant: &TenantRequest,
     cache: &Arc<CachedEstimator>,
     refinements: usize,
 ) -> TenantOutcome {
     let solver = tenant.solver_id().to_owned();
-    let result = ProvisionError::check_sla(tenant.sla, &format!("tenant {:?}", tenant.name))
-        .and_then(|()| {
-            let mut builder = Advisor::builder(&tenant.schema, &tenant.pool, &tenant.workload)
-                .sla(tenant.sla)
-                .refinements(tenant.refinements.unwrap_or(refinements))
-                .toc_cache(Arc::clone(cache));
-            if let Some(engine) = tenant.engine {
-                builder = builder.engine(engine);
-            }
-            builder.build()
-        })
-        .and_then(|advisor| advisor.recommend(&solver));
+    let result = tenant_advisor(
+        &tenant.name,
+        &tenant.schema,
+        &tenant.pool,
+        &tenant.workload,
+        tenant.sla,
+        tenant.refinements.unwrap_or(refinements),
+        tenant.engine,
+        cache,
+    )
+    .and_then(|advisor| advisor.recommend(&solver));
     let (recommendation, error) = match result {
         Ok(rec) => (Some(rec), None),
         Err(e) => (None, Some(e)),
@@ -269,6 +308,173 @@ fn aggregate_bill(outcomes: &[TenantOutcome]) -> AggregateBill {
         tenants_provisioned: provisioned,
         tenants_failed: failed,
     }
+}
+
+// ---------------------------------------------------------------------------
+// Fleet-wide re-provisioning
+// ---------------------------------------------------------------------------
+
+/// One tenant to re-provision: the same inputs as a [`TenantRequest`] —
+/// with the *drifted* workload — plus the layout the tenant currently
+/// runs on and an optional per-tenant migration budget.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReplanTenantRequest {
+    /// Tenant label, echoed in the report.
+    pub name: String,
+    /// The tenant's storage pool.
+    pub pool: StoragePool,
+    /// The tenant's schema.
+    pub schema: Schema,
+    /// The tenant's *drifted* workload.
+    pub workload: Workload,
+    /// Relative SLA ratio in `(0, 1]` for the drifted phase.
+    pub sla: f64,
+    /// Registry id of the target solver; `None` means `"dot"`.
+    #[serde(default)]
+    pub solver: Option<String>,
+    /// Engine configuration; `None` picks the drifted workload's default.
+    #[serde(default)]
+    pub engine: Option<EngineConfig>,
+    /// Validation/refinement rounds for this tenant; `None` uses the
+    /// fleet-wide [`FleetConfig::refinements`] (as in [`TenantRequest`]).
+    #[serde(default)]
+    pub refinements: Option<usize>,
+    /// The layout the tenant is deployed on today.
+    pub current_layout: Layout,
+    /// Migration budget; `None` means unbounded.
+    #[serde(default)]
+    pub budget: Option<MigrationBudget>,
+}
+
+impl ReplanTenantRequest {
+    /// The target solver this tenant runs (default `"dot"`).
+    pub fn solver_id(&self) -> &str {
+        self.solver.as_deref().unwrap_or("dot")
+    }
+}
+
+/// What happened to one re-provisioned tenant: exactly one of `replan` /
+/// `error` is set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplanOutcome {
+    /// The tenant's label.
+    pub tenant: String,
+    /// The target solver that ran.
+    pub solver: String,
+    /// The re-provisioning answer, when planning succeeded.
+    pub replan: Option<ReplanRecommendation>,
+    /// The typed failure, when it did not.
+    pub error: Option<ProvisionError>,
+}
+
+/// Fleet-wide migration totals over every planned tenant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MigrationTotals {
+    /// Tenants whose plan moves data (full or partial).
+    pub tenants_migrating: usize,
+    /// Tenants told to stay on their deployed layout (identity plans,
+    /// `Unchanged` included).
+    pub tenants_staying: usize,
+    /// Tenants that failed with a typed error.
+    pub tenants_failed: usize,
+    /// Total data movement across the fleet, bytes.
+    pub total_bytes: f64,
+    /// Total bulk-copy wall clock across the fleet, seconds.
+    pub total_seconds: f64,
+    /// Total migration spend across the fleet, cents.
+    pub total_cents: f64,
+    /// Summed hourly TOC savings of every non-identity plan.
+    pub total_savings_cents_per_hour: f64,
+}
+
+/// Everything a fleet re-provisioning run produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplanFleetReport {
+    /// One outcome per tenant, in request order.
+    pub tenants: Vec<ReplanOutcome>,
+    /// Fleet-wide migration totals.
+    pub totals: MigrationTotals,
+    /// Hit/miss counters of the shared TOC cache.
+    pub cache: CacheStats,
+    /// Wall-clock time of the whole batch in integer milliseconds.
+    pub wall_ms: u64,
+}
+
+/// Re-provision every tenant concurrently over one shared memoized TOC
+/// cache — the drift-time sibling of [`provision_fleet`]. Per-tenant
+/// failures are typed outcomes, never errors of the batch.
+pub fn replan_fleet(tenants: &[ReplanTenantRequest], config: &FleetConfig) -> ReplanFleetReport {
+    let (outcomes, cache, wall_ms) = run_pool(tenants, config, |tenant, cache| {
+        replan_one(tenant, cache, config.refinements)
+    });
+    let totals = migration_totals(&outcomes);
+    ReplanFleetReport {
+        totals,
+        cache,
+        wall_ms,
+        tenants: outcomes,
+    }
+}
+
+fn replan_one(
+    tenant: &ReplanTenantRequest,
+    cache: &Arc<CachedEstimator>,
+    refinements: usize,
+) -> ReplanOutcome {
+    let solver = tenant.solver_id().to_owned();
+    let budget = tenant.budget.unwrap_or_default();
+    let result = tenant_advisor(
+        &tenant.name,
+        &tenant.schema,
+        &tenant.pool,
+        &tenant.workload,
+        tenant.sla,
+        tenant.refinements.unwrap_or(refinements),
+        tenant.engine,
+        cache,
+    )
+    .and_then(|advisor| advisor.replan_with(&tenant.current_layout, &solver, &budget));
+    let (replan, error) = match result {
+        Ok(rec) => (Some(rec), None),
+        Err(e) => (None, Some(e)),
+    };
+    ReplanOutcome {
+        tenant: tenant.name.clone(),
+        solver,
+        replan,
+        error,
+    }
+}
+
+fn migration_totals(outcomes: &[ReplanOutcome]) -> MigrationTotals {
+    let mut totals = MigrationTotals {
+        tenants_migrating: 0,
+        tenants_staying: 0,
+        tenants_failed: 0,
+        total_bytes: 0.0,
+        total_seconds: 0.0,
+        total_cents: 0.0,
+        total_savings_cents_per_hour: 0.0,
+    };
+    for outcome in outcomes {
+        let Some(rec) = &outcome.replan else {
+            totals.tenants_failed += 1;
+            continue;
+        };
+        match rec.plan.decision {
+            MigrationDecision::Migrate | MigrationDecision::Partial { .. } => {
+                totals.tenants_migrating += 1;
+                totals.total_bytes += rec.plan.total_bytes;
+                totals.total_seconds += rec.plan.total_seconds;
+                totals.total_cents += rec.plan.total_cents;
+                totals.total_savings_cents_per_hour += rec.plan.savings_cents_per_hour;
+            }
+            MigrationDecision::Unchanged | MigrationDecision::Stay => {
+                totals.tenants_staying += 1;
+            }
+        }
+    }
+    totals
 }
 
 #[cfg(test)]
@@ -435,6 +641,103 @@ mod tests {
         let report = provision_fleet(&tenants, &FleetConfig::default());
         let json = serde_json::to_string(&report).expect("report serializes");
         let back: FleetReport = serde_json::from_str(&json).expect("report parses");
+        assert_eq!(back, report);
+    }
+
+    /// A replan fleet over one drifting shape: tenants share the schema
+    /// and drifted workload (so the cache can help), each deployed on the
+    /// layout the *analytical* phase recommended, plus one broken tenant.
+    fn replan_fleet_requests() -> Vec<ReplanTenantRequest> {
+        use dot_workloads::{drift, tpcc};
+        let schema = tpcc::schema(2.0);
+        let pool = catalog::box2();
+        let analytical = drift::analytical_phase(&schema);
+        let advisor = Advisor::builder(&schema, &pool, &analytical)
+            .sla(0.5)
+            .build()
+            .unwrap();
+        let current = advisor.recommend("dot").unwrap().layout;
+        let drifted = tpcc::workload(&schema);
+        let mut tenants: Vec<ReplanTenantRequest> = (0..3)
+            .map(|i| ReplanTenantRequest {
+                name: format!("tenant-{i}"),
+                pool: pool.clone(),
+                schema: schema.clone(),
+                workload: drifted.clone(),
+                sla: 0.5,
+                solver: None,
+                engine: None,
+                refinements: None,
+                current_layout: current.clone(),
+                budget: None,
+            })
+            .collect();
+        tenants[2].budget = Some(MigrationBudget::zero());
+        tenants.push(ReplanTenantRequest {
+            name: "broken".into(),
+            pool,
+            schema,
+            workload: drifted,
+            sla: 9.0,
+            solver: None,
+            engine: None,
+            refinements: None,
+            current_layout: current,
+            budget: None,
+        });
+        tenants
+    }
+
+    #[test]
+    fn replan_fleet_plans_migrations_and_totals_add_up() {
+        let tenants = replan_fleet_requests();
+        let report = replan_fleet(&tenants, &FleetConfig::default());
+        assert_eq!(report.tenants.len(), 4);
+        assert_eq!(report.totals.tenants_migrating, 2);
+        assert_eq!(report.totals.tenants_staying, 1, "zero budget stays");
+        assert_eq!(report.totals.tenants_failed, 1);
+        let by_hand: f64 = report
+            .tenants
+            .iter()
+            .filter_map(|o| o.replan.as_ref())
+            .map(|r| r.plan.total_cents)
+            .sum();
+        assert!((report.totals.total_cents - by_hand).abs() < 1e-9);
+        assert!(report.totals.total_bytes > 0.0);
+        assert!(report.totals.total_savings_cents_per_hour > 0.0);
+        // Identically-shaped tenants answer each other's estimates.
+        let serial = replan_fleet(
+            &tenants,
+            &FleetConfig {
+                workers: 1,
+                ..FleetConfig::default()
+            },
+        );
+        assert!(serial.cache.hits > 0, "shared cache must hit");
+        // And the batch is deterministic across worker counts.
+        let strip = |mut r: ReplanFleetReport| {
+            r.wall_ms = 0;
+            r.cache = CacheStats {
+                hits: 0,
+                misses: 0,
+                entries: 0,
+            };
+            for o in &mut r.tenants {
+                if let Some(rec) = &mut o.replan {
+                    rec.target.provenance.elapsed_ms = 0;
+                }
+            }
+            r
+        };
+        assert_eq!(strip(serial), strip(report));
+    }
+
+    #[test]
+    fn replan_fleet_report_round_trips_through_serde() {
+        let tenants = replan_fleet_requests();
+        let report = replan_fleet(&tenants, &FleetConfig::default());
+        let json = serde_json::to_string(&report).expect("report serializes");
+        let back: ReplanFleetReport = serde_json::from_str(&json).expect("report parses");
         assert_eq!(back, report);
     }
 }

@@ -74,6 +74,10 @@
 //!   concurrently over a scoped-thread worker pool, sharing one memoized
 //!   TOC cache ([`toc::CachedEstimator`]), with an aggregate bill and
 //!   cache hit-rate in the report;
+//! * [`replan`] — online re-provisioning under workload drift: diff a
+//!   deployed layout against the drifted recommendation, price each
+//!   object-group move (bytes, transfer time, cents), and emit a
+//!   budget-honoring migration plan with a break-even horizon;
 //! * [`baselines`] — the six simple layouts of §4.2 and the Object Advisor
 //!   of Canim et al. as characterized in §6;
 //! * [`ablation`] — switchable design choices (group vs. object moves,
@@ -101,6 +105,7 @@ pub mod fleet;
 pub mod generalized;
 pub mod moves;
 pub mod problem;
+pub mod replan;
 pub mod report;
 pub mod sweep;
 pub mod tenancy;
@@ -111,4 +116,5 @@ pub use constraints::Constraints;
 pub use dot::{DotOutcome, PipelineResult};
 pub use fleet::{provision_fleet, FleetConfig, FleetReport, TenantRequest};
 pub use problem::{LayoutCostModel, Problem};
+pub use replan::{MigrationBudget, MigrationDecision, MigrationPlan, ReplanRecommendation};
 pub use toc::{CacheStats, CachedEstimator, TocEstimate};

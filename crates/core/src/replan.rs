@@ -1,0 +1,678 @@
+//! Online re-provisioning: migrate a deployed layout toward the layout a
+//! drifted workload wants, and say whether the move pays for itself.
+//!
+//! DOT answers *"what layout?"* for a workload snapshot. Mixed workloads
+//! drift — analytical phases give way to transactional ones, demand scales,
+//! read/write balances shift (see `dot_workloads::drift`) — and the layout
+//! provisioned for yesterday's snapshot is then either over-priced or
+//! SLA-violating for today's. Re-provisioning from scratch answers what the
+//! *new* layout should be, but not the operational question: **is migrating
+//! to it worth the data movement?**
+//!
+//! [`plan_migration`] (surfaced as `Advisor::replan`) answers both. Given
+//! the currently-deployed [`Layout`] and a session over the *drifted*
+//! workload, it diffs the deployed layout against the fresh recommendation
+//! group by group, prices each object-group move three ways —
+//!
+//! * **data movement**: bytes leaving the source class, as a bulk
+//!   sequential read off the source device and a bulk sequential write onto
+//!   the target device (`StorageClass::bulk_read_seconds` /
+//!   [`bulk_write_seconds`](dot_storage::StorageClass::bulk_write_seconds),
+//!   Table 1's single-thread anchors);
+//! * **migration cost in cents**: double residency — during the copy the
+//!   moved gigabytes are billed on *both* classes for the transfer
+//!   duration;
+//! * **TOC delta**: the change in the drifted workload's hourly TOC rate
+//!   from applying the move to the running layout (telescoping, so the
+//!   per-move deltas sum *exactly* to the plan's end-to-end delta — the
+//!   conservation property the test suite pins);
+//!
+//! — and assembles a [`MigrationPlan`]: moves ordered by migration
+//! priority (win-win first, then performance-restoring, then cost-saving in
+//! the paper's ascending-σ order, Eq. 4), greedily admitted under an
+//! optional [`MigrationBudget`] (bytes, wall-clock seconds, or cents), with
+//! a **break-even horizon** — hours until the new layout's TOC savings
+//! repay the migration bill.
+//!
+//! ## The stay rate, and why break-even stays finite
+//!
+//! The counterfactual to migrating is *staying put*. A deployed layout that
+//! still meets the drifted constraints pays its own TOC rate; one that
+//! violates them cannot be kept for free — the SLA has a price — so its
+//! stay rate is surcharged by the premium reference rate (the §4.3
+//! reference is what serving the workload compliantly costs at worst). A
+//! plan is only non-empty when its savings against the stay rate are
+//! strictly positive — a migration that can never repay its bill collapses
+//! to the identity plan with [`MigrationDecision::Stay`] — so
+//! `break_even_hours` is finite and positive for every non-empty plan, and
+//! `0` for empty ones.
+//!
+//! TOC rates are the problem's objective read hourly: for throughput
+//! workloads `C(L) · 1h` (the paper's fixed measurement period, §4.5); for
+//! response-time workloads `C(L) · t(L, W)` per pass, with the workload
+//! recurring hourly — the same quantity every optimizer in this crate
+//! minimizes.
+
+use crate::advisor::{ProvisionError, Recommendation, SolveContext};
+use crate::moves::Move;
+use crate::toc::TocEstimate;
+use dot_dbms::{Layout, ObjectId, ObjectKind, Schema, PAGE_BYTES};
+use dot_storage::ClassId;
+use serde::{Deserialize, Serialize};
+
+/// Resource ceilings for one migration. `None` means unlimited; a plan
+/// honors every ceiling that is set (totals stay `<=` the ceiling).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct MigrationBudget {
+    /// Maximum bytes of data movement.
+    #[serde(default)]
+    pub max_bytes: Option<f64>,
+    /// Maximum wall-clock transfer time in seconds (moves run one after
+    /// another — a migration is a single background copy stream).
+    #[serde(default)]
+    pub max_seconds: Option<f64>,
+    /// Maximum migration spend in cents.
+    #[serde(default)]
+    pub max_cents: Option<f64>,
+}
+
+impl MigrationBudget {
+    /// No ceilings: the plan reaches the fresh recommendation exactly.
+    pub fn unbounded() -> Self {
+        MigrationBudget::default()
+    }
+
+    /// All ceilings zero: the plan is always the identity.
+    pub fn zero() -> Self {
+        MigrationBudget {
+            max_bytes: Some(0.0),
+            max_seconds: Some(0.0),
+            max_cents: Some(0.0),
+        }
+    }
+
+    /// Set the byte ceiling.
+    pub fn with_max_bytes(mut self, bytes: f64) -> Self {
+        self.max_bytes = Some(bytes);
+        self
+    }
+
+    /// Set the wall-clock ceiling in seconds.
+    pub fn with_max_seconds(mut self, seconds: f64) -> Self {
+        self.max_seconds = Some(seconds);
+        self
+    }
+
+    /// Set the spend ceiling in cents.
+    pub fn with_max_cents(mut self, cents: f64) -> Self {
+        self.max_cents = Some(cents);
+        self
+    }
+
+    /// True when no ceiling is set.
+    pub fn is_unbounded(&self) -> bool {
+        self.max_bytes.is_none() && self.max_seconds.is_none() && self.max_cents.is_none()
+    }
+
+    /// Would totals of `(bytes, seconds, cents)` still fit?
+    fn admits(&self, bytes: f64, seconds: f64, cents: f64) -> bool {
+        self.max_bytes.map_or(true, |cap| bytes <= cap)
+            && self.max_seconds.map_or(true, |cap| seconds <= cap)
+            && self.max_cents.map_or(true, |cap| cents <= cap)
+    }
+
+    /// Typed domain check: every set ceiling must be finite and `>= 0`.
+    pub fn validate(&self) -> Result<(), ProvisionError> {
+        for (name, cap) in [
+            ("bytes", self.max_bytes),
+            ("seconds", self.max_seconds),
+            ("cents", self.max_cents),
+        ] {
+            if let Some(v) = cap {
+                if !(v >= 0.0 && v.is_finite()) {
+                    return Err(ProvisionError::InvalidRequest {
+                        reason: format!("migration budget {name} {v} must be finite and >= 0"),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One object-group move of a migration plan, priced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MigrationStep {
+    /// The move, in Procedure 2's shape (`delta_*` and `score` are
+    /// measured against the *deployed* layout, not `L_0`; `score` is `0`
+    /// when the move saves no hourly cost — σ is undefined there).
+    pub mv: Move,
+    /// Source placement the group leaves, parallel to `mv.objects`.
+    pub from: Vec<ClassId>,
+    /// Bytes leaving their class (objects already in place contribute 0).
+    pub bytes: f64,
+    /// Bulk-copy duration: sequential read off each source device plus
+    /// sequential write onto each target device, one stream, in seconds.
+    pub transfer_seconds: f64,
+    /// Double-residency cost of the copy in cents: the moved gigabytes are
+    /// billed on both classes for the transfer duration.
+    pub migration_cost_cents: f64,
+    /// Change in the drifted workload's hourly TOC rate from applying this
+    /// move to the running layout (negative = saves). Telescoping: the sum
+    /// over a plan's steps equals the rate delta between the deployed and
+    /// final layouts exactly.
+    pub toc_delta_cents_per_hour: f64,
+}
+
+/// What the planner concluded.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MigrationDecision {
+    /// The drifted workload recommends the deployed layout itself.
+    Unchanged,
+    /// Migration cannot repay its bill (or no move fits the budget): keep
+    /// the deployed layout.
+    Stay,
+    /// Migrate fully to the fresh recommendation.
+    Migrate,
+    /// The budget admitted only part of the move sequence.
+    Partial {
+        /// Moves the budget kept out of the plan.
+        deferred_moves: usize,
+    },
+}
+
+/// An ordered, priced, budget-honoring migration from a deployed layout
+/// toward the drifted workload's recommendation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MigrationPlan {
+    /// The planner's verdict.
+    pub decision: MigrationDecision,
+    /// Moves in execution order (migration priority; see module docs).
+    pub steps: Vec<MigrationStep>,
+    /// The layout after every step — the fresh recommendation when the
+    /// budget is unbounded, the deployed layout when the plan is empty.
+    pub final_layout: Layout,
+    /// Total data movement in bytes.
+    pub total_bytes: f64,
+    /// Total bulk-copy wall clock in seconds (steps run sequentially).
+    pub total_seconds: f64,
+    /// Total migration spend in cents.
+    pub total_cents: f64,
+    /// Hourly TOC savings of the final layout against the stay rate
+    /// (strictly positive whenever the plan is non-empty).
+    pub savings_cents_per_hour: f64,
+    /// Hours until the savings repay `total_cents`: finite and positive
+    /// for every non-empty plan, `0` for empty ones.
+    pub break_even_hours: f64,
+}
+
+/// The full answer of a re-provisioning request: the fresh recommendation
+/// for the drifted workload, how the deployed layout fares under it, and
+/// the migration plan bridging the two. Fully serializable for the CLI's
+/// `--json` mode and fleet reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplanRecommendation {
+    /// The drifted workload's fresh recommendation (the migration target).
+    pub target: Recommendation,
+    /// TOC estimate of the *deployed* layout under the drifted workload.
+    pub current_estimate: TocEstimate,
+    /// Whether the deployed layout still meets the drifted constraints.
+    pub current_feasible: bool,
+    /// Hourly cost of staying put: the deployed layout's TOC rate,
+    /// surcharged by the premium reference rate when it violates the
+    /// drifted constraints (an SLA violation is never free).
+    pub stay_rate_cents_per_hour: f64,
+    /// The plan.
+    pub plan: MigrationPlan,
+}
+
+/// The hourly TOC rate the planner compares layouts on: the problem
+/// objective read per hour (see module docs).
+pub fn toc_rate_cents_per_hour(estimate: &TocEstimate) -> f64 {
+    estimate.objective_cents
+}
+
+/// Sequential row-writes needed to repopulate `object` on a new device:
+/// table rows for heaps, index entries for indexes, pages for temp/log
+/// (whose content is page-granular, not row-granular).
+fn write_units(schema: &Schema, object: ObjectId) -> f64 {
+    let o = schema.object(object);
+    match o.kind {
+        ObjectKind::Table => schema
+            .tables()
+            .iter()
+            .find(|t| t.object == object)
+            .map(|t| t.rows)
+            .unwrap_or_else(|| o.size_gb * 1e9 / PAGE_BYTES),
+        ObjectKind::Index => schema
+            .indexes()
+            .iter()
+            .find(|i| i.object == object)
+            .map(|i| i.entries)
+            .unwrap_or_else(|| o.size_gb * 1e9 / PAGE_BYTES),
+        ObjectKind::Temp | ObjectKind::Log => o.size_gb * 1e9 / PAGE_BYTES,
+    }
+}
+
+/// A candidate group move with its migration price, before budget
+/// admission.
+struct Candidate {
+    mv: Move,
+    from: Vec<ClassId>,
+    bytes: f64,
+    seconds: f64,
+    cents: f64,
+    rank: u8,
+    key: f64,
+}
+
+/// Diff `current` against `target` group by group and price each move.
+fn candidates(cx: &SolveContext<'_, '_>, current: &Layout, target: &Layout) -> Vec<Candidate> {
+    let problem = cx.problem;
+    let concurrency = problem.cfg.concurrency;
+    let c_current = problem.layout_cost_cents_per_hour(current);
+    let mut out = Vec::new();
+    for (gi, g) in cx.profile.groups.iter().enumerate() {
+        let from: Vec<ClassId> = g.objects.iter().map(|&o| current.class_of(o)).collect();
+        let to: Vec<ClassId> = g.objects.iter().map(|&o| target.class_of(o)).collect();
+        if from == to {
+            continue;
+        }
+        let t_from = g
+            .io_time_share_ms(&from, problem.pool, concurrency)
+            .expect("profile covers the deployed placement");
+        let t_to = g
+            .io_time_share_ms(&to, problem.pool, concurrency)
+            .expect("profile covers the target placement");
+        let delta_time_ms = t_to - t_from;
+        let mut moved = current.clone();
+        for (&o, &class) in g.objects.iter().zip(&to) {
+            moved.place(o, class);
+        }
+        let delta_cost = c_current - problem.layout_cost_cents_per_hour(&moved);
+
+        let mut bytes = 0.0;
+        let mut seconds = 0.0;
+        let mut cents = 0.0;
+        for (&o, (&src, &dst)) in g.objects.iter().zip(from.iter().zip(&to)) {
+            if src == dst {
+                continue;
+            }
+            let gb = problem.schema.object(o).size_gb;
+            let src_class = problem.pool.class_unchecked(src);
+            let dst_class = problem.pool.class_unchecked(dst);
+            let copy_seconds = src_class.bulk_read_seconds(gb * 1e9 / PAGE_BYTES)
+                + dst_class.bulk_write_seconds(write_units(problem.schema, o));
+            bytes += gb * 1e9;
+            seconds += copy_seconds;
+            cents += (copy_seconds / 3_600.0)
+                * gb
+                * (src_class.price_cents_per_gb_hour + dst_class.price_cents_per_gb_hour);
+        }
+
+        // Migration priority: free wins first, then performance-restoring
+        // moves (biggest speedup first), then the paper's cost-saving moves
+        // in ascending-σ order (Eq. 4).
+        let (rank, key) = if delta_cost > 0.0 && delta_time_ms <= 0.0 {
+            (0, delta_time_ms / delta_cost)
+        } else if delta_cost <= 0.0 {
+            (1, delta_time_ms)
+        } else {
+            (2, delta_time_ms / delta_cost)
+        };
+        out.push(Candidate {
+            mv: Move {
+                group_index: gi,
+                objects: g.objects.clone(),
+                placement: to,
+                delta_time_ms,
+                delta_cost,
+                score: if delta_cost != 0.0 {
+                    delta_time_ms / delta_cost
+                } else {
+                    0.0
+                },
+            },
+            from,
+            bytes,
+            seconds,
+            cents,
+            rank,
+            key,
+        });
+    }
+    out.sort_by(|a, b| {
+        a.rank
+            .cmp(&b.rank)
+            .then(a.key.partial_cmp(&b.key).expect("keys are finite"))
+            .then(a.mv.group_index.cmp(&b.mv.group_index))
+    });
+    out
+}
+
+/// Plan the migration from `current` to `target`'s layout under `budget`,
+/// on the session context the target was solved in. See the module docs
+/// for the decision rules; `Advisor::replan` is the usual entry point.
+pub fn plan_migration(
+    cx: &SolveContext<'_, '_>,
+    current: &Layout,
+    target: Recommendation,
+    budget: &MigrationBudget,
+) -> Result<ReplanRecommendation, ProvisionError> {
+    budget.validate()?;
+    let problem = cx.problem;
+    if current.len() != problem.schema.object_count() {
+        return Err(ProvisionError::InvalidRequest {
+            reason: format!(
+                "current layout covers {} objects, schema has {}",
+                current.len(),
+                problem.schema.object_count()
+            ),
+        });
+    }
+    if let Some(&bad) = current
+        .assignment()
+        .iter()
+        .find(|c| c.0 >= problem.pool.len())
+    {
+        return Err(ProvisionError::InvalidRequest {
+            reason: format!(
+                "current layout places an object on {bad}, but pool {:?} has only {} classes",
+                problem.pool.name(),
+                problem.pool.len()
+            ),
+        });
+    }
+
+    let current_estimate = cx.estimate(current);
+    let current_feasible = cx
+        .constraints
+        .satisfied(problem, current, &current_estimate);
+    let current_rate = toc_rate_cents_per_hour(&current_estimate);
+    let stay_rate = if current_feasible {
+        current_rate
+    } else {
+        current_rate + toc_rate_cents_per_hour(&cx.constraints.reference)
+    };
+
+    // Greedy admission in priority order; TOC deltas telescope over the
+    // running layout, so interactions between moves are priced exactly.
+    let mut steps: Vec<MigrationStep> = Vec::new();
+    let mut deferred = 0usize;
+    let mut running = current.clone();
+    let mut rate_before = current_rate;
+    let (mut total_bytes, mut total_seconds, mut total_cents) = (0.0, 0.0, 0.0);
+    for cand in candidates(cx, current, &target.layout) {
+        if !budget.admits(
+            total_bytes + cand.bytes,
+            total_seconds + cand.seconds,
+            total_cents + cand.cents,
+        ) {
+            deferred += 1;
+            continue;
+        }
+        running = cand.mv.apply(&running);
+        let rate_after = toc_rate_cents_per_hour(&cx.estimate(&running));
+        steps.push(MigrationStep {
+            mv: cand.mv,
+            from: cand.from,
+            bytes: cand.bytes,
+            transfer_seconds: cand.seconds,
+            migration_cost_cents: cand.cents,
+            toc_delta_cents_per_hour: rate_after - rate_before,
+        });
+        rate_before = rate_after;
+        total_bytes += cand.bytes;
+        total_seconds += cand.seconds;
+        total_cents += cand.cents;
+    }
+
+    let mut savings = stay_rate - rate_before;
+    // A migration that can never repay its bill collapses to the identity
+    // plan: staying is the rational verdict (retry with a looser budget —
+    // a partial plan's savings can be negative even when the full plan's
+    // are not).
+    if !steps.is_empty() && savings <= 0.0 {
+        deferred += steps.len();
+        steps.clear();
+        running = current.clone();
+        (total_bytes, total_seconds, total_cents) = (0.0, 0.0, 0.0);
+        savings = 0.0;
+    }
+
+    let decision = if target.layout == *current {
+        MigrationDecision::Unchanged
+    } else if steps.is_empty() {
+        MigrationDecision::Stay
+    } else if deferred == 0 {
+        MigrationDecision::Migrate
+    } else {
+        MigrationDecision::Partial {
+            deferred_moves: deferred,
+        }
+    };
+    let break_even_hours = if steps.is_empty() {
+        0.0
+    } else {
+        total_cents / savings
+    };
+    Ok(ReplanRecommendation {
+        target,
+        current_estimate,
+        current_feasible,
+        stay_rate_cents_per_hour: stay_rate,
+        plan: MigrationPlan {
+            decision,
+            steps,
+            final_layout: running,
+            total_bytes,
+            total_seconds,
+            total_cents,
+            savings_cents_per_hour: savings,
+            break_even_hours,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::advisor::Advisor;
+    use dot_storage::catalog;
+    use dot_workloads::{drift, tpcc};
+
+    fn phases() -> (
+        dot_dbms::Schema,
+        dot_storage::StoragePool,
+        dot_workloads::Workload,
+        dot_workloads::Workload,
+    ) {
+        let schema = tpcc::schema(2.0);
+        let pool = catalog::box2();
+        let before = drift::analytical_phase(&schema);
+        let after = tpcc::workload(&schema);
+        (schema, pool, before, after)
+    }
+
+    #[test]
+    fn unchanged_workload_yields_the_identity_plan() {
+        let (schema, pool, before, _) = phases();
+        let advisor = Advisor::builder(&schema, &pool, &before)
+            .sla(0.5)
+            .build()
+            .unwrap();
+        let current = advisor.recommend("dot").unwrap().layout;
+        let rec = advisor.replan(&current).unwrap();
+        assert_eq!(rec.plan.decision, MigrationDecision::Unchanged);
+        assert!(rec.plan.steps.is_empty());
+        assert_eq!(rec.plan.final_layout, current);
+        assert_eq!(rec.plan.total_bytes, 0.0);
+        assert_eq!(rec.plan.break_even_hours, 0.0);
+        assert!(rec.current_feasible);
+    }
+
+    #[test]
+    fn phase_flip_migrates_to_the_fresh_recommendation() {
+        let (schema, pool, before, after) = phases();
+        let analytical = Advisor::builder(&schema, &pool, &before)
+            .sla(0.5)
+            .build()
+            .unwrap();
+        let current = analytical.recommend("dot").unwrap().layout;
+
+        let drifted = Advisor::builder(&schema, &pool, &after)
+            .sla(0.5)
+            .build()
+            .unwrap();
+        let fresh = drifted.recommend("dot").unwrap();
+        assert_ne!(fresh.layout, current, "the phase flip must move objects");
+
+        let rec = drifted.replan(&current).unwrap();
+        assert_eq!(rec.plan.final_layout, fresh.layout);
+        assert_eq!(rec.plan.decision, MigrationDecision::Migrate);
+        assert!(
+            !rec.current_feasible,
+            "the analytical layout cannot hold \
+                 the OLTP floor — the scenario this planner exists for"
+        );
+        assert!(rec.plan.total_bytes > 0.0);
+        assert!(rec.plan.total_seconds > 0.0);
+        assert!(rec.plan.total_cents > 0.0);
+        assert!(rec.plan.savings_cents_per_hour > 0.0);
+        assert!(
+            rec.plan.break_even_hours > 0.0 && rec.plan.break_even_hours.is_finite(),
+            "break-even {} must be finite and positive",
+            rec.plan.break_even_hours
+        );
+    }
+
+    #[test]
+    fn toc_deltas_telescope_to_the_end_to_end_delta() {
+        let (schema, pool, before, after) = phases();
+        let analytical = Advisor::builder(&schema, &pool, &before)
+            .sla(0.5)
+            .build()
+            .unwrap();
+        let current = analytical.recommend("dot").unwrap().layout;
+        let drifted = Advisor::builder(&schema, &pool, &after)
+            .sla(0.5)
+            .build()
+            .unwrap();
+        let rec = drifted.replan(&current).unwrap();
+        let sum: f64 = rec
+            .plan
+            .steps
+            .iter()
+            .map(|s| s.toc_delta_cents_per_hour)
+            .sum();
+        let end_to_end =
+            toc_rate_cents_per_hour(&drifted.context().estimate(&rec.plan.final_layout))
+                - toc_rate_cents_per_hour(&rec.current_estimate);
+        assert!(
+            (sum - end_to_end).abs() < 1e-9,
+            "sum {sum} vs end-to-end {end_to_end}"
+        );
+    }
+
+    #[test]
+    fn zero_budget_is_the_identity_plan() {
+        let (schema, pool, before, after) = phases();
+        let analytical = Advisor::builder(&schema, &pool, &before)
+            .sla(0.5)
+            .build()
+            .unwrap();
+        let current = analytical.recommend("dot").unwrap().layout;
+        let drifted = Advisor::builder(&schema, &pool, &after)
+            .sla(0.5)
+            .build()
+            .unwrap();
+        let rec = drifted
+            .replan_with(&current, "dot", &MigrationBudget::zero())
+            .unwrap();
+        assert!(rec.plan.steps.is_empty());
+        assert_eq!(rec.plan.final_layout, current);
+        assert_eq!(rec.plan.decision, MigrationDecision::Stay);
+        assert_eq!(rec.plan.break_even_hours, 0.0);
+    }
+
+    #[test]
+    fn byte_budget_is_honored_and_partial_plans_say_so() {
+        let (schema, pool, before, after) = phases();
+        let analytical = Advisor::builder(&schema, &pool, &before)
+            .sla(0.5)
+            .build()
+            .unwrap();
+        let current = analytical.recommend("dot").unwrap().layout;
+        let drifted = Advisor::builder(&schema, &pool, &after)
+            .sla(0.5)
+            .build()
+            .unwrap();
+        let unbounded = drifted.replan(&current).unwrap();
+        assert!(unbounded.plan.steps.len() >= 2, "need a divisible plan");
+        // Cap at just under the full movement: something must be deferred.
+        let cap = unbounded.plan.total_bytes * 0.6;
+        let budget = MigrationBudget::unbounded().with_max_bytes(cap);
+        let rec = drifted.replan_with(&current, "dot", &budget).unwrap();
+        assert!(rec.plan.total_bytes <= cap);
+        match rec.plan.decision {
+            MigrationDecision::Partial { deferred_moves } => assert!(deferred_moves >= 1),
+            MigrationDecision::Stay => assert!(rec.plan.steps.is_empty()),
+            ref other => panic!("expected a budget-limited plan, got {other:?}"),
+        }
+        if !rec.plan.steps.is_empty() {
+            assert!(rec.plan.savings_cents_per_hour > 0.0);
+            assert!(rec.plan.break_even_hours.is_finite());
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_are_typed_errors() {
+        let (schema, pool, _, after) = phases();
+        let drifted = Advisor::builder(&schema, &pool, &after)
+            .sla(0.5)
+            .build()
+            .unwrap();
+        // Wrong object count.
+        let short = Layout::uniform(pool.most_expensive(), 1);
+        assert!(matches!(
+            drifted.replan(&short),
+            Err(ProvisionError::InvalidRequest { .. })
+        ));
+        // Class id outside the pool.
+        let alien = Layout::uniform(ClassId(99), schema.object_count());
+        assert!(matches!(
+            drifted.replan(&alien),
+            Err(ProvisionError::InvalidRequest { .. })
+        ));
+        // NaN budget.
+        let current = Layout::uniform(pool.most_expensive(), schema.object_count());
+        let bad = MigrationBudget::unbounded().with_max_cents(f64::NAN);
+        assert!(matches!(
+            drifted.replan_with(&current, "dot", &bad),
+            Err(ProvisionError::InvalidRequest { .. })
+        ));
+        // Unknown solver propagates untouched.
+        assert!(matches!(
+            drifted.replan_with(&current, "simplex", &MigrationBudget::unbounded()),
+            Err(ProvisionError::UnknownSolver { .. })
+        ));
+    }
+
+    #[test]
+    fn replan_recommendation_round_trips_through_serde() {
+        let (schema, pool, before, after) = phases();
+        let analytical = Advisor::builder(&schema, &pool, &before)
+            .sla(0.5)
+            .build()
+            .unwrap();
+        let current = analytical.recommend("dot").unwrap().layout;
+        let drifted = Advisor::builder(&schema, &pool, &after)
+            .sla(0.5)
+            .build()
+            .unwrap();
+        let rec = drifted.replan(&current).unwrap();
+        let json = serde_json::to_string(&rec).expect("replan serializes");
+        let back: ReplanRecommendation = serde_json::from_str(&json).expect("replan parses");
+        assert_eq!(back, rec);
+    }
+}

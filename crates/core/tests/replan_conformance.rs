@@ -1,0 +1,186 @@
+//! Conformance contract of the re-provisioning planner (ISSUE 4):
+//!
+//! * with an **unchanged** workload the plan is empty;
+//! * with a drifted analytical→transactional pair the plan's final layout
+//!   is **bit-identical** to a fresh Advisor recommendation when the
+//!   budget is unbounded, and strictly within budget otherwise;
+//! * break-even hours are finite and positive whenever the plan is
+//!   non-empty;
+//! * replanning is bit-identical with the TOC cache off, cold, and warm
+//!   (matching the solver-conformance matrix's cache contract).
+
+use dot_core::advisor::Advisor;
+use dot_core::replan::{MigrationBudget, MigrationDecision, ReplanRecommendation};
+use dot_core::toc::CachedEstimator;
+use dot_dbms::Layout;
+use dot_storage::{catalog, StoragePool};
+use dot_workloads::{drift, tpcc, Workload};
+use std::sync::Arc;
+
+/// The drift scenario of the acceptance criteria: one schema, an
+/// analytical (TPC-H-shaped, response-time) phase and a transactional
+/// (TPC-C, throughput) phase.
+fn scenario() -> (dot_dbms::Schema, StoragePool, Workload, Workload) {
+    let schema = tpcc::schema(2.0);
+    let pool = catalog::box2();
+    let before = drift::analytical_phase(&schema);
+    let after = tpcc::workload(&schema);
+    (schema, pool, before, after)
+}
+
+fn deployed_for(schema: &dot_dbms::Schema, pool: &StoragePool, workload: &Workload) -> Layout {
+    Advisor::builder(schema, pool, workload)
+        .sla(0.5)
+        .build()
+        .expect("session")
+        .recommend("dot")
+        .expect("recommendation")
+        .layout
+}
+
+fn strip_timing(mut rec: ReplanRecommendation) -> ReplanRecommendation {
+    rec.target.provenance.elapsed_ms = 0;
+    rec
+}
+
+#[test]
+fn unchanged_workload_yields_an_empty_plan() {
+    let (schema, pool, before, after) = scenario();
+    for workload in [&before, &after] {
+        let advisor = Advisor::builder(&schema, &pool, workload)
+            .sla(0.5)
+            .build()
+            .unwrap();
+        let current = advisor.recommend("dot").unwrap().layout;
+        let rec = advisor.replan(&current).unwrap();
+        assert_eq!(rec.plan.decision, MigrationDecision::Unchanged);
+        assert!(rec.plan.steps.is_empty(), "{}", workload.name);
+        assert_eq!(rec.plan.final_layout, current);
+        assert_eq!(rec.plan.total_bytes, 0.0);
+        assert_eq!(rec.plan.break_even_hours, 0.0);
+    }
+}
+
+#[test]
+fn unbounded_drifted_plan_lands_on_the_fresh_recommendation_bit_for_bit() {
+    let (schema, pool, before, after) = scenario();
+    let current = deployed_for(&schema, &pool, &before);
+    let drifted = Advisor::builder(&schema, &pool, &after)
+        .sla(0.5)
+        .build()
+        .unwrap();
+    let fresh = drifted.recommend("dot").unwrap();
+    let rec = drifted.replan(&current).unwrap();
+    assert_eq!(rec.plan.final_layout, fresh.layout, "bit-identical target");
+    assert_eq!(rec.target.layout, fresh.layout);
+    assert_eq!(rec.plan.decision, MigrationDecision::Migrate);
+    // And the reverse drift replans back.
+    let analytical = Advisor::builder(&schema, &pool, &before)
+        .sla(0.5)
+        .build()
+        .unwrap();
+    let night_layout = rec.plan.final_layout.clone();
+    let back = analytical.replan(&night_layout).unwrap();
+    assert_eq!(
+        back.plan.final_layout,
+        analytical.recommend("dot").unwrap().layout
+    );
+}
+
+#[test]
+fn budgeted_plans_stay_strictly_within_every_budget_axis() {
+    let (schema, pool, before, after) = scenario();
+    let current = deployed_for(&schema, &pool, &before);
+    let drifted = Advisor::builder(&schema, &pool, &after)
+        .sla(0.5)
+        .build()
+        .unwrap();
+    let full = drifted.replan(&current).unwrap();
+    assert!(full.plan.steps.len() >= 2, "scenario must have a real plan");
+    type Spent = fn(&ReplanRecommendation) -> f64;
+    let cases: [(MigrationBudget, Spent); 3] = [
+        (
+            MigrationBudget::unbounded().with_max_bytes(full.plan.total_bytes * 0.7),
+            |r| r.plan.total_bytes,
+        ),
+        (
+            MigrationBudget::unbounded().with_max_seconds(full.plan.total_seconds * 0.7),
+            |r| r.plan.total_seconds,
+        ),
+        (
+            MigrationBudget::unbounded().with_max_cents(full.plan.total_cents * 0.7),
+            |r| r.plan.total_cents,
+        ),
+    ];
+    for (budget, actual) in cases {
+        let rec = drifted.replan_with(&current, "dot", &budget).unwrap();
+        let cap = budget
+            .max_bytes
+            .or(budget.max_seconds)
+            .or(budget.max_cents)
+            .unwrap();
+        assert!(actual(&rec) <= cap, "plan exceeded its budget: {budget:?}");
+        assert!(
+            rec.plan.steps.len() < full.plan.steps.len(),
+            "a 70% cap must defer something"
+        );
+    }
+}
+
+#[test]
+fn break_even_is_finite_and_positive_for_every_non_empty_plan() {
+    let (schema, pool, before, after) = scenario();
+    let current = deployed_for(&schema, &pool, &before);
+    let drifted = Advisor::builder(&schema, &pool, &after)
+        .sla(0.5)
+        .build()
+        .unwrap();
+    let full = drifted.replan(&current).unwrap();
+    // Sweep budgets from zero to unbounded; every produced plan obeys the
+    // break-even contract.
+    for fraction in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
+        let budget = if fraction == 1.0 {
+            MigrationBudget::unbounded()
+        } else {
+            MigrationBudget::unbounded().with_max_bytes(full.plan.total_bytes * fraction)
+        };
+        let rec = drifted.replan_with(&current, "dot", &budget).unwrap();
+        if rec.plan.steps.is_empty() {
+            assert_eq!(rec.plan.break_even_hours, 0.0);
+        } else {
+            assert!(
+                rec.plan.break_even_hours > 0.0 && rec.plan.break_even_hours.is_finite(),
+                "fraction {fraction}: break-even {}",
+                rec.plan.break_even_hours
+            );
+            assert!(rec.plan.savings_cents_per_hour > 0.0);
+        }
+    }
+}
+
+#[test]
+fn replan_is_bit_identical_with_the_cache_off_cold_and_warm() {
+    let (schema, pool, before, after) = scenario();
+    let current = deployed_for(&schema, &pool, &before);
+
+    let uncached = Advisor::builder(&schema, &pool, &after)
+        .sla(0.5)
+        .build()
+        .unwrap();
+    let off = strip_timing(uncached.replan(&current).unwrap());
+
+    let cache = Arc::new(CachedEstimator::new());
+    let cached = Advisor::builder(&schema, &pool, &after)
+        .sla(0.5)
+        .toc_cache(Arc::clone(&cache))
+        .build()
+        .unwrap();
+    let cold = strip_timing(cached.replan(&current).unwrap());
+    assert!(cache.stats().misses > 0, "cold run must populate the cache");
+    let warm = strip_timing(cached.replan(&current).unwrap());
+
+    assert_eq!(off, cold, "cache off vs cold");
+    assert_eq!(cold, warm, "cold vs warm");
+    let stats = cache.stats();
+    assert!(stats.hits > 0, "warm run must answer from the cache");
+}

@@ -163,6 +163,23 @@ impl StorageClass {
         self.price_cents_per_gb_hour * gb
     }
 
+    /// Seconds to stream `pages` pages *off* this class with one bulk
+    /// reader: `pages · τ_SR(c=1)`. The single-thread anchor applies —
+    /// a migration copy job is one sequential stream, not a concurrent
+    /// workload. Used by the re-provisioning planner to price the read
+    /// side of an object-group move.
+    pub fn bulk_read_seconds(&self, pages: f64) -> f64 {
+        pages * self.profile.at_c1[crate::IoType::SeqRead.index()] / 1_000.0
+    }
+
+    /// Seconds to stream `rows` row-writes *onto* this class with one bulk
+    /// writer: `rows · τ_SW(c=1)` (Table 1 reports SW per row). The write
+    /// side of an object-group move; the caller derives `rows` from the
+    /// object's schema statistics.
+    pub fn bulk_write_seconds(&self, rows: f64) -> f64 {
+        rows * self.profile.at_c1[crate::IoType::SeqWrite.index()] / 1_000.0
+    }
+
     /// Validate spec and profile consistency.
     pub fn validate(&self) -> Result<(), crate::StorageError> {
         if self.devices.is_empty() {
@@ -218,6 +235,21 @@ mod tests {
         assert!((c.price_cents_per_gb_hour - 0.01).abs() < 1e-12);
         assert!((c.residency_cost_cents_per_hour(50.0) - 0.5).abs() < 1e-12);
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn bulk_transfer_uses_the_single_thread_anchors() {
+        let c = StorageClass::from_device(
+            "Test",
+            spec(),
+            IoProfile::from_anchors([0.1, 1.0, 0.02, 1.0], [0.5, 2.0, 0.08, 3.0]),
+            &CostModel::PAPER,
+        );
+        // 10,000 pages at 0.1 ms/page = 1 s; the c=300 anchor must not leak in.
+        assert!((c.bulk_read_seconds(10_000.0) - 1.0).abs() < 1e-12);
+        // 100,000 rows at 0.02 ms/row = 2 s.
+        assert!((c.bulk_write_seconds(100_000.0) - 2.0).abs() < 1e-12);
+        assert_eq!(c.bulk_read_seconds(0.0), 0.0);
     }
 
     #[test]

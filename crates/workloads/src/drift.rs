@@ -1,0 +1,203 @@
+//! Workload drift generators: before/after pairs for re-provisioning.
+//!
+//! DOT provisions a layout once, against a workload snapshot. Real mixed
+//! workloads *drift*: the HTAP literature describes systems that swing
+//! between analytical phases (scan-heavy, response-time SLAs) and
+//! transactional phases (update-heavy, throughput SLAs), which flips the
+//! index-scan-vs-seq-scan trade DOT's move scores are built on. These
+//! generators perturb an existing [`Workload`] — or produce a matched
+//! analytical/transactional pair over one schema — so the re-provisioning
+//! planner (`dot_core::replan`) can be exercised and benchmarked against
+//! every workload family in this crate (TPC-H, TPC-C, YCSB, synthetic).
+//!
+//! All generators are pure: they never mutate their input, and the same
+//! inputs always produce the same drifted workload.
+
+use crate::spec::{PerfMetric, Workload};
+use dot_dbms::query::{Op, QuerySpec, ReadOp, Rel, ScanSpec};
+use dot_dbms::Schema;
+
+/// True when any operation of the query writes (insert or update).
+fn writes(q: &QuerySpec) -> bool {
+    q.ops
+        .iter()
+        .any(|op| matches!(op, Op::Insert(_) | Op::Update(_)))
+}
+
+/// Shift the read/write balance of a workload by reweighting its queries.
+///
+/// `shift ∈ (-1, 1)`: positive values scale every write-bearing query's
+/// weight by `1 + shift` and every read-only query's by `1 - shift`
+/// (drift toward a transactional phase); negative values drift toward an
+/// analytical phase. `tasks_per_stream` is rescaled by the total-weight
+/// ratio so throughput workloads keep their task accounting consistent.
+///
+/// # Panics
+///
+/// Panics when `shift` is outside `(-1, 1)` (a weight would become
+/// non-positive, which [`Workload::validate`] rejects).
+pub fn shift_read_write(workload: &Workload, shift: f64) -> Workload {
+    assert!(
+        shift > -1.0 && shift < 1.0,
+        "shift {shift} out of (-1, 1): weights must stay positive"
+    );
+    let old_total: f64 = workload.queries.iter().map(|q| q.weight).sum();
+    let queries: Vec<QuerySpec> = workload
+        .queries
+        .iter()
+        .map(|q| {
+            let factor = if writes(q) { 1.0 + shift } else { 1.0 - shift };
+            q.clone().with_weight(q.weight * factor)
+        })
+        .collect();
+    let new_total: f64 = queries.iter().map(|q| q.weight).sum();
+    Workload {
+        name: format!("{}+rw{shift:+.2}", workload.name),
+        queries,
+        concurrency: workload.concurrency,
+        metric: workload.metric,
+        tasks_per_stream: workload.tasks_per_stream * new_total / old_total,
+    }
+}
+
+/// Scale a workload's demand by `factor > 0`.
+///
+/// Throughput workloads scale their degree of concurrency (more identical
+/// streams, never below 1); response-time workloads scale every query's
+/// weight (longer streams) — in both cases `tasks_per_stream` follows, so
+/// derived throughput floors and task counts stay consistent.
+///
+/// # Panics
+///
+/// Panics when `factor` is not strictly positive and finite.
+pub fn scale_throughput(workload: &Workload, factor: f64) -> Workload {
+    assert!(
+        factor > 0.0 && factor.is_finite(),
+        "scale factor {factor} must be positive and finite"
+    );
+    let mut drifted = workload.clone();
+    drifted.name = format!("{}+x{factor:.2}", workload.name);
+    match workload.metric {
+        PerfMetric::Throughput => {
+            let c = (workload.concurrency as f64 * factor).round().max(1.0);
+            drifted.concurrency = c as u32;
+        }
+        PerfMetric::ResponseTime => {
+            for q in &mut drifted.queries {
+                q.weight *= factor;
+            }
+            drifted.tasks_per_stream *= factor;
+        }
+    }
+    drifted
+}
+
+/// A matched analytical→transactional drift pair over one schema: the
+/// "TPC-H by day, TPC-C by night" phase flip of mixed workloads.
+///
+/// `analytical` is a single-stream, response-time workload of full scans
+/// over every table of `schema` (reporting queries that favour cheap
+/// sequential devices); `transactional` is the OLTP workload the caller
+/// supplies for the *same* schema (e.g. [`crate::tpcc::workload`]), whose
+/// random writes favour premium devices. Provision for the first, then
+/// re-plan for the second: the recommended placements flip, and the gap
+/// between them is exactly what a migration planner must bridge.
+pub fn analytical_phase(schema: &Schema) -> Workload {
+    let queries: Vec<QuerySpec> = schema
+        .tables()
+        .iter()
+        .map(|t| {
+            QuerySpec::read(
+                &format!("report_{}", t.name),
+                ReadOp::of(Rel::Scan(ScanSpec::full(t.id))).with_agg(t.rows),
+            )
+        })
+        .collect();
+    Workload::dss(&format!("{}-analytical", schema.name()), queries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{synth, tpcc, tpch, ycsb};
+
+    #[test]
+    fn shift_moves_weight_toward_writes_and_validates() {
+        let s = synth::bench_schema(1_000_000.0, 120.0);
+        let w = synth::mixed_workload(&s);
+        let drifted = shift_read_write(&w, 0.5);
+        drifted.validate(&s).expect("drifted workload stays valid");
+        for (before, after) in w.queries.iter().zip(&drifted.queries) {
+            if writes(before) {
+                assert!(after.weight > before.weight, "{}", before.name);
+            } else {
+                assert!(after.weight < before.weight, "{}", before.name);
+            }
+        }
+        // Negative shift drifts the other way.
+        let analytical = shift_read_write(&w, -0.5);
+        assert!(analytical.queries[0].weight > w.queries[0].weight);
+        // The original is untouched.
+        assert_eq!(w.queries[0].weight, 1.0);
+    }
+
+    #[test]
+    fn shift_rescales_tasks_with_total_weight() {
+        let s = tpcc::schema(2.0);
+        let w = tpcc::workload(&s);
+        let drifted = shift_read_write(&w, 0.3);
+        let old_total: f64 = w.queries.iter().map(|q| q.weight).sum();
+        let new_total: f64 = drifted.queries.iter().map(|q| q.weight).sum();
+        let expect = w.tasks_per_stream * new_total / old_total;
+        assert!((drifted.tasks_per_stream - expect).abs() < 1e-9);
+        assert_eq!(drifted.metric, PerfMetric::Throughput);
+        assert_eq!(drifted.concurrency, w.concurrency);
+    }
+
+    #[test]
+    fn scale_throughput_scales_concurrency_for_oltp_and_weights_for_dss() {
+        let oltp_schema = tpcc::schema(2.0);
+        let oltp = tpcc::workload(&oltp_schema);
+        let doubled = scale_throughput(&oltp, 2.0);
+        assert_eq!(doubled.concurrency, oltp.concurrency * 2);
+        assert_eq!(doubled.tasks_per_stream, oltp.tasks_per_stream);
+
+        let dss_schema = tpch::subset_schema(1.0);
+        let dss = tpch::subset_workload(&dss_schema);
+        let halved = scale_throughput(&dss, 0.5);
+        assert_eq!(halved.concurrency, dss.concurrency);
+        assert!((halved.tasks_per_stream - dss.tasks_per_stream * 0.5).abs() < 1e-9);
+        halved.validate(&dss_schema).expect("still valid");
+        // Never below one stream.
+        let tiny = scale_throughput(&oltp, 1e-6);
+        assert_eq!(tiny.concurrency, 1);
+    }
+
+    #[test]
+    fn analytical_phase_is_read_only_over_every_table() {
+        let s = tpcc::schema(2.0);
+        let a = analytical_phase(&s);
+        assert_eq!(a.metric, PerfMetric::ResponseTime);
+        assert_eq!(a.queries.len(), s.tables().len());
+        assert!(a.queries.iter().all(|q| !writes(q)));
+        a.validate(&s).expect("analytical phase validates");
+        // The pair shares the schema with the transactional phase.
+        let t = tpcc::workload(&s);
+        assert_eq!(t.metric, PerfMetric::Throughput);
+    }
+
+    #[test]
+    fn generators_cover_every_workload_family() {
+        let tpch_s = tpch::subset_schema(1.0);
+        let tpcc_s = tpcc::schema(1.0);
+        let ycsb_s = ycsb::schema(100_000.0);
+        for (schema, w) in [
+            (&tpch_s, tpch::subset_workload(&tpch_s)),
+            (&tpcc_s, tpcc::workload(&tpcc_s)),
+            (&ycsb_s, ycsb::workload(&ycsb_s, ycsb::YcsbMix::A, 300)),
+        ] {
+            shift_read_write(&w, 0.4).validate(schema).unwrap();
+            scale_throughput(&w, 3.0).validate(schema).unwrap();
+        }
+    }
+}

@@ -24,11 +24,52 @@
 //!   (300 connections, §4.5);
 //! * [`ycsb`] — YCSB-style key-value mixes (not from the paper; the cloud
 //!   workload its introduction motivates);
-//! * [`synth`] — small synthetic workloads for tests and benchmarks.
+//! * [`synth`] — small synthetic workloads for tests and benchmarks;
+//! * [`drift`] — before/after drift pairs (read/write shifts, demand
+//!   scaling, the analytical↔transactional phase flip) feeding the
+//!   re-provisioning planner.
+//!
+//! ## Worked example: build a workload, check its SLA machinery
+//!
+//! A workload is `c` identical streams of weighted queries plus a metric;
+//! the relative SLA of §4.3 turns a premium-reference measurement into
+//! per-query caps (response time) or a floor (throughput):
+//!
+//! ```
+//! use dot_workloads::{tpch, PerfMetric, SlaSpec};
+//!
+//! let schema = tpch::subset_schema(1.0); // 8-object TPC-H subset, SF 1
+//! let workload = tpch::subset_workload(&schema);
+//! assert_eq!(workload.metric, PerfMetric::ResponseTime);
+//! assert_eq!(workload.queries.len(), tpch::SUBSET_TEMPLATES.len());
+//! workload.validate(&schema).expect("templates fit the schema");
+//!
+//! // SLA ratio 0.5: every query may be at most 2x slower than all-premium.
+//! let sla = SlaSpec::relative(0.5);
+//! assert_eq!(sla.response_cap_ms(120.0), 240.0);
+//! ```
+//!
+//! Drift a workload and hand both phases to a re-provisioning planner:
+//!
+//! ```
+//! use dot_workloads::{drift, tpcc, PerfMetric};
+//!
+//! let schema = tpcc::schema(2.0); // 2 warehouses
+//! let before = drift::analytical_phase(&schema); // scan-heavy reporting
+//! let after = tpcc::workload(&schema);           // the OLTP phase
+//! assert_eq!(before.metric, PerfMetric::ResponseTime);
+//! assert_eq!(after.metric, PerfMetric::Throughput);
+//!
+//! // Or perturb one workload in place: +40% toward writes, 3x demand.
+//! let drifted = drift::scale_throughput(&drift::shift_read_write(&after, 0.4), 3.0);
+//! assert_eq!(drifted.concurrency, 3 * after.concurrency);
+//! drifted.validate(&schema).expect("drifted workloads stay valid");
+//! ```
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod drift;
 pub mod spec;
 pub mod synth;
 pub mod tpcc;

@@ -1,0 +1,99 @@
+//! Re-provisioning under drift: provision for an analytical phase, let the
+//! workload flip to its transactional phase, and plan the migration.
+//!
+//! A TPC-C-shaped database spends the day serving reporting scans
+//! (response-time SLA, cheap sequential devices win) and the night running
+//! the OLTP mix (throughput SLA, random writes demand premium devices).
+//! DOT provisions the day layout; `Advisor::replan` then answers the
+//! operational question the optimizer alone cannot: is migrating to the
+//! night layout worth the data movement, and in what order should the
+//! object groups move under a migration budget?
+//!
+//! Run with: `cargo run --release --example workload_drift`
+
+use dot_core::advisor::Advisor;
+use dot_core::replan::{MigrationBudget, MigrationDecision};
+use dot_storage::catalog;
+use dot_workloads::{drift, tpcc};
+
+fn main() {
+    let schema = tpcc::schema(4.0);
+    let pool = catalog::box2();
+
+    // Phase 1: the analytical day shift — full-table reporting scans.
+    let day = drift::analytical_phase(&schema);
+    let day_advisor = Advisor::builder(&schema, &pool, &day)
+        .sla(0.5)
+        .build()
+        .expect("day session");
+    let deployed = day_advisor.recommend("dot").expect("day layout");
+    println!("day (analytical) layout — {:?}:", day.name);
+    for (object, class) in deployed.placements.iter().take(5) {
+        println!("    {object:<24} -> {class}");
+    }
+    println!(
+        "    ... {:.4} cents/hour\n",
+        deployed.estimate.layout_cost_cents_per_hour
+    );
+
+    // Phase 2: the workload drifts to the TPC-C transaction mix.
+    let night = tpcc::workload(&schema);
+    let night_advisor = Advisor::builder(&schema, &pool, &night)
+        .sla(0.5)
+        .build()
+        .expect("night session");
+    let rec = night_advisor
+        .replan(&deployed.layout)
+        .expect("replan succeeds");
+
+    println!(
+        "night (transactional) drift — deployed layout is {}:",
+        if rec.current_feasible {
+            "still feasible"
+        } else {
+            "SLA-violating"
+        }
+    );
+    println!(
+        "    migrate {} object groups, {:.2} GB in {:.0} s for {:.3e} cents",
+        rec.plan.steps.len(),
+        rec.plan.total_bytes / 1e9,
+        rec.plan.total_seconds,
+        rec.plan.total_cents,
+    );
+    println!(
+        "    saves {:.3e} cents/hour -> break-even in {:.3e} h",
+        rec.plan.savings_cents_per_hour, rec.plan.break_even_hours,
+    );
+
+    // The unbounded plan lands exactly on the fresh recommendation.
+    let fresh = night_advisor.recommend("dot").expect("fresh rec");
+    assert_eq!(rec.plan.final_layout, fresh.layout);
+    assert_eq!(rec.plan.decision, MigrationDecision::Migrate);
+    assert!(
+        !rec.current_feasible,
+        "the day layout cannot hold the OLTP floor"
+    );
+    assert!(rec.plan.break_even_hours > 0.0 && rec.plan.break_even_hours.is_finite());
+
+    // A migration window caps the movement; the plan defers what won't fit.
+    let budget = MigrationBudget::unbounded().with_max_bytes(rec.plan.total_bytes * 0.5);
+    let capped = night_advisor
+        .replan_with(&deployed.layout, "dot", &budget)
+        .expect("budgeted replan");
+    println!(
+        "\nunder a {:.2} GB budget: {} moves taken, decision {:?}",
+        rec.plan.total_bytes * 0.5 / 1e9,
+        capped.plan.steps.len(),
+        capped.plan.decision,
+    );
+    assert!(capped.plan.total_bytes <= rec.plan.total_bytes * 0.5);
+
+    // And a zero budget is always the identity plan.
+    let frozen = night_advisor
+        .replan_with(&deployed.layout, "dot", &MigrationBudget::zero())
+        .expect("zero-budget replan");
+    assert!(frozen.plan.steps.is_empty());
+    assert_eq!(frozen.plan.final_layout, deployed.layout);
+    println!("zero budget: stay on the deployed layout (identity plan)");
+}

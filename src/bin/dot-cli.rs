@@ -10,8 +10,24 @@
 //! dot-cli fleet     <manifest.json>    batch-provision N tenant databases
 //!         [--solver <id>]              default solver for tenants naming none
 //!         [--json]                     emit the serialized FleetReport
+//! dot-cli replan    <problem.json>     plan a migration for a drifted workload
+//!         --current <layout.json>      the deployed layout (or a saved
+//!                                      `provision --json` recommendation)
+//!         [--solver <id>]              target solver (default "dot")
+//!         [--budget-bytes <n>]         data-movement ceiling in bytes
+//!         [--budget-seconds <n>]       wall-clock ceiling in seconds
+//!         [--budget-cents <n>]         migration-spend ceiling in cents
+//!         [--json]                     emit the serialized ReplanRecommendation
 //! dot-cli explain   <problem.json>     show premium-layout plans and I/O
 //! ```
+//!
+//! `replan` reads the *drifted* problem (same format as `provision`) plus
+//! the layout the database is deployed on today, and answers with an
+//! ordered migration plan: per-move data movement, transfer time from the
+//! device models, double-residency migration cost, and the break-even
+//! horizon — or a `stay`/`unchanged` verdict when migrating is not worth
+//! the movement. Unknown keys in problem files and fleet manifests are
+//! rejected as invalid requests rather than silently ignored.
 //!
 //! A problem file names a storage pool (built-in or inline JSON), a database
 //! (preset like `"tpch:20:original"`, `"tpcc:300"`, `"ycsb:10000000:A"`, or
@@ -43,7 +59,8 @@
 
 use dot_core::advisor::{presets, Advisor, ProvisionError, Recommendation};
 use dot_core::fleet::{self, FleetConfig, FleetReport, TenantRequest};
-use dot_dbms::{explain, planner, EngineConfig, Schema};
+use dot_core::replan::{MigrationBudget, MigrationDecision, ReplanRecommendation};
+use dot_dbms::{explain, planner, EngineConfig, Layout, Schema};
 use dot_storage::StoragePool;
 use dot_workloads::Workload;
 use serde::Deserialize;
@@ -58,6 +75,41 @@ struct ProblemFile {
     engine: Option<String>,
     #[serde(default)]
     refinements: Option<usize>,
+}
+
+/// The keys a problem file / fleet tenant entry / fleet manifest accepts.
+/// The vendored serde derive ignores unknown keys, so the loaders check
+/// them explicitly: a typo'd or unsupported key is an invalid request, not
+/// a silently-dropped setting.
+const PROBLEM_KEYS: [&str; 5] = ["pool", "database", "sla", "engine", "refinements"];
+const TENANT_KEYS: [&str; 7] = [
+    "name",
+    "pool",
+    "database",
+    "sla",
+    "solver",
+    "engine",
+    "refinements",
+];
+const MANIFEST_KEYS: [&str; 3] = ["workers", "cache_capacity", "tenants"];
+
+/// Reject unknown keys at one level of a parsed JSON object (nested
+/// structures — inline pools, schemas — validate through their own types).
+fn check_keys(value: &serde::Value, allowed: &[&str], context: &str) -> Result<(), ProvisionError> {
+    let Some(entries) = value.as_object() else {
+        return Ok(()); // a shape error surfaces from the typed parse
+    };
+    for (key, _) in entries {
+        if !allowed.contains(&key.as_str()) {
+            return Err(ProvisionError::InvalidRequest {
+                reason: format!(
+                    "{context}: unknown key {key:?} (known: {})",
+                    allowed.join(", ")
+                ),
+            });
+        }
+    }
+    Ok(())
 }
 
 #[derive(Deserialize)]
@@ -88,10 +140,14 @@ fn load(path: &str) -> Result<Request, ProvisionError> {
     let text = std::fs::read_to_string(path).map_err(|e| ProvisionError::InvalidRequest {
         reason: format!("read {path}: {e}"),
     })?;
-    let file: ProblemFile =
+    let value: serde::Value =
         serde_json::from_str(&text).map_err(|e| ProvisionError::InvalidRequest {
             reason: format!("parse {path}: {e}"),
         })?;
+    check_keys(&value, &PROBLEM_KEYS, path)?;
+    let file = ProblemFile::from_value(&value).map_err(|e| ProvisionError::InvalidRequest {
+        reason: format!("parse {path}: {e}"),
+    })?;
     ProvisionError::check_sla(file.sla, "")?;
     let pool = match file.pool {
         PoolSpec::Custom(pool) => pool,
@@ -140,8 +196,22 @@ fn load_fleet(path: &str) -> Result<(Vec<TenantRequest>, FleetConfig), Provision
     let text = std::fs::read_to_string(path).map_err(|e| ProvisionError::InvalidRequest {
         reason: format!("read {path}: {e}"),
     })?;
-    let manifest: FleetManifest =
+    let value: serde::Value =
         serde_json::from_str(&text).map_err(|e| ProvisionError::InvalidRequest {
+            reason: format!("parse {path}: {e}"),
+        })?;
+    check_keys(&value, &MANIFEST_KEYS, path)?;
+    if let Some(entries) = value.as_object() {
+        if let Some((_, serde::Value::Array(tenants))) =
+            entries.iter().find(|(k, _)| k == "tenants")
+        {
+            for (i, tenant) in tenants.iter().enumerate() {
+                check_keys(tenant, &TENANT_KEYS, &format!("{path}: tenant {i}"))?;
+            }
+        }
+    }
+    let manifest =
+        FleetManifest::from_value(&value).map_err(|e| ProvisionError::InvalidRequest {
             reason: format!("parse {path}: {e}"),
         })?;
     if manifest.tenants.is_empty() {
@@ -358,6 +428,135 @@ fn print_report(req: &Request, advisor: &Advisor<'_>, rec: &Recommendation) {
     }
 }
 
+/// Load a deployed layout: either a bare serialized `Layout`, or any JSON
+/// object carrying a `"layout"` key — so `provision --json` output files
+/// work directly as `--current` inputs.
+fn load_layout(path: &str) -> Result<Layout, ProvisionError> {
+    let text = std::fs::read_to_string(path).map_err(|e| ProvisionError::InvalidRequest {
+        reason: format!("read {path}: {e}"),
+    })?;
+    let value: serde::Value =
+        serde_json::from_str(&text).map_err(|e| ProvisionError::InvalidRequest {
+            reason: format!("parse {path}: {e}"),
+        })?;
+    let nested = value
+        .as_object()
+        .and_then(|entries| entries.iter().find(|(k, _)| k == "layout"))
+        .map(|(_, v)| v);
+    Layout::from_value(nested.unwrap_or(&value)).map_err(|e| ProvisionError::InvalidRequest {
+        reason: format!("{path}: neither a Layout nor a Recommendation: {e}"),
+    })
+}
+
+fn cmd_replan(
+    path: &str,
+    current_path: &str,
+    solver: &str,
+    budget: &MigrationBudget,
+    json: bool,
+) -> Result<(), ProvisionError> {
+    let req = load(path)?;
+    let current = load_layout(current_path)?;
+    let advisor = Advisor::builder(&req.schema, &req.pool, &req.workload)
+        .sla(req.sla)
+        .engine(req.engine)
+        .refinements(req.refinements)
+        .build()?;
+    let rec = advisor.replan_with(&current, solver, budget)?;
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rec).map_err(|e| ProvisionError::InvalidRequest {
+                reason: format!("serialize replan recommendation: {e}"),
+            })?
+        );
+        return Ok(());
+    }
+    print_replan_report(&req, &advisor, &rec);
+    Ok(())
+}
+
+fn print_replan_report(req: &Request, advisor: &Advisor<'_>, rec: &ReplanRecommendation) {
+    let pool = &req.pool;
+    println!(
+        "drifted workload {:?} on pool {}; relative SLA {}; target solver {}",
+        req.workload.name,
+        pool.name(),
+        req.sla,
+        rec.target.provenance.solver,
+    );
+    println!(
+        "deployed layout: {:.4} cents/hour, {} under the drifted constraints",
+        rec.current_estimate.layout_cost_cents_per_hour,
+        if rec.current_feasible {
+            "still feasible"
+        } else {
+            "SLA-VIOLATING"
+        },
+    );
+    match &rec.plan.decision {
+        MigrationDecision::Unchanged => {
+            println!("\nverdict: unchanged — the drifted workload recommends the deployed layout");
+            return;
+        }
+        MigrationDecision::Stay => {
+            println!(
+                "\nverdict: stay — migration cannot repay its bill under this budget \
+                 (target layout: {:.4} cents/hour)",
+                rec.target.estimate.layout_cost_cents_per_hour
+            );
+            return;
+        }
+        MigrationDecision::Migrate => {
+            println!("\nverdict: migrate ({} moves)", rec.plan.steps.len())
+        }
+        MigrationDecision::Partial { deferred_moves } => println!(
+            "\nverdict: partial migration ({} moves, {} deferred by the budget)",
+            rec.plan.steps.len(),
+            deferred_moves
+        ),
+    }
+    let schema = &req.schema;
+    for step in &rec.plan.steps {
+        for ((&obj, &src), &dst) in step
+            .mv
+            .objects
+            .iter()
+            .zip(&step.from)
+            .zip(&step.mv.placement)
+        {
+            if src == dst {
+                continue;
+            }
+            println!(
+                "    {:<28} {:<14} -> {:<14} {:>9.2} GB",
+                schema.object(obj).name,
+                pool.class_unchecked(src).name,
+                pool.class_unchecked(dst).name,
+                schema.object(obj).size_gb,
+            );
+        }
+    }
+    println!(
+        "\nmigration: {:.2} GB moved in {:.0} s for {:.3e} cents; \
+         saves {:.3e} cents/hour; break-even in {:.3e} h",
+        rec.plan.total_bytes / 1e9,
+        rec.plan.total_seconds,
+        rec.plan.total_cents,
+        rec.plan.savings_cents_per_hour,
+        rec.plan.break_even_hours,
+    );
+    let premium = advisor.evaluate_layout("premium", &advisor.problem().premium_layout());
+    println!(
+        "final layout {:.4} cents/hour (target: {:.4}, all-premium: {:.4})",
+        advisor
+            .problem()
+            .layout_cost_cents_per_hour(&rec.plan.final_layout),
+        rec.target.estimate.layout_cost_cents_per_hour,
+        premium.layout_cost_cents_per_hour,
+    );
+}
+
 fn cmd_explain(path: &str) -> Result<(), ProvisionError> {
     let req = load(path)?;
     let layout = dot_dbms::Layout::uniform(req.pool.most_expensive(), req.schema.object_count());
@@ -393,19 +592,59 @@ fn exit_code(err: &ProvisionError) -> u8 {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: dot-cli <catalog|solvers|provision|fleet|explain> [args]\n\
+        "usage: dot-cli <catalog|solvers|provision|fleet|replan|explain> [args]\n\
          \n\
          dot-cli catalog\n\
          dot-cli solvers\n\
          dot-cli provision <problem.json> [--solver <id>] [--json]\n\
          dot-cli fleet <manifest.json> [--solver <id>] [--json]\n\
+         dot-cli replan <problem.json> --current <layout.json> [--solver <id>]\n\
+         \x20               [--budget-bytes <n>] [--budget-seconds <n>] [--budget-cents <n>] [--json]\n\
          dot-cli explain <problem.json>"
     );
     ExitCode::FAILURE
 }
 
+/// Every accepted flag, with whether it consumes the next argument. A
+/// typo'd flag (`--budget-byte`, `--slover`) is a usage error naming it —
+/// never silently ignored, matching the unknown-key policy of the JSON
+/// loaders.
+const KNOWN_FLAGS: [(&str, bool); 6] = [
+    ("--json", false),
+    ("--solver", true),
+    ("--current", true),
+    ("--budget-bytes", true),
+    ("--budget-seconds", true),
+    ("--budget-cents", true),
+];
+
+fn reject_unknown_flags(args: &[String]) -> Result<(), ExitCode> {
+    let mut i = 1; // skip argv[0]
+    while i < args.len() {
+        let arg = &args[i];
+        if arg.starts_with("--") {
+            match KNOWN_FLAGS.iter().find(|(flag, _)| flag == arg) {
+                Some((_, takes_value)) => i += 1 + usize::from(*takes_value),
+                None => {
+                    eprintln!(
+                        "error: unknown flag {arg:?} (known: {})",
+                        KNOWN_FLAGS.map(|(f, _)| f).join(", ")
+                    );
+                    return Err(ExitCode::FAILURE);
+                }
+            }
+        } else {
+            i += 1;
+        }
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
+    if let Err(code) = reject_unknown_flags(&args) {
+        return code;
+    }
     let json = args.iter().any(|a| a == "--json");
     // `provision` defaults a missing flag to "dot"; `fleet` keeps the
     // distinction so the manifest's per-tenant solvers are only overridden
@@ -420,6 +659,45 @@ fn main() -> ExitCode {
         },
         None => None,
     };
+    // `replan`-only flags: the deployed layout and the migration budget.
+    let value_flag = |flag: &str| -> Result<Option<String>, ExitCode> {
+        match args.iter().position(|a| a == flag) {
+            Some(i) => match args.get(i + 1) {
+                Some(v) => Ok(Some(v.clone())),
+                None => {
+                    eprintln!("error: {flag} needs a value");
+                    Err(ExitCode::FAILURE)
+                }
+            },
+            None => Ok(None),
+        }
+    };
+    let current_flag = match value_flag("--current") {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
+    let mut budget = MigrationBudget::unbounded();
+    for (flag, slot) in [
+        ("--budget-bytes", 0usize),
+        ("--budget-seconds", 1),
+        ("--budget-cents", 2),
+    ] {
+        let raw = match value_flag(flag) {
+            Ok(v) => v,
+            Err(code) => return code,
+        };
+        if let Some(raw) = raw {
+            let Ok(v) = raw.parse::<f64>() else {
+                eprintln!("error: {flag} needs a number, got {raw:?}");
+                return ExitCode::FAILURE;
+            };
+            match slot {
+                0 => budget.max_bytes = Some(v),
+                1 => budget.max_seconds = Some(v),
+                _ => budget.max_cents = Some(v),
+            }
+        }
+    }
     let result = match args.get(1).map(String::as_str) {
         Some("catalog") => {
             cmd_catalog();
@@ -436,6 +714,19 @@ fn main() -> ExitCode {
         Some("fleet") => match args.get(2).filter(|a| !a.starts_with("--")) {
             Some(path) => cmd_fleet(path, solver_flag.as_deref(), json),
             None => return usage(),
+        },
+        Some("replan") => match (args.get(2).filter(|a| !a.starts_with("--")), &current_flag) {
+            (Some(path), Some(current)) => cmd_replan(
+                path,
+                current,
+                solver_flag.as_deref().unwrap_or("dot"),
+                &budget,
+                json,
+            ),
+            _ => {
+                eprintln!("error: replan needs a drifted problem file and --current <layout.json>");
+                return usage();
+            }
         },
         Some("explain") => match args.get(2) {
             Some(path) => cmd_explain(path),

@@ -1,0 +1,170 @@
+//! Markdown link check over `README.md` and `docs/`: every relative link
+//! must resolve to a file in the repo, and every `#anchor` into a markdown
+//! file must match a heading there — so `docs/PAPER_MAP.md` (and anything
+//! linking into it) can never dangle. The CI docs job runs exactly this
+//! test (`cargo test --test docs_links`).
+
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// The markdown files under check: README.md plus everything in docs/.
+fn doc_files() -> Vec<PathBuf> {
+    let root = repo_root();
+    let mut files = vec![root.join("README.md")];
+    if let Ok(entries) = std::fs::read_dir(root.join("docs")) {
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "md") {
+                files.push(path);
+            }
+        }
+    }
+    assert!(
+        files.iter().any(|f| f.ends_with("docs/PAPER_MAP.md")),
+        "docs/PAPER_MAP.md must exist (the README links to it)"
+    );
+    files
+}
+
+/// Extract `[text](target)` link targets, skipping fenced code blocks.
+fn link_targets(markdown: &str) -> Vec<String> {
+    let mut targets = Vec::new();
+    let mut in_fence = false;
+    for line in markdown.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            if bytes[i] == b']' && i + 1 < bytes.len() && bytes[i + 1] == b'(' {
+                let start = i + 2;
+                if let Some(len) = line[start..].find(')') {
+                    targets.push(line[start..start + len].to_string());
+                    i = start + len;
+                }
+            }
+            i += 1;
+        }
+    }
+    targets
+}
+
+/// GitHub-style anchor slug of a heading: lowercase, spaces to dashes,
+/// punctuation dropped.
+fn slug(heading: &str) -> String {
+    heading
+        .trim()
+        .chars()
+        .filter_map(|c| {
+            if c.is_alphanumeric() {
+                Some(c.to_ascii_lowercase())
+            } else if c == ' ' || c == '-' {
+                Some('-')
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// All heading anchors of a markdown file.
+fn anchors(markdown: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_fence = false;
+    for line in markdown.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if !in_fence && line.starts_with('#') {
+            out.push(slug(line.trim_start_matches('#')));
+        }
+    }
+    out
+}
+
+#[test]
+fn relative_links_and_anchors_resolve() {
+    let root = repo_root();
+    let mut failures = Vec::new();
+    for file in doc_files() {
+        let text = std::fs::read_to_string(&file).expect("read markdown");
+        let dir = file.parent().unwrap_or(Path::new("."));
+        for target in link_targets(&text) {
+            // External links and mailto are out of scope (offline check).
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+            {
+                continue;
+            }
+            let (path_part, anchor) = match target.split_once('#') {
+                Some((p, a)) => (p, Some(a)),
+                None => (target.as_str(), None),
+            };
+            let resolved = if path_part.is_empty() {
+                file.clone() // pure #anchor into the same file
+            } else {
+                dir.join(path_part)
+            };
+            if !resolved.exists() {
+                failures.push(format!(
+                    "{}: dangling link target {target:?}",
+                    file.strip_prefix(&root).unwrap_or(&file).display()
+                ));
+                continue;
+            }
+            if let Some(anchor) = anchor {
+                if resolved.extension().is_some_and(|e| e == "md") {
+                    let linked = std::fs::read_to_string(&resolved).expect("read linked markdown");
+                    if !anchors(&linked).iter().any(|a| a == anchor) {
+                        failures.push(format!(
+                            "{}: dangling anchor {target:?} (no heading slug {anchor:?} in {})",
+                            file.strip_prefix(&root).unwrap_or(&file).display(),
+                            resolved.strip_prefix(&root).unwrap_or(&resolved).display()
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "dangling links:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn paper_map_names_real_modules_and_tests() {
+    // Every repo-relative code path the paper map cites must exist, so the
+    // map cannot silently rot as modules move.
+    let root = repo_root();
+    let text = std::fs::read_to_string(root.join("docs/PAPER_MAP.md")).expect("read paper map");
+    let mut missing = Vec::new();
+    for raw in text.split('`') {
+        let candidate = raw.trim();
+        if (candidate.starts_with("crates/") || candidate.starts_with("tests/"))
+            && !candidate.contains(' ')
+            && std::path::Path::new(candidate)
+                .extension()
+                .is_some_and(|e| e == "rs")
+            && !root.join(candidate).exists()
+        {
+            missing.push(candidate.to_string());
+        }
+    }
+    assert!(
+        missing.is_empty(),
+        "PAPER_MAP.md cites nonexistent paths:\n{}",
+        missing.join("\n")
+    );
+}

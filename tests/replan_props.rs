@@ -1,0 +1,193 @@
+//! Property-based tests over the re-provisioning planner: for randomly
+//! generated schemas, drifts, deployed layouts, and budgets,
+//!
+//! * **conservation** — the per-move TOC deltas of any plan sum exactly to
+//!   the TOC-rate delta between the deployed and final layouts (the
+//!   telescoping contract that makes plan arithmetic trustworthy);
+//! * a **zero-budget** replan is always the identity plan;
+//! * every set budget ceiling is honored;
+//! * non-empty plans have strictly positive savings and a finite positive
+//!   break-even horizon; empty plans report a zero horizon.
+
+use dot_core::advisor::Advisor;
+use dot_core::replan::{toc_rate_cents_per_hour, MigrationBudget, MigrationDecision};
+use dot_dbms::query::{QuerySpec, ReadOp, Rel, ScanSpec};
+use dot_dbms::{Layout, SchemaBuilder};
+use dot_storage::{catalog, ClassId};
+use dot_workloads::{drift, synth, Workload};
+use proptest::prelude::*;
+
+/// Random schema of 1–3 tables (each with a primary index and an optional
+/// secondary), so plans have several object groups to order.
+fn arb_schema() -> impl Strategy<Value = dot_dbms::Schema> {
+    proptest::collection::vec(
+        (
+            10_000.0..2_000_000.0f64, // rows
+            40.0..300.0f64,           // row bytes
+            proptest::bool::ANY,      // secondary index?
+        ),
+        1..4,
+    )
+    .prop_map(|tables| {
+        let mut b = SchemaBuilder::new("drift-prop");
+        for (i, (rows, bytes, secondary)) in tables.into_iter().enumerate() {
+            b = b.table(&format!("t{i}"), rows, bytes).primary_index(8.0);
+            if secondary {
+                b = b.index(&format!("t{i}_sec"), 8.0);
+            }
+        }
+        b.build()
+    })
+}
+
+/// A mixed read/write workload over every table, so read/write shifts have
+/// something to act on.
+fn workload_for(schema: &dot_dbms::Schema) -> Workload {
+    let mut queries: Vec<QuerySpec> = Vec::new();
+    for t in schema.tables() {
+        let pk = schema.primary_index_of(t.id).expect("pk").id;
+        queries.push(QuerySpec::read(
+            &format!("scan_{}", t.name),
+            ReadOp::of(Rel::Scan(ScanSpec::full(t.id))),
+        ));
+        queries.push(QuerySpec::read(
+            &format!("probe_{}", t.name),
+            ReadOp::of(Rel::Scan(ScanSpec::indexed(t.id, 0.001, pk))),
+        ));
+    }
+    // One write stream borrowed from the synth shapes: update-by-key.
+    let first = schema.tables()[0].id;
+    let pk = schema.primary_index_of(first).expect("pk").id;
+    queries.push(QuerySpec::transaction(
+        "upd",
+        vec![dot_dbms::query::Op::Update(dot_dbms::query::UpdateOp {
+            table: first,
+            rows: 200.0,
+            via: Some(pk),
+            updates_indexed_key: false,
+        })],
+    ));
+    Workload::dss("drift-prop", queries)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Conservation: Σ per-move TOC deltas == rate(final) − rate(current),
+    /// for any schema, drift, deployed layout, and byte budget.
+    #[test]
+    fn toc_deltas_conserve(
+        schema in arb_schema(),
+        shift in -0.6..0.6f64,
+        scale in 0.5..2.0f64,
+        seed_assignment in proptest::collection::vec(0usize..3, 12),
+        budget_fraction in 0.0..1.5f64,
+    ) {
+        let pool = catalog::box2();
+        let base = workload_for(&schema);
+        let drifted = drift::scale_throughput(&drift::shift_read_write(&base, shift), scale);
+        let current = Layout::from_assignment(
+            (0..schema.object_count())
+                .map(|i| ClassId(seed_assignment[i % seed_assignment.len()]))
+                .collect(),
+        );
+        let advisor = Advisor::builder(&schema, &pool, &drifted)
+            .sla(0.25)
+            .build()
+            .expect("session");
+        let unbounded = advisor.replan(&current).expect("replan");
+        let cap = unbounded.plan.total_bytes * budget_fraction;
+        let budget = MigrationBudget::unbounded().with_max_bytes(cap);
+        let rec = advisor.replan_with(&current, "dot", &budget).expect("budgeted replan");
+
+        // Conservation, telescoping over the plan's own steps.
+        let sum: f64 = rec.plan.steps.iter().map(|s| s.toc_delta_cents_per_hour).sum();
+        let end_to_end =
+            toc_rate_cents_per_hour(&advisor.context().estimate(&rec.plan.final_layout))
+                - toc_rate_cents_per_hour(&rec.current_estimate);
+        prop_assert!(
+            (sum - end_to_end).abs() <= 1e-9 * end_to_end.abs().max(1.0),
+            "Σ deltas {} != end-to-end {}", sum, end_to_end
+        );
+
+        // The byte ceiling is honored.
+        prop_assert!(rec.plan.total_bytes <= cap + 1e-6, "{} > {}", rec.plan.total_bytes, cap);
+
+        // Break-even contract.
+        if rec.plan.steps.is_empty() {
+            prop_assert_eq!(rec.plan.break_even_hours, 0.0);
+            prop_assert_eq!(rec.plan.final_layout.assignment(), current.assignment());
+        } else {
+            prop_assert!(rec.plan.savings_cents_per_hour > 0.0);
+            prop_assert!(
+                rec.plan.break_even_hours > 0.0 && rec.plan.break_even_hours.is_finite(),
+                "break-even {}", rec.plan.break_even_hours
+            );
+        }
+    }
+
+    /// A zero-budget replan is always the identity plan, whatever the
+    /// deployed layout or drift.
+    #[test]
+    fn zero_budget_is_identity(
+        schema in arb_schema(),
+        shift in -0.6..0.6f64,
+        current_seed in proptest::collection::vec(0usize..3, 12),
+    ) {
+        let pool = catalog::box2();
+        let drifted = drift::shift_read_write(&workload_for(&schema), shift);
+        let current = Layout::from_assignment(
+            (0..schema.object_count())
+                .map(|i| ClassId(current_seed[i % current_seed.len()]))
+                .collect(),
+        );
+        let advisor = Advisor::builder(&schema, &pool, &drifted)
+            .sla(0.25)
+            .build()
+            .expect("session");
+        let rec = advisor
+            .replan_with(&current, "dot", &MigrationBudget::zero())
+            .expect("zero-budget replan");
+        prop_assert!(rec.plan.steps.is_empty());
+        prop_assert_eq!(rec.plan.final_layout.assignment(), current.assignment());
+        prop_assert_eq!(rec.plan.total_bytes, 0.0);
+        prop_assert_eq!(rec.plan.total_cents, 0.0);
+        prop_assert_eq!(rec.plan.break_even_hours, 0.0);
+        prop_assert!(matches!(
+            rec.plan.decision,
+            MigrationDecision::Stay | MigrationDecision::Unchanged
+        ));
+    }
+}
+
+/// Deterministic spot-check kept outside proptest: the synthetic
+/// mixed-workload scenario exercises the exact conservation identity at
+/// full precision on a layout the optimizer itself produced.
+#[test]
+fn conservation_holds_on_an_optimizer_produced_layout() {
+    let schema = synth::bench_schema(2_000_000.0, 120.0);
+    let pool = catalog::box2();
+    let before = synth::mixed_workload(&schema);
+    let current = Advisor::builder(&schema, &pool, &before)
+        .sla(0.25)
+        .build()
+        .unwrap()
+        .recommend("dot")
+        .unwrap()
+        .layout;
+    let after = drift::shift_read_write(&before, -0.5);
+    let advisor = Advisor::builder(&schema, &pool, &after)
+        .sla(0.25)
+        .build()
+        .unwrap();
+    let rec = advisor.replan(&current).unwrap();
+    let sum: f64 = rec
+        .plan
+        .steps
+        .iter()
+        .map(|s| s.toc_delta_cents_per_hour)
+        .sum();
+    let end_to_end = toc_rate_cents_per_hour(&advisor.context().estimate(&rec.plan.final_layout))
+        - toc_rate_cents_per_hour(&rec.current_estimate);
+    assert!((sum - end_to_end).abs() < 1e-12);
+}

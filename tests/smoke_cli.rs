@@ -380,6 +380,198 @@ fn fleet_per_tenant_failures_do_not_fail_the_batch() {
 }
 
 #[test]
+fn fleet_unknown_manifest_keys_are_rejected_not_ignored() {
+    // A typo'd manifest key used to be silently dropped (the vendored
+    // serde derive ignores unknown fields); it must be a typed invalid
+    // request naming the key, at every manifest level.
+    for (name, manifest, bad_key) in [
+        (
+            "fleet_key_top.json",
+            r#"{ "workres": 4, "tenants": [
+                { "pool": "box2", "database": "tpch-subset:1", "sla": 0.5 } ] }"#,
+            "workres",
+        ),
+        (
+            "fleet_key_tenant.json",
+            r#"{ "tenants": [
+                { "pool": "box2", "database": "tpch-subset:1", "sla": 0.5,
+                  "refinments": 2 } ] }"#,
+            "refinments",
+        ),
+    ] {
+        let path = problem_file(name, manifest);
+        let out = cli().arg("fleet").arg(&path).output().expect("run dot-cli");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{name}: stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains(bad_key) && err.contains("unknown key"),
+            "{name}: error must name the key: {err}"
+        );
+    }
+    // Problem files behave the same way.
+    let err = provision_fails(
+        "problem_key.json",
+        r#"{ "pool": "box2", "database": "tpch-subset:1", "sla": 0.5, "solvr": "dot" }"#,
+        &[],
+        2,
+    );
+    assert!(
+        err.contains("solvr") && err.contains("unknown key"),
+        "{err}"
+    );
+}
+
+const LOOSE_OLTP_PROBLEM: &str = r#"{ "pool": "box2", "database": "tpcc:2", "sla": 0.05 }"#;
+
+/// Provision `problem`, write the JSON recommendation next to it, and
+/// return the recommendation file's path (the `--current` input).
+fn provisioned_layout(name: &str, problem: &str) -> PathBuf {
+    let problem_path = problem_file(name, problem);
+    let out = cli()
+        .arg("provision")
+        .arg(&problem_path)
+        .arg("--json")
+        .output()
+        .expect("run dot-cli");
+    let text = stdout_of(&out);
+    let layout_path = problem_file(&format!("{name}.layout.json"), &text);
+    layout_path
+}
+
+#[test]
+fn replan_unchanged_workload_says_so() {
+    let current = provisioned_layout("replan_same.json", DSS_PROBLEM);
+    let problem = problem_file("replan_same2.json", DSS_PROBLEM);
+    let out = cli()
+        .arg("replan")
+        .arg(&problem)
+        .args(["--current", current.to_str().unwrap()])
+        .output()
+        .expect("run dot-cli");
+    let text = stdout_of(&out);
+    assert!(
+        text.contains("unchanged"),
+        "no unchanged verdict in:\n{text}"
+    );
+}
+
+#[test]
+fn replan_drifted_problem_emits_a_migration_plan() {
+    // Deploy the loose-SLA (cheap) layout, then drift to the tight SLA:
+    // the deployed layout violates the drifted floor and must migrate.
+    let current = provisioned_layout("replan_loose.json", LOOSE_OLTP_PROBLEM);
+    let drifted = problem_file("replan_tight.json", OLTP_PROBLEM);
+    let out = cli()
+        .arg("replan")
+        .arg(&drifted)
+        .args(["--current", current.to_str().unwrap()])
+        .output()
+        .expect("run dot-cli");
+    let text = stdout_of(&out);
+    for expected in ["verdict: migrate", "migration:", "break-even"] {
+        assert!(text.contains(expected), "missing {expected:?} in:\n{text}");
+    }
+
+    // --json emits the full serializable ReplanRecommendation.
+    let out = cli()
+        .arg("replan")
+        .arg(&drifted)
+        .args(["--current", current.to_str().unwrap(), "--json"])
+        .output()
+        .expect("run dot-cli");
+    let text = stdout_of(&out);
+    let rec: dot_core::replan::ReplanRecommendation =
+        serde_json::from_str(&text).expect("replan recommendation deserializes");
+    assert!(!rec.plan.steps.is_empty());
+    assert!(!rec.current_feasible);
+    assert!(rec.plan.break_even_hours > 0.0 && rec.plan.break_even_hours.is_finite());
+    assert_eq!(rec.plan.final_layout, rec.target.layout);
+
+    // A zero byte budget is the identity plan.
+    let out = cli()
+        .arg("replan")
+        .arg(&drifted)
+        .args([
+            "--current",
+            current.to_str().unwrap(),
+            "--budget-bytes",
+            "0",
+        ])
+        .output()
+        .expect("run dot-cli");
+    let text = stdout_of(&out);
+    assert!(
+        text.contains("verdict: stay"),
+        "no stay verdict in:\n{text}"
+    );
+}
+
+#[test]
+fn replan_usage_and_malformed_inputs_fail_with_typed_codes() {
+    // Missing --current is a usage error.
+    let problem = problem_file("replan_usage.json", OLTP_PROBLEM);
+    let out = cli()
+        .arg("replan")
+        .arg(&problem)
+        .output()
+        .expect("run dot-cli");
+    assert_eq!(out.status.code(), Some(1));
+
+    // A layout file that is neither a Layout nor a Recommendation is an
+    // invalid request (exit 2) naming the file.
+    let bogus = problem_file("replan_bogus_layout.json", r#"{ "not": "a layout" }"#);
+    let out = cli()
+        .arg("replan")
+        .arg(&problem)
+        .args(["--current", bogus.to_str().unwrap()])
+        .output()
+        .expect("run dot-cli");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("replan_bogus_layout"), "{err}");
+
+    // A non-numeric budget is a usage error before any work happens.
+    let current = provisioned_layout("replan_budget_usage.json", OLTP_PROBLEM);
+    let out = cli()
+        .arg("replan")
+        .arg(&problem)
+        .args([
+            "--current",
+            current.to_str().unwrap(),
+            "--budget-cents",
+            "lots",
+        ])
+        .output()
+        .expect("run dot-cli");
+    assert_eq!(out.status.code(), Some(1));
+
+    // A typo'd flag is a usage error naming it — never silently ignored
+    // (a dropped --budget-byte would otherwise run an unbudgeted plan).
+    let out = cli()
+        .arg("replan")
+        .arg(&problem)
+        .args([
+            "--current",
+            current.to_str().unwrap(),
+            "--budget-byte",
+            "100",
+        ])
+        .output()
+        .expect("run dot-cli");
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("--budget-byte") && err.contains("unknown flag"),
+        "{err}"
+    );
+}
+
+#[test]
 fn explain_prints_plans_for_the_premium_layout() {
     let path = problem_file("explain.json", DSS_PROBLEM);
     let out = cli()

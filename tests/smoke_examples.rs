@@ -71,3 +71,11 @@ fn fleet_provisioning_runs() {
     );
     assert!(text.contains("hit rate"), "output:\n{text}");
 }
+
+#[test]
+fn workload_drift_runs() {
+    let text = run_example("workload_drift");
+    assert!(text.contains("SLA-violating"), "output:\n{text}");
+    assert!(text.contains("break-even"), "output:\n{text}");
+    assert!(text.contains("identity plan"), "output:\n{text}");
+}
