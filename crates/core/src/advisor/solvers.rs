@@ -239,10 +239,12 @@ impl Solver for DotSolver {
             let measured_cons = active_cons.rescaled(measured_ref);
             let psr = measured_cons.psr(&measured);
             let passed = measured_cons.satisfied(problem, &layout, &measured);
+            let margins = measured_cons.violation_margins(problem.workload, &measured);
             let validation = ValidationReport {
                 measured,
                 psr,
                 passed,
+                margins,
             };
             if passed || rounds >= cx.refinements {
                 return Ok(cx.recommendation(

@@ -10,8 +10,32 @@ use crate::problem::Problem;
 use crate::toc::{Estimator, TocEstimate};
 use dot_dbms::Layout;
 use dot_workloads::spec::{performance_satisfaction_ratio, PerfMetric};
-use dot_workloads::SlaSpec;
+use dot_workloads::{SlaSpec, Workload};
 use serde::{Deserialize, Serialize};
+
+/// One performance constraint's graded verdict: how close an estimate runs
+/// to its cap, as a ratio where `1.0` sits exactly on the constraint and
+/// anything above violates it. Response-time classes report
+/// `time / cap` per query; throughput workloads report one `floor /
+/// throughput` line named `"throughput"` — in both conventions *larger is
+/// worse*, so thresholds compose across metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ViolationMargin {
+    /// The constraint's class: the query name, or `"throughput"`.
+    pub class: String,
+    /// Load ratio against the cap (`> 1` = violating).
+    pub ratio: f64,
+}
+
+/// The graded pressure a set of margins exerts: how far the worst class
+/// sits *beyond* its constraint (`0` when every class is within its cap).
+pub fn sla_pressure(margins: &[ViolationMargin]) -> f64 {
+    margins
+        .iter()
+        .map(|m| m.ratio - 1.0)
+        .fold(0.0, f64::max)
+        .max(0.0)
+}
 
 /// Derived constraints for one problem instance.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -149,6 +173,44 @@ impl Constraints {
         }
     }
 
+    /// Graded violation margins of an estimate against these constraints,
+    /// one [`ViolationMargin`] per performance constraint. `workload` names
+    /// the classes (its queries are parallel to the response caps). Unlike
+    /// [`performance_satisfied`](Self::performance_satisfied)'s yes/no,
+    /// margins say *how far* each class sits from its cap — the graded
+    /// telemetry signal the online controller fuses with drift distance.
+    pub fn violation_margins(
+        &self,
+        workload: &Workload,
+        est: &TocEstimate,
+    ) -> Vec<ViolationMargin> {
+        if let Some(caps) = &self.response_caps_ms {
+            est.per_query_ms
+                .iter()
+                .zip(caps)
+                .zip(&workload.queries)
+                .map(|((t, cap), q)| ViolationMargin {
+                    class: q.name.clone(),
+                    ratio: if *cap > 0.0 { t / cap } else { 1.0 },
+                })
+                .collect()
+        } else if let Some(floor) = self.throughput_floor {
+            let ratio = if est.throughput_tasks_per_hour > 0.0 {
+                floor / est.throughput_tasks_per_hour
+            } else if floor > 0.0 {
+                f64::MAX // a stalled workload violates any positive floor
+            } else {
+                1.0
+            };
+            vec![ViolationMargin {
+                class: "throughput".to_owned(),
+                ratio,
+            }]
+        } else {
+            Vec::new()
+        }
+    }
+
     /// Performance satisfaction ratio (§4.3): fraction of queries meeting
     /// their caps. For throughput workloads this is 1.0/0.0 on the floor
     /// (the paper: "the throughput performance itself serves as such an
@@ -256,6 +318,50 @@ mod tests {
         for (x, y) in ca.iter().zip(cb) {
             assert!((x - y).abs() < 1e-9, "{x} vs {y}");
         }
+    }
+
+    #[test]
+    fn violation_margins_grade_both_metrics() {
+        // Response time: margins are per query, named, and consistent with
+        // the boolean check — worst ratio > 1 iff performance fails.
+        let s = synth::bench_schema(2_000_000.0, 120.0);
+        let pool = catalog::box2();
+        let w = synth::mixed_workload(&s);
+        let p = crate::Problem::new(&s, &pool, &w, SlaSpec::relative(0.9), EngineConfig::dss());
+        let c = derive(&p);
+        let reference_margins = c.violation_margins(&w, &c.reference);
+        assert_eq!(reference_margins.len(), w.queries.len());
+        for (m, q) in reference_margins.iter().zip(&w.queries) {
+            assert_eq!(m.class, q.name);
+            // The reference runs at exactly `ratio` of each cap.
+            assert!((m.ratio - 0.9).abs() < 1e-9, "{}: {}", m.class, m.ratio);
+        }
+        assert_eq!(sla_pressure(&reference_margins), 0.0);
+        let hdd =
+            dot_dbms::Layout::uniform(pool.class_by_name("HDD").unwrap().id, s.object_count());
+        let est = crate::toc::estimate_toc(&p, &hdd);
+        let margins = c.violation_margins(&w, &est);
+        assert!(sla_pressure(&margins) > 0.0, "HDD must violate a 0.9 SLA");
+        assert_eq!(
+            margins.iter().any(|m| m.ratio > 1.0),
+            !c.performance_satisfied(&est)
+        );
+
+        // Throughput: one "throughput" line, ratio floor/measured.
+        let ts = tpcc::schema(2.0);
+        let tw = tpcc::workload(&ts);
+        let tp = crate::Problem::new(
+            &ts,
+            &pool,
+            &tw,
+            SlaSpec::relative(0.5),
+            EngineConfig::oltp(),
+        );
+        let tc = derive(&tp);
+        let margins = tc.violation_margins(&tw, &tc.reference);
+        assert_eq!(margins.len(), 1);
+        assert_eq!(margins[0].class, "throughput");
+        assert!((margins[0].ratio - 0.5).abs() < 1e-9);
     }
 
     #[test]

@@ -102,6 +102,22 @@ pub struct ValidationReport {
     pub psr: f64,
     /// Whether the test run met every constraint.
     pub passed: bool,
+    /// Graded per-class violation margins of the measured run against the
+    /// measured caps (`ratio > 1` = violating), so telemetry consumers see
+    /// *how far* each class sits from its constraint, not just pass/fail.
+    /// Defaults to empty when parsing pre-margin serializations, keeping
+    /// the serde surface backward-compatible.
+    #[serde(default)]
+    pub margins: Vec<crate::constraints::ViolationMargin>,
+}
+
+impl ValidationReport {
+    /// The graded SLA pressure of the run: how far the worst class sits
+    /// beyond its cap (`0` when the run passed everywhere, or when the
+    /// report predates margins).
+    pub fn sla_pressure(&self) -> f64 {
+        crate::constraints::sla_pressure(&self.margins)
+    }
 }
 
 /// Result of the full pipeline (Figure 2).

@@ -41,6 +41,10 @@
 //! ```
 
 use crate::advisor::{Advisor, ProvisionError, Recommendation};
+use crate::controller::{
+    expand_trace, ControlEvent, ControlProvenance, Controller, ControllerConfig, TraceStep,
+    TriggerReason,
+};
 use crate::replan::{MigrationBudget, MigrationDecision, ReplanRecommendation};
 use crate::toc::{CacheStats, CachedEstimator};
 use dot_dbms::Layout;
@@ -477,6 +481,250 @@ fn migration_totals(outcomes: &[ReplanOutcome]) -> MigrationTotals {
     totals
 }
 
+// ---------------------------------------------------------------------------
+// Fleet-wide supervision: one online controller per tenant
+// ---------------------------------------------------------------------------
+
+/// One tenant to supervise: the provisioning inputs with the *baseline*
+/// workload the deployed layout was provisioned for, the layout itself,
+/// and a scripted observation trace (each step drifts the baseline; see
+/// [`TraceStep`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SuperviseTenantRequest {
+    /// Tenant label, echoed in the report.
+    pub name: String,
+    /// The tenant's storage pool.
+    pub pool: StoragePool,
+    /// The tenant's schema.
+    pub schema: Schema,
+    /// The baseline workload the deployed layout was provisioned for.
+    pub workload: Workload,
+    /// Relative SLA ratio in `(0, 1]`.
+    pub sla: f64,
+    /// Target solver for triggered replans; `None` uses the controller
+    /// config's solver.
+    #[serde(default)]
+    pub solver: Option<String>,
+    /// Engine configuration forced on every observation; `None` picks each
+    /// observation's metric default.
+    #[serde(default)]
+    pub engine: Option<EngineConfig>,
+    /// Validation/refinement rounds for every triggered replan; `None`
+    /// uses the fleet-wide [`FleetConfig::refinements`] (as in
+    /// [`TenantRequest`]).
+    #[serde(default)]
+    pub refinements: Option<usize>,
+    /// The layout the tenant is deployed on today.
+    pub current_layout: Layout,
+    /// The scripted observation trace, relative to the baseline workload.
+    pub trace: Vec<TraceStep>,
+    /// Per-tenant controller config; `None` uses the fleet-wide one.
+    #[serde(default)]
+    pub controller: Option<ControllerConfig>,
+}
+
+/// What supervising one tenant produced: the full control-event log plus
+/// summary counters, or a typed error (with the events up to the failing
+/// tick preserved).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuperviseOutcome {
+    /// The tenant's label.
+    pub tenant: String,
+    /// The solver triggered replans ran.
+    pub solver: String,
+    /// The controller's append-only event log.
+    pub events: Vec<ControlEvent>,
+    /// The layout deployed after the trace (the input layout when nothing
+    /// was applied); `None` only when the controller could not be built.
+    pub final_layout: Option<Layout>,
+    /// Ticks ingested.
+    pub ticks: u64,
+    /// Replans triggered.
+    pub triggers: usize,
+    /// Plans applied (deployed layout actually moved).
+    pub applications: usize,
+    /// `ControlEvent`-compatible provenance: the tenant's supervision wall
+    /// clock and its last trigger reason
+    /// ([`Quiescent`](TriggerReason::Quiescent) over a quiet trace) — the
+    /// same schema `dot-cli replan --json` stamps with
+    /// [`Manual`](TriggerReason::Manual).
+    pub provenance: ControlProvenance,
+    /// The typed failure, when supervision aborted.
+    pub error: Option<ProvisionError>,
+}
+
+/// Fleet-wide supervision totals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuperviseTotals {
+    /// Tenants whose whole trace ran.
+    pub tenants_supervised: usize,
+    /// Tenants that aborted with a typed error.
+    pub tenants_failed: usize,
+    /// Ticks ingested across the fleet.
+    pub ticks: u64,
+    /// Replans triggered across the fleet.
+    pub triggers: usize,
+    /// Plans applied across the fleet.
+    pub applications: usize,
+    /// Bytes moved by every applied plan.
+    pub total_bytes_moved: f64,
+}
+
+/// Everything a fleet supervision run produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuperviseFleetReport {
+    /// One outcome per tenant, in request order.
+    pub tenants: Vec<SuperviseOutcome>,
+    /// Fleet-wide totals.
+    pub totals: SuperviseTotals,
+    /// Hit/miss counters of the shared TOC cache.
+    pub cache: CacheStats,
+    /// Wall-clock time of the whole batch in integer milliseconds.
+    pub wall_ms: u64,
+}
+
+/// Supervise every tenant concurrently — one [`Controller`] per tenant
+/// replaying its trace, all sessions sharing one memoized TOC cache — the
+/// closed-loop sibling of [`provision_fleet`] / [`replan_fleet`]. Event
+/// logs are deterministic (bit-identical with the cache off, cold, or
+/// warm, and at any worker count); only wall-clock fields differ between
+/// runs. Per-tenant failures are typed outcomes, never errors of the batch.
+pub fn supervise_fleet(
+    tenants: &[SuperviseTenantRequest],
+    config: &FleetConfig,
+    controller: &ControllerConfig,
+) -> SuperviseFleetReport {
+    let (outcomes, cache, wall_ms) = run_pool(tenants, config, |tenant, cache| {
+        supervise_one(tenant, cache, controller, config.refinements)
+    });
+    let totals = supervise_totals(&outcomes);
+    SuperviseFleetReport {
+        totals,
+        cache,
+        wall_ms,
+        tenants: outcomes,
+    }
+}
+
+fn supervise_one(
+    tenant: &SuperviseTenantRequest,
+    cache: &Arc<CachedEstimator>,
+    fleet_controller: &ControllerConfig,
+    fleet_refinements: usize,
+) -> SuperviseOutcome {
+    let start = Instant::now();
+    let mut config = tenant
+        .controller
+        .clone()
+        .unwrap_or_else(|| fleet_controller.clone());
+    if let Some(solver) = &tenant.solver {
+        config.solver = solver.clone();
+    }
+    let solver = config.solver.clone();
+    // Failures before the first tick: no events, no layout, no counters.
+    let failed = |error: ProvisionError| SuperviseOutcome {
+        tenant: tenant.name.clone(),
+        solver: solver.clone(),
+        events: Vec::new(),
+        final_layout: None,
+        ticks: 0,
+        triggers: 0,
+        applications: 0,
+        provenance: ControlProvenance {
+            elapsed_ms: start.elapsed().as_millis() as u64,
+            trigger: TriggerReason::Quiescent,
+        },
+        error: Some(error),
+    };
+    let trace = match expand_trace(&tenant.schema, &tenant.workload, &tenant.trace) {
+        Ok(trace) => trace,
+        Err(e) => return failed(e),
+    };
+    let mut controller = match Controller::new(
+        &tenant.schema,
+        &tenant.pool,
+        &tenant.workload,
+        tenant.current_layout.clone(),
+        tenant.sla,
+        config,
+    ) {
+        Ok(c) => c.with_toc_cache(Arc::clone(cache)),
+        Err(e) => return failed(e),
+    };
+    if let Some(engine) = tenant.engine {
+        controller = controller.with_engine(engine);
+    }
+    controller = controller.with_refinements(tenant.refinements.unwrap_or(fleet_refinements));
+    let mut error = None;
+    for observed in &trace {
+        if let Err(e) = controller.observe(observed) {
+            error = Some(e);
+            break;
+        }
+    }
+    let events = controller.events().to_vec();
+    let triggers = events
+        .iter()
+        .filter(|e| matches!(e, ControlEvent::Triggered { .. }))
+        .count();
+    let applications = events
+        .iter()
+        .filter(|e| matches!(e, ControlEvent::Applied { .. }))
+        .count();
+    let last_trigger = events
+        .iter()
+        .rev()
+        .find_map(|e| match e {
+            ControlEvent::Triggered { reason, .. } => Some(reason.clone()),
+            _ => None,
+        })
+        .unwrap_or(TriggerReason::Quiescent);
+    SuperviseOutcome {
+        tenant: tenant.name.clone(),
+        solver,
+        final_layout: Some(controller.deployed().clone()),
+        ticks: controller.ticks(),
+        triggers,
+        applications,
+        events,
+        provenance: ControlProvenance {
+            elapsed_ms: start.elapsed().as_millis() as u64,
+            trigger: last_trigger,
+        },
+        error,
+    }
+}
+
+fn supervise_totals(outcomes: &[SuperviseOutcome]) -> SuperviseTotals {
+    let mut totals = SuperviseTotals {
+        tenants_supervised: 0,
+        tenants_failed: 0,
+        ticks: 0,
+        triggers: 0,
+        applications: 0,
+        total_bytes_moved: 0.0,
+    };
+    for outcome in outcomes {
+        if outcome.error.is_some() {
+            totals.tenants_failed += 1;
+        } else {
+            totals.tenants_supervised += 1;
+        }
+        totals.ticks += outcome.ticks;
+        totals.triggers += outcome.triggers;
+        totals.applications += outcome.applications;
+        totals.total_bytes_moved += outcome
+            .events
+            .iter()
+            .map(|e| match e {
+                ControlEvent::Applied { bytes_moved, .. } => *bytes_moved,
+                _ => 0.0,
+            })
+            .sum::<f64>();
+    }
+    totals
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -738,6 +986,124 @@ mod tests {
         let report = replan_fleet(&tenants, &FleetConfig::default());
         let json = serde_json::to_string(&report).expect("report serializes");
         let back: ReplanFleetReport = serde_json::from_str(&json).expect("report parses");
+        assert_eq!(back, report);
+    }
+
+    /// Three tenants over one TPC-C shape: one sees a phase flip, one a
+    /// quiet trace, one a broken trace step.
+    fn supervise_requests() -> Vec<SuperviseTenantRequest> {
+        use dot_workloads::tpcc;
+        let schema = tpcc::schema(2.0);
+        let pool = catalog::box2();
+        let baseline = tpcc::workload(&schema);
+        let advisor = Advisor::builder(&schema, &pool, &baseline)
+            .sla(0.5)
+            .build()
+            .unwrap();
+        let current = advisor.recommend("dot").unwrap().layout;
+        let step = |phase: Option<&str>, shift: Option<f64>, repeat: usize| TraceStep {
+            shift,
+            scale: None,
+            phase: phase.map(str::to_owned),
+            repeat: Some(repeat),
+        };
+        let make = |name: &str, trace: Vec<TraceStep>| SuperviseTenantRequest {
+            name: name.to_owned(),
+            pool: pool.clone(),
+            schema: schema.clone(),
+            workload: baseline.clone(),
+            sla: 0.5,
+            solver: None,
+            engine: None,
+            refinements: None,
+            current_layout: current.clone(),
+            trace,
+            controller: None,
+        };
+        vec![
+            make(
+                "flipper",
+                vec![step(None, Some(0.05), 2), step(Some("analytical"), None, 2)],
+            ),
+            make("quiet", vec![step(None, Some(0.02), 3)]),
+            make("broken", vec![step(Some("lunar"), None, 1)]),
+        ]
+    }
+
+    fn strip_supervise(mut report: SuperviseFleetReport) -> SuperviseFleetReport {
+        report.wall_ms = 0;
+        report.cache = CacheStats {
+            hits: 0,
+            misses: 0,
+            entries: 0,
+        };
+        for outcome in &mut report.tenants {
+            outcome.provenance.elapsed_ms = 0;
+        }
+        report
+    }
+
+    #[test]
+    fn supervise_fleet_triggers_on_drift_and_stays_deterministic() {
+        let tenants = supervise_requests();
+        let controller = ControllerConfig::default();
+        let report = supervise_fleet(&tenants, &FleetConfig::default(), &controller);
+        assert_eq!(report.tenants.len(), 3);
+        assert_eq!(report.totals.tenants_supervised, 2);
+        assert_eq!(report.totals.tenants_failed, 1);
+
+        let flipper = &report.tenants[0];
+        assert!(flipper.triggers >= 1, "the phase flip must trigger");
+        assert!(flipper.applications >= 1, "the flip plan must apply");
+        assert_ne!(
+            flipper.final_layout.as_ref().unwrap(),
+            &tenants[0].current_layout
+        );
+        assert!(matches!(
+            flipper.provenance.trigger,
+            TriggerReason::Drift { .. } | TriggerReason::DriftAndSla { .. }
+        ));
+
+        let quiet = &report.tenants[1];
+        assert_eq!(quiet.triggers, 0, "noise must not trigger");
+        assert_eq!(quiet.ticks, 3);
+        assert_eq!(quiet.provenance.trigger, TriggerReason::Quiescent);
+        assert_eq!(
+            quiet.final_layout.as_ref().unwrap(),
+            &tenants[1].current_layout
+        );
+
+        let broken = &report.tenants[2];
+        assert!(matches!(
+            broken.error,
+            Some(ProvisionError::InvalidRequest { .. })
+        ));
+        assert!(broken.events.is_empty());
+
+        assert!(report.totals.total_bytes_moved > 0.0);
+
+        // Bit-identical event logs across worker counts (and cache reuse).
+        let serial = supervise_fleet(
+            &tenants,
+            &FleetConfig {
+                workers: 1,
+                ..FleetConfig::default()
+            },
+            &controller,
+        );
+        assert_eq!(strip_supervise(serial), strip_supervise(report));
+    }
+
+    #[test]
+    fn supervise_fleet_report_round_trips_through_serde() {
+        let tenants = supervise_requests();
+        let report = supervise_fleet(
+            &tenants,
+            &FleetConfig::default(),
+            &ControllerConfig::default(),
+        );
+        let json = serde_json::to_string(&report).expect("report serializes");
+        let back: SuperviseFleetReport = serde_json::from_str(&json).expect("report parses");
         assert_eq!(back, report);
     }
 }

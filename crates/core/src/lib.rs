@@ -78,6 +78,10 @@
 //!   deployed layout against the drifted recommendation, price each
 //!   object-group move (bytes, transfer time, cents), and emit a
 //!   budget-honoring migration plan with a break-even horizon;
+//! * [`controller`] — the closed loop over `replan`: ingest observed
+//!   workload profiles, score drift distance and graded SLA pressure,
+//!   trigger replans past configurable thresholds (with hysteresis and a
+//!   cool-down so the loop never flaps), and log typed `ControlEvent`s;
 //! * [`baselines`] — the six simple layouts of §4.2 and the Object Advisor
 //!   of Canim et al. as characterized in §6;
 //! * [`ablation`] — switchable design choices (group vs. object moves,
@@ -99,6 +103,7 @@ pub mod ablation;
 pub mod advisor;
 pub mod baselines;
 pub mod constraints;
+pub mod controller;
 pub mod dot;
 pub mod exhaustive;
 pub mod fleet;
@@ -113,6 +118,7 @@ pub mod toc;
 
 pub use advisor::{Advisor, ProvisionError, Recommendation, Solver};
 pub use constraints::Constraints;
+pub use controller::{ControlEvent, Controller, ControllerConfig, TraceStep, TriggerReason};
 pub use dot::{DotOutcome, PipelineResult};
 pub use fleet::{provision_fleet, FleetConfig, FleetReport, TenantRequest};
 pub use problem::{LayoutCostModel, Problem};

@@ -1,4 +1,6 @@
-//! Workload drift generators: before/after pairs for re-provisioning.
+//! Workload drift generators and the drift *detection* metric: before/after
+//! pairs for re-provisioning, and the profile distance an online controller
+//! thresholds on.
 //!
 //! DOT provisions a layout once, against a workload snapshot. Real mixed
 //! workloads *drift*: the HTAP literature describes systems that swing
@@ -10,12 +12,21 @@
 //! planner (`dot_core::replan`) can be exercised and benchmarked against
 //! every workload family in this crate (TPC-H, TPC-C, YCSB, synthetic).
 //!
-//! All generators are pure: they never mutate their input, and the same
-//! inputs always produce the same drifted workload.
+//! The detection half is [`signature`] / [`profile_distance`]: a workload
+//! collapses to a [`WorkloadSignature`] (read/write mix, demand, and
+//! per-query-class weight shares), and two signatures are compared with a
+//! bounded distance in `[0, 1]`. The controller (`dot_core::controller`)
+//! computes this distance between the deployed recommendation's baseline
+//! profile and each observed profile, and replans when it crosses a
+//! threshold.
+//!
+//! All generators and the metric are pure: they never mutate their input,
+//! and the same inputs always produce the same result.
 
 use crate::spec::{PerfMetric, Workload};
 use dot_dbms::query::{Op, QuerySpec, ReadOp, Rel, ScanSpec};
 use dot_dbms::Schema;
+use serde::{Deserialize, Serialize};
 
 /// True when any operation of the query writes (insert or update).
 fn writes(q: &QuerySpec) -> bool {
@@ -90,6 +101,132 @@ pub fn scale_throughput(workload: &Workload, factor: f64) -> Workload {
         }
     }
     drifted
+}
+
+/// One query class's share of a workload's total weight, keyed by the
+/// query's name (classes are merged when a workload repeats a name).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassWeight {
+    /// Query-class name.
+    pub class: String,
+    /// The class's share of the workload's total weight, in `[0, 1]`.
+    pub weight: f64,
+}
+
+/// The drift-detection fingerprint of a workload: the low-dimensional view
+/// of its profile an online controller compares across observations.
+///
+/// Three axes capture the drifts the generators in this module produce —
+/// and the ones the HTAP literature describes:
+///
+/// * **read/write mix** ([`write_fraction`](Self::write_fraction)): the
+///   share of total query weight carried by write-bearing queries, moved
+///   by [`shift_read_write`] and the analytical↔transactional phase flip;
+/// * **demand** ([`tasks_per_pass`](Self::tasks_per_pass)): tasks completed
+///   by one pass of all concurrent streams, moved by [`scale_throughput`];
+/// * **class weights** ([`class_weights`](Self::class_weights)): the
+///   normalized weight distribution over query classes, moved whenever the
+///   *shape* of the mix changes (new reporting queries, a retired
+///   transaction type) even at a constant read/write balance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSignature {
+    /// Share of total query weight carried by write-bearing queries.
+    pub write_fraction: f64,
+    /// Tasks completed by one pass of the whole workload:
+    /// `concurrency × tasks_per_stream`.
+    pub tasks_per_pass: f64,
+    /// Per-query-class weight shares, sorted by class name; shares sum
+    /// to 1.
+    pub class_weights: Vec<ClassWeight>,
+}
+
+/// Collapse a workload to its [`WorkloadSignature`].
+pub fn signature(workload: &Workload) -> WorkloadSignature {
+    let total: f64 = workload.queries.iter().map(|q| q.weight).sum();
+    let write: f64 = workload
+        .queries
+        .iter()
+        .filter(|q| writes(q))
+        .map(|q| q.weight)
+        .sum();
+    let mut class_weights: Vec<ClassWeight> = Vec::new();
+    for q in &workload.queries {
+        let share = if total > 0.0 { q.weight / total } else { 0.0 };
+        match class_weights.iter_mut().find(|c| c.class == q.name) {
+            Some(c) => c.weight += share,
+            None => class_weights.push(ClassWeight {
+                class: q.name.clone(),
+                weight: share,
+            }),
+        }
+    }
+    class_weights.sort_by(|a, b| a.class.cmp(&b.class));
+    WorkloadSignature {
+        write_fraction: if total > 0.0 { write / total } else { 0.0 },
+        tasks_per_pass: workload.concurrency as f64 * workload.tasks_per_stream,
+        class_weights,
+    }
+}
+
+impl WorkloadSignature {
+    /// Bounded profile distance in `[0, 1]`: the largest drift along any of
+    /// the three axes. Each axis is itself normalized to `[0, 1]` —
+    /// absolute difference for the write fraction, relative change for
+    /// demand (`|a − b| / max(a, b)`), and total-variation distance for the
+    /// class-weight distributions (classes absent on one side count with
+    /// weight 0) — so one threshold governs all of them. The distance is
+    /// symmetric, `0` exactly for identical signatures, and monotone in
+    /// each generator's drift parameter (the property suite pins this).
+    pub fn distance(&self, other: &WorkloadSignature) -> f64 {
+        let rw = (self.write_fraction - other.write_fraction).abs();
+        let peak = self.tasks_per_pass.max(other.tasks_per_pass);
+        let demand = if peak > 0.0 {
+            (self.tasks_per_pass - other.tasks_per_pass).abs() / peak
+        } else {
+            0.0
+        };
+        // Total variation over the merged (sorted) class lists.
+        let mut variation = 0.0;
+        let (mut i, mut j) = (0, 0);
+        while i < self.class_weights.len() || j < other.class_weights.len() {
+            let a = self.class_weights.get(i);
+            let b = other.class_weights.get(j);
+            match (a, b) {
+                (Some(a), Some(b)) if a.class == b.class => {
+                    variation += (a.weight - b.weight).abs();
+                    i += 1;
+                    j += 1;
+                }
+                (Some(a), Some(b)) if a.class < b.class => {
+                    variation += a.weight;
+                    i += 1;
+                }
+                (Some(_), Some(b)) => {
+                    variation += b.weight;
+                    j += 1;
+                }
+                (Some(a), None) => {
+                    variation += a.weight;
+                    i += 1;
+                }
+                (None, Some(b)) => {
+                    variation += b.weight;
+                    j += 1;
+                }
+                (None, None) => unreachable!("loop condition"),
+            }
+        }
+        let classes = variation / 2.0;
+        // Each axis is ≤ 1 by construction; the summed variation can creep
+        // past it by a few ulps, so pin the documented bound exactly.
+        rw.max(demand).max(classes).min(1.0)
+    }
+}
+
+/// [`WorkloadSignature::distance`] between two workloads' signatures — the
+/// metric the online controller thresholds on.
+pub fn profile_distance(a: &Workload, b: &Workload) -> f64 {
+    signature(a).distance(&signature(b))
 }
 
 /// A matched analytical→transactional drift pair over one schema: the
@@ -184,6 +321,51 @@ mod tests {
         // The pair shares the schema with the transactional phase.
         let t = tpcc::workload(&s);
         assert_eq!(t.metric, PerfMetric::Throughput);
+    }
+
+    #[test]
+    fn distance_is_zero_on_identity_and_symmetric() {
+        let s = tpcc::schema(2.0);
+        let w = tpcc::workload(&s);
+        assert_eq!(profile_distance(&w, &w), 0.0);
+        let drifted = shift_read_write(&w, 0.4);
+        let ab = profile_distance(&w, &drifted);
+        let ba = profile_distance(&drifted, &w);
+        assert!(ab > 0.0);
+        assert_eq!(ab, ba, "distance must be symmetric");
+    }
+
+    #[test]
+    fn distance_is_bounded_and_monotone_in_shift() {
+        let s = synth::bench_schema(1_000_000.0, 120.0);
+        let w = synth::mixed_workload(&s);
+        let mut last = 0.0;
+        for step in 1..=9 {
+            let shift = step as f64 * 0.1;
+            let d = profile_distance(&w, &shift_read_write(&w, shift));
+            assert!(d >= last, "shift {shift}: {d} < {last}");
+            assert!((0.0..=1.0).contains(&d), "distance {d} out of [0, 1]");
+            last = d;
+        }
+        assert!(last > 0.0);
+    }
+
+    #[test]
+    fn distance_sees_demand_scaling_and_phase_flips() {
+        let s = tpcc::schema(2.0);
+        let w = tpcc::workload(&s);
+        // Demand axis: doubling concurrency halves-complements to 0.5.
+        let doubled = scale_throughput(&w, 2.0);
+        let d = profile_distance(&w, &doubled);
+        assert!((d - 0.5).abs() < 1e-9, "2x demand must read 0.5, got {d}");
+        // The phase flip moves every axis: disjoint classes, zero writes.
+        let flip = profile_distance(&w, &analytical_phase(&s));
+        assert!(flip > 0.9, "phase flip must read near 1, got {flip}");
+        // A signature round-trips through serde.
+        let sig = signature(&w);
+        let json = serde_json::to_string(&sig).unwrap();
+        let back: WorkloadSignature = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, sig);
     }
 
     #[test]

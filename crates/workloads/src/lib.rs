@@ -27,7 +27,9 @@
 //! * [`synth`] — small synthetic workloads for tests and benchmarks;
 //! * [`drift`] — before/after drift pairs (read/write shifts, demand
 //!   scaling, the analytical↔transactional phase flip) feeding the
-//!   re-provisioning planner.
+//!   re-provisioning planner, plus the [`drift::profile_distance`] metric
+//!   (read/write mix × demand × class weights) an online controller
+//!   thresholds on to *detect* drift.
 //!
 //! ## Worked example: build a workload, check its SLA machinery
 //!

@@ -17,7 +17,16 @@
 //!         [--budget-bytes <n>]         data-movement ceiling in bytes
 //!         [--budget-seconds <n>]       wall-clock ceiling in seconds
 //!         [--budget-cents <n>]         migration-spend ceiling in cents
-//!         [--json]                     emit the serialized ReplanRecommendation
+//!         [--json]                     emit the ReplanEnvelope (provenance + plan)
+//! dot-cli supervise <problem.json>     run the online controller over a trace
+//!         --trace <trace.json>         scripted observations (TraceStep array)
+//!         [--current <layout.json>]    deployed layout (default: provision the
+//!                                      problem's baseline with the solver)
+//!         [--solver <id>]              replan target solver (default "dot")
+//!         [--drift-threshold <x>]      trigger distance in [0, 1] (default 0.15)
+//!         [--cooldown <n>]             min ticks between triggers (default 3)
+//!         [--budget-*]                 migration budget, as replan
+//!         [--json]                     emit the serialized SuperviseFleetReport
 //! dot-cli explain   <problem.json>     show premium-layout plans and I/O
 //! ```
 //!
@@ -26,8 +35,19 @@
 //! ordered migration plan: per-move data movement, transfer time from the
 //! device models, double-residency migration cost, and the break-even
 //! horizon — or a `stay`/`unchanged` verdict when migrating is not worth
-//! the movement. Unknown keys in problem files and fleet manifests are
-//! rejected as invalid requests rather than silently ignored.
+//! the movement. Unknown keys in problem files, fleet manifests, and trace
+//! files are rejected as invalid requests rather than silently ignored.
+//!
+//! `supervise` closes the loop: the problem file describes the *baseline*
+//! phase, and the trace file scripts a sequence of observed profiles as
+//! drifts of that baseline — a JSON array of steps like
+//! `[{"shift": 0.3}, {"phase": "analytical", "repeat": 2}, {"scale": 2.0}]`
+//! — which the online controller (`dot_core::controller`) replays,
+//! triggering `replan` whenever the drift distance or SLA pressure crosses
+//! its threshold (with hysteresis and a cool-down, so it never flaps), and
+//! logging typed `ControlEvent`s. Both `--json` outputs stamp the shared
+//! `ControlProvenance` schema: `replan` with the `Manual` trigger stub,
+//! `supervise` with each tenant's last trigger reason.
 //!
 //! A problem file names a storage pool (built-in or inline JSON), a database
 //! (preset like `"tpch:20:original"`, `"tpcc:300"`, `"ycsb:10000000:A"`, or
@@ -58,13 +78,18 @@
 //! SLA without parsing stderr; `--json` renders the error itself as JSON.
 
 use dot_core::advisor::{presets, Advisor, ProvisionError, Recommendation};
-use dot_core::fleet::{self, FleetConfig, FleetReport, TenantRequest};
+use dot_core::controller::{
+    ControlEvent, ControlProvenance, ControllerConfig, DeferReason, ReplanEnvelope, TraceStep,
+    TriggerReason,
+};
+use dot_core::fleet::{self, FleetConfig, FleetReport, SuperviseTenantRequest, TenantRequest};
 use dot_core::replan::{MigrationBudget, MigrationDecision, ReplanRecommendation};
 use dot_dbms::{explain, planner, EngineConfig, Layout, Schema};
 use dot_storage::StoragePool;
 use dot_workloads::Workload;
 use serde::Deserialize;
 use std::process::ExitCode;
+use std::time::Instant;
 
 #[derive(Deserialize)]
 struct ProblemFile {
@@ -133,6 +158,10 @@ struct Request {
     workload: Workload,
     sla: f64,
     engine: EngineConfig,
+    /// Whether the file named an engine explicitly. `supervise` only forces
+    /// `engine` onto the controller then — otherwise each observation picks
+    /// its own metric default (a phase flip changes the metric).
+    engine_explicit: bool,
     refinements: usize,
 }
 
@@ -157,6 +186,7 @@ fn load(path: &str) -> Result<Request, ProvisionError> {
         DbSpec::Custom { schema, workload } => (schema, workload),
         DbSpec::Preset(preset) => presets::database(&preset)?,
     };
+    let engine_explicit = file.engine.is_some();
     let engine = presets::engine(file.engine.as_deref(), &workload)?;
     Ok(Request {
         pool,
@@ -164,6 +194,7 @@ fn load(path: &str) -> Result<Request, ProvisionError> {
         workload,
         sla: file.sla,
         engine,
+        engine_explicit,
         refinements: file.refinements.unwrap_or(1),
     })
 }
@@ -455,6 +486,7 @@ fn cmd_replan(
     budget: &MigrationBudget,
     json: bool,
 ) -> Result<(), ProvisionError> {
+    let start = Instant::now();
     let req = load(path)?;
     let current = load_layout(current_path)?;
     let advisor = Advisor::builder(&req.schema, &req.pool, &req.workload)
@@ -464,10 +496,21 @@ fn cmd_replan(
         .build()?;
     let rec = advisor.replan_with(&current, solver, budget)?;
     if json {
+        // The one-shot plan shares the control-loop provenance schema; an
+        // operator pulling the trigger by hand is the `Manual` stub.
+        let envelope = ReplanEnvelope {
+            provenance: ControlProvenance {
+                elapsed_ms: start.elapsed().as_millis() as u64,
+                trigger: TriggerReason::Manual,
+            },
+            replan: rec,
+        };
         println!(
             "{}",
-            serde_json::to_string_pretty(&rec).map_err(|e| ProvisionError::InvalidRequest {
-                reason: format!("serialize replan recommendation: {e}"),
+            serde_json::to_string_pretty(&envelope).map_err(|e| {
+                ProvisionError::InvalidRequest {
+                    reason: format!("serialize replan envelope: {e}"),
+                }
             })?
         );
         return Ok(());
@@ -557,6 +600,207 @@ fn print_replan_report(req: &Request, advisor: &Advisor<'_>, rec: &ReplanRecomme
     );
 }
 
+/// The keys a trace step accepts (see `dot_core::controller::TraceStep`).
+const TRACE_KEYS: [&str; 4] = ["shift", "scale", "phase", "repeat"];
+
+fn load_trace(path: &str) -> Result<Vec<TraceStep>, ProvisionError> {
+    let text = std::fs::read_to_string(path).map_err(|e| ProvisionError::InvalidRequest {
+        reason: format!("read {path}: {e}"),
+    })?;
+    let value: serde::Value =
+        serde_json::from_str(&text).map_err(|e| ProvisionError::InvalidRequest {
+            reason: format!("parse {path}: {e}"),
+        })?;
+    let Some(steps) = value.as_array() else {
+        return Err(ProvisionError::InvalidRequest {
+            reason: format!("{path}: a trace is a JSON array of steps"),
+        });
+    };
+    if steps.is_empty() {
+        return Err(ProvisionError::InvalidRequest {
+            reason: format!("{path}: a trace needs at least one step"),
+        });
+    }
+    for (i, step) in steps.iter().enumerate() {
+        check_keys(step, &TRACE_KEYS, &format!("{path}: trace step {i}"))?;
+    }
+    Vec::<TraceStep>::from_value(&value).map_err(|e| ProvisionError::InvalidRequest {
+        reason: format!("parse {path}: {e}"),
+    })
+}
+
+#[allow(clippy::too_many_arguments)] // mirrors the flag surface
+fn cmd_supervise(
+    path: &str,
+    trace_path: &str,
+    current_path: Option<&str>,
+    solver: &str,
+    budget: &MigrationBudget,
+    drift_threshold: Option<f64>,
+    cooldown: Option<u64>,
+    json: bool,
+) -> Result<(), ProvisionError> {
+    let req = load(path)?;
+    let trace = load_trace(trace_path)?;
+    let mut config = ControllerConfig {
+        solver: solver.to_owned(),
+        budget: *budget,
+        ..ControllerConfig::default()
+    };
+    if let Some(threshold) = drift_threshold {
+        config.drift_threshold = threshold;
+    }
+    if let Some(ticks) = cooldown {
+        config.cooldown_ticks = ticks;
+    }
+    config.validate()?;
+    // The deployed layout: given, or what the baseline problem recommends.
+    let current = match current_path {
+        Some(p) => load_layout(p)?,
+        None => {
+            Advisor::builder(&req.schema, &req.pool, &req.workload)
+                .sla(req.sla)
+                .engine(req.engine)
+                .refinements(req.refinements)
+                .build()?
+                .recommend(solver)?
+                .layout
+        }
+    };
+    let tenant = SuperviseTenantRequest {
+        name: "tenant-0".to_owned(),
+        pool: req.pool.clone(),
+        schema: req.schema.clone(),
+        workload: req.workload.clone(),
+        sla: req.sla,
+        solver: None,
+        engine: req.engine_explicit.then_some(req.engine),
+        refinements: Some(req.refinements),
+        current_layout: current,
+        trace,
+        controller: None,
+    };
+    let report = fleet::supervise_fleet(&[tenant], &FleetConfig::default(), &config);
+    // A single-tenant batch never fails as a batch; the tenant's own typed
+    // error is the command's failure, surfaced through the usual exit-code
+    // path. In `--json` mode the error document *replaces* the report —
+    // stdout must stay one valid JSON value (main renders it).
+    if let Some(e) = &report.tenants[0].error {
+        if !json {
+            print_supervise_report(&req, &config, &report);
+        }
+        return Err(e.clone());
+    }
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| {
+                ProvisionError::InvalidRequest {
+                    reason: format!("serialize supervise report: {e}"),
+                }
+            })?
+        );
+        return Ok(());
+    }
+    print_supervise_report(&req, &config, &report);
+    Ok(())
+}
+
+fn print_supervise_report(
+    req: &Request,
+    config: &ControllerConfig,
+    report: &fleet::SuperviseFleetReport,
+) {
+    let outcome = &report.tenants[0];
+    println!(
+        "supervising baseline {:?} on pool {}; relative SLA {}; solver {}; \
+         drift threshold {}, cool-down {} tick(s)\n",
+        req.workload.name,
+        req.pool.name(),
+        req.sla,
+        outcome.solver,
+        config.drift_threshold,
+        config.cooldown_ticks,
+    );
+    for event in &outcome.events {
+        match event {
+            ControlEvent::Observed {
+                tick,
+                distance,
+                sla_pressure,
+                feasible,
+            } => println!(
+                "    tick {tick:>3}  observed   distance {distance:.3}  sla-pressure {sla_pressure:.3}{}",
+                if *feasible { "" } else { "  SLA-VIOLATING" }
+            ),
+            ControlEvent::Triggered { tick, reason } => {
+                let why = match reason {
+                    TriggerReason::Manual => "manual".to_owned(),
+                    TriggerReason::Quiescent => "quiescent".to_owned(),
+                    TriggerReason::Drift { distance } => format!("drift {distance:.3}"),
+                    TriggerReason::Sla { pressure } => format!("sla pressure {pressure:.3}"),
+                    TriggerReason::DriftAndSla { distance, pressure } => {
+                        format!("drift {distance:.3} + sla pressure {pressure:.3}")
+                    }
+                };
+                println!("    tick {tick:>3}  TRIGGERED  {why}");
+            }
+            ControlEvent::Planned {
+                tick,
+                decision,
+                moves,
+                total_bytes,
+                break_even_hours,
+                ..
+            } => {
+                let verdict = match decision {
+                    MigrationDecision::Unchanged => "unchanged".to_owned(),
+                    MigrationDecision::Stay => "stay".to_owned(),
+                    MigrationDecision::Migrate => format!(
+                        "migrate ({moves} moves, {:.2} GB, break-even {break_even_hours:.3e} h)",
+                        total_bytes / 1e9
+                    ),
+                    MigrationDecision::Partial { deferred_moves } => format!(
+                        "partial ({moves} moves, {deferred_moves} deferred, {:.2} GB)",
+                        total_bytes / 1e9
+                    ),
+                };
+                println!("    tick {tick:>3}  planned    {verdict}");
+            }
+            ControlEvent::Deferred { tick, reason } => {
+                let why = match reason {
+                    DeferReason::CoolingDown { last_trigger_tick } => {
+                        format!("cooling down (last trigger tick {last_trigger_tick})")
+                    }
+                    DeferReason::Latched => "latched (signal has not cleared)".to_owned(),
+                };
+                println!("    tick {tick:>3}  deferred   {why}");
+            }
+            ControlEvent::Applied {
+                tick,
+                objects_moved,
+                bytes_moved,
+            } => println!(
+                "    tick {tick:>3}  APPLIED    {objects_moved} object(s) moved, {:.2} GB",
+                bytes_moved / 1e9
+            ),
+        }
+    }
+    println!(
+        "\n{} tick(s): {} trigger(s), {} plan(s) applied, {:.2} GB moved; \
+         TOC cache hit rate {:.1}%; wall clock {} ms",
+        outcome.ticks,
+        outcome.triggers,
+        outcome.applications,
+        report.totals.total_bytes_moved / 1e9,
+        report.cache.hit_rate() * 100.0,
+        report.wall_ms,
+    );
+    if let Some(err) = &outcome.error {
+        println!("aborted: error[{}]: {err}", err.kind());
+    }
+}
+
 fn cmd_explain(path: &str) -> Result<(), ProvisionError> {
     let req = load(path)?;
     let layout = dot_dbms::Layout::uniform(req.pool.most_expensive(), req.schema.object_count());
@@ -592,7 +836,7 @@ fn exit_code(err: &ProvisionError) -> u8 {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: dot-cli <catalog|solvers|provision|fleet|replan|explain> [args]\n\
+        "usage: dot-cli <catalog|solvers|provision|fleet|replan|supervise|explain> [args]\n\
          \n\
          dot-cli catalog\n\
          dot-cli solvers\n\
@@ -600,39 +844,85 @@ fn usage() -> ExitCode {
          dot-cli fleet <manifest.json> [--solver <id>] [--json]\n\
          dot-cli replan <problem.json> --current <layout.json> [--solver <id>]\n\
          \x20               [--budget-bytes <n>] [--budget-seconds <n>] [--budget-cents <n>] [--json]\n\
+         dot-cli supervise <problem.json> --trace <trace.json> [--current <layout.json>]\n\
+         \x20               [--solver <id>] [--drift-threshold <x>] [--cooldown <n>]\n\
+         \x20               [--budget-bytes <n>] [--budget-seconds <n>] [--budget-cents <n>] [--json]\n\
          dot-cli explain <problem.json>"
     );
     ExitCode::FAILURE
 }
 
-/// Every accepted flag, with whether it consumes the next argument. A
-/// typo'd flag (`--budget-byte`, `--slover`) is a usage error naming it —
-/// never silently ignored, matching the unknown-key policy of the JSON
-/// loaders.
-const KNOWN_FLAGS: [(&str, bool); 6] = [
+/// Every accepted flag, with whether it consumes the next argument (the
+/// scanner needs this to step over values that themselves start with `--`
+/// would-be flags).
+const KNOWN_FLAGS: [(&str, bool); 9] = [
     ("--json", false),
     ("--solver", true),
     ("--current", true),
     ("--budget-bytes", true),
     ("--budget-seconds", true),
     ("--budget-cents", true),
+    ("--trace", true),
+    ("--drift-threshold", true),
+    ("--cooldown", true),
 ];
 
+/// The flags each subcommand accepts. A typo'd flag — or a real flag on
+/// the wrong subcommand (`provision --current`, `replan
+/// --drift-threshold`) — is a usage error naming it and listing what this
+/// subcommand takes; never silently ignored, matching the unknown-key
+/// policy of the JSON loaders.
+fn allowed_flags(subcommand: &str) -> &'static [&'static str] {
+    match subcommand {
+        "provision" | "fleet" => &["--json", "--solver"],
+        "replan" => &[
+            "--json",
+            "--solver",
+            "--current",
+            "--budget-bytes",
+            "--budget-seconds",
+            "--budget-cents",
+        ],
+        "supervise" => &[
+            "--json",
+            "--solver",
+            "--current",
+            "--trace",
+            "--drift-threshold",
+            "--cooldown",
+            "--budget-bytes",
+            "--budget-seconds",
+            "--budget-cents",
+        ],
+        // catalog, solvers, explain (and unknown subcommands, which fail
+        // to usage anyway) take no flags.
+        _ => &[],
+    }
+}
+
 fn reject_unknown_flags(args: &[String]) -> Result<(), ExitCode> {
+    let allowed = allowed_flags(args.get(1).map(String::as_str).unwrap_or(""));
     let mut i = 1; // skip argv[0]
     while i < args.len() {
         let arg = &args[i];
         if arg.starts_with("--") {
-            match KNOWN_FLAGS.iter().find(|(flag, _)| flag == arg) {
-                Some((_, takes_value)) => i += 1 + usize::from(*takes_value),
-                None => {
-                    eprintln!(
-                        "error: unknown flag {arg:?} (known: {})",
-                        KNOWN_FLAGS.map(|(f, _)| f).join(", ")
-                    );
-                    return Err(ExitCode::FAILURE);
-                }
+            if !allowed.contains(&arg.as_str()) {
+                eprintln!(
+                    "error: unknown flag {arg:?} for this subcommand (accepted: {})",
+                    if allowed.is_empty() {
+                        "none".to_owned()
+                    } else {
+                        allowed.join(", ")
+                    }
+                );
+                return Err(ExitCode::FAILURE);
             }
+            let takes_value = KNOWN_FLAGS
+                .iter()
+                .find(|(flag, _)| flag == arg)
+                .map(|(_, takes)| *takes)
+                .unwrap_or(false);
+            i += 1 + usize::from(takes_value);
         } else {
             i += 1;
         }
@@ -676,28 +966,63 @@ fn main() -> ExitCode {
         Ok(v) => v,
         Err(code) => return code,
     };
+    let trace_flag = match value_flag("--trace") {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
+    // Numeric knobs share one parse-or-usage-error path, generic over the
+    // value type (f64 thresholds/budgets, u64 tick counts).
+    fn parse_flag<T: std::str::FromStr>(
+        raw: Result<Option<String>, ExitCode>,
+        flag: &str,
+        wants: &str,
+    ) -> Result<Option<T>, ExitCode> {
+        match raw? {
+            Some(raw) => match raw.parse::<T>() {
+                Ok(v) => Ok(Some(v)),
+                Err(_) => {
+                    eprintln!("error: {flag} needs {wants}, got {raw:?}");
+                    Err(ExitCode::FAILURE)
+                }
+            },
+            None => Ok(None),
+        }
+    }
+    let drift_threshold = match parse_flag::<f64>(
+        value_flag("--drift-threshold"),
+        "--drift-threshold",
+        "a number",
+    ) {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
+    let cooldown = match parse_flag::<u64>(
+        value_flag("--cooldown"),
+        "--cooldown",
+        "a whole number of ticks",
+    ) {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
     let mut budget = MigrationBudget::unbounded();
-    for (flag, slot) in [
-        ("--budget-bytes", 0usize),
-        ("--budget-seconds", 1),
-        ("--budget-cents", 2),
-    ] {
-        let raw = match value_flag(flag) {
+    budget.max_bytes =
+        match parse_flag::<f64>(value_flag("--budget-bytes"), "--budget-bytes", "a number") {
             Ok(v) => v,
             Err(code) => return code,
         };
-        if let Some(raw) = raw {
-            let Ok(v) = raw.parse::<f64>() else {
-                eprintln!("error: {flag} needs a number, got {raw:?}");
-                return ExitCode::FAILURE;
-            };
-            match slot {
-                0 => budget.max_bytes = Some(v),
-                1 => budget.max_seconds = Some(v),
-                _ => budget.max_cents = Some(v),
-            }
-        }
-    }
+    budget.max_seconds = match parse_flag::<f64>(
+        value_flag("--budget-seconds"),
+        "--budget-seconds",
+        "a number",
+    ) {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
+    budget.max_cents =
+        match parse_flag::<f64>(value_flag("--budget-cents"), "--budget-cents", "a number") {
+            Ok(v) => v,
+            Err(code) => return code,
+        };
     let result = match args.get(1).map(String::as_str) {
         Some("catalog") => {
             cmd_catalog();
@@ -725,6 +1050,24 @@ fn main() -> ExitCode {
             ),
             _ => {
                 eprintln!("error: replan needs a drifted problem file and --current <layout.json>");
+                return usage();
+            }
+        },
+        Some("supervise") => match (args.get(2).filter(|a| !a.starts_with("--")), &trace_flag) {
+            (Some(path), Some(trace)) => cmd_supervise(
+                path,
+                trace,
+                current_flag.as_deref(),
+                solver_flag.as_deref().unwrap_or("dot"),
+                &budget,
+                drift_threshold,
+                cooldown,
+                json,
+            ),
+            _ => {
+                eprintln!(
+                    "error: supervise needs a baseline problem file and --trace <trace.json>"
+                );
                 return usage();
             }
         },

@@ -1,0 +1,140 @@
+//! Deterministic scenario simulator for the online controller: scripted
+//! drift trajectories over one fixed TPC-C problem, replayed tick by tick
+//! through `dot_core::controller::Controller`, returning the typed
+//! [`ControlEvent`] log.
+//!
+//! The simulator is pure: the problem is fixed, traces are scripted
+//! [`TraceStep`]s, the controller is time-stepped with no wall clock, and
+//! estimates are bit-identical with or without a TOC cache — so a
+//! trajectory always yields the same event log, whatever [`CacheMode`] it
+//! runs under. The golden suite (`tests/scenario_golden.rs`) pins the four
+//! committed trajectories; the property suite (`tests/controller_props.rs`)
+//! covers randomized ones.
+
+use dot_core::advisor::Advisor;
+use dot_core::controller::{expand_trace, ControlEvent, Controller, ControllerConfig, TraceStep};
+use dot_core::toc::CachedEstimator;
+use dot_storage::catalog;
+use dot_workloads::tpcc;
+use std::sync::Arc;
+
+/// How the simulated controller obtains TOC estimates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheMode {
+    /// No cache: every estimate goes straight through the planner.
+    Off,
+    /// A fresh, empty shared cache.
+    Cold,
+    /// A cache pre-warmed by a full prior replay of the same trajectory.
+    Warm,
+}
+
+/// One scripted trajectory.
+pub struct Scenario {
+    /// Stable name — also the golden file's stem under `tests/golden/`.
+    pub name: &'static str,
+    /// The trace script, relative to the TPC-C baseline.
+    pub steps: Vec<TraceStep>,
+}
+
+fn step(phase: Option<&str>, shift: Option<f64>, repeat: usize) -> TraceStep {
+    TraceStep {
+        shift,
+        scale: None,
+        phase: phase.map(str::to_owned),
+        repeat: Some(repeat),
+    }
+}
+
+/// The four committed trajectories: gradual shift, sudden phase flip,
+/// oscillation, and noise-only.
+pub fn scenarios() -> Vec<Scenario> {
+    vec![
+        // Reads creep up tick by tick until the drift threshold is crossed.
+        Scenario {
+            name: "gradual",
+            steps: (1..=8)
+                .map(|k| step(None, Some(-0.1 * k as f64), 1))
+                .collect(),
+        },
+        // Two noisy transactional ticks, then the analytical phase arrives
+        // and holds: exactly one migration, then quiet on the new baseline.
+        Scenario {
+            name: "flip",
+            steps: vec![
+                step(None, Some(0.02), 1),
+                step(None, Some(-0.03), 1),
+                step(Some("analytical"), None, 3),
+                step(Some("baseline"), None, 2),
+            ],
+        },
+        // The phases alternate every tick: the cool-down must bound the
+        // trigger rate instead of flapping on every observation.
+        Scenario {
+            name: "oscillation",
+            steps: vec![
+                step(Some("analytical"), None, 1),
+                step(Some("baseline"), None, 1),
+                step(Some("analytical"), None, 1),
+                step(Some("baseline"), None, 1),
+                step(Some("analytical"), None, 1),
+                step(Some("baseline"), None, 1),
+            ],
+        },
+        // Sub-threshold noise only: the log is pure observations.
+        Scenario {
+            name: "noise",
+            steps: vec![
+                step(None, Some(0.02), 1),
+                step(None, Some(-0.04), 1),
+                step(None, Some(0.05), 1),
+                step(None, Some(-0.01), 1),
+                step(None, Some(0.03), 1),
+                step(None, Some(-0.05), 1),
+            ],
+        },
+    ]
+}
+
+/// The simulator's fixed controller configuration.
+pub fn config() -> ControllerConfig {
+    ControllerConfig {
+        cooldown_ticks: 2,
+        ..ControllerConfig::default()
+    }
+}
+
+fn replay(steps: &[TraceStep], cache: Option<&Arc<CachedEstimator>>) -> Vec<ControlEvent> {
+    let schema = tpcc::schema(2.0);
+    let pool = catalog::box2();
+    let baseline = tpcc::workload(&schema);
+    let deployed = Advisor::builder(&schema, &pool, &baseline)
+        .sla(0.5)
+        .build()
+        .expect("baseline session")
+        .recommend("dot")
+        .expect("baseline layout")
+        .layout;
+    let mut controller = Controller::new(&schema, &pool, &baseline, deployed, 0.5, config())
+        .expect("controller opens");
+    if let Some(cache) = cache {
+        controller = controller.with_toc_cache(Arc::clone(cache));
+    }
+    let trace = expand_trace(&schema, &baseline, steps).expect("script expands");
+    controller.run_trace(&trace).expect("trace replays");
+    controller.events().to_vec()
+}
+
+/// Replay a trajectory under the given cache mode and return its log.
+pub fn run(steps: &[TraceStep], mode: CacheMode) -> Vec<ControlEvent> {
+    match mode {
+        CacheMode::Off => replay(steps, None),
+        CacheMode::Cold => replay(steps, Some(&Arc::new(CachedEstimator::new()))),
+        CacheMode::Warm => {
+            let cache = Arc::new(CachedEstimator::new());
+            let _ = replay(steps, Some(&cache));
+            assert!(cache.stats().entries > 0, "warm-up must fill the cache");
+            replay(steps, Some(&cache))
+        }
+    }
+}

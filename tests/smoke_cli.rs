@@ -477,7 +477,10 @@ fn replan_drifted_problem_emits_a_migration_plan() {
         assert!(text.contains(expected), "missing {expected:?} in:\n{text}");
     }
 
-    // --json emits the full serializable ReplanRecommendation.
+    // --json emits the ReplanEnvelope: the serializable recommendation
+    // wrapped with the ControlEvent-compatible provenance the supervise
+    // subcommand also stamps (elapsed_ms + trigger reason; the one-shot
+    // CLI path is the "Manual" stub).
     let out = cli()
         .arg("replan")
         .arg(&drifted)
@@ -485,12 +488,21 @@ fn replan_drifted_problem_emits_a_migration_plan() {
         .output()
         .expect("run dot-cli");
     let text = stdout_of(&out);
-    let rec: dot_core::replan::ReplanRecommendation =
-        serde_json::from_str(&text).expect("replan recommendation deserializes");
+    let envelope: dot_core::controller::ReplanEnvelope =
+        serde_json::from_str(&text).expect("replan envelope deserializes");
+    assert_eq!(
+        envelope.provenance.trigger,
+        dot_core::controller::TriggerReason::Manual
+    );
+    assert!(text.contains("\"elapsed_ms\""), "provenance must serialize");
+    let rec = envelope.replan;
     assert!(!rec.plan.steps.is_empty());
     assert!(!rec.current_feasible);
     assert!(rec.plan.break_even_hours > 0.0 && rec.plan.break_even_hours.is_finite());
     assert_eq!(rec.plan.final_layout, rec.target.layout);
+    // The graded validation margins ride along in the target's report.
+    let validation = rec.target.validation.expect("dot validates");
+    assert!(!validation.margins.is_empty(), "margins must serialize");
 
     // A zero byte budget is the identity plan.
     let out = cli()
@@ -569,6 +581,159 @@ fn replan_usage_and_malformed_inputs_fail_with_typed_codes() {
         err.contains("--budget-byte") && err.contains("unknown flag"),
         "{err}"
     );
+
+    // Flags are scoped per subcommand: a real flag on the wrong
+    // subcommand is rejected too, never silently dropped.
+    let out = cli()
+        .arg("provision")
+        .arg(&problem)
+        .args(["--drift-threshold", "0.3"])
+        .output()
+        .expect("run dot-cli");
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("--drift-threshold") && err.contains("subcommand"),
+        "{err}"
+    );
+}
+
+const SUPERVISE_TRACE: &str = r#"[
+    { "shift": 0.03 },
+    { "phase": "analytical", "repeat": 2 },
+    { "phase": "baseline" }
+]"#;
+
+#[test]
+fn supervise_replays_a_trace_and_reports_the_event_log() {
+    let problem = problem_file("supervise.json", OLTP_PROBLEM);
+    let trace = problem_file("supervise_trace.json", SUPERVISE_TRACE);
+    let out = cli()
+        .arg("supervise")
+        .arg(&problem)
+        .args(["--trace", trace.to_str().unwrap()])
+        .output()
+        .expect("run dot-cli");
+    let text = stdout_of(&out);
+    for expected in [
+        "supervising",
+        "observed",
+        "TRIGGERED",
+        "APPLIED",
+        "trigger(s)",
+    ] {
+        assert!(text.contains(expected), "missing {expected:?} in:\n{text}");
+    }
+}
+
+#[test]
+fn supervise_json_shares_the_control_provenance_schema() {
+    let problem = problem_file("supervise_json.json", OLTP_PROBLEM);
+    let trace = problem_file("supervise_json_trace.json", SUPERVISE_TRACE);
+    let out = cli()
+        .arg("supervise")
+        .arg(&problem)
+        .args(["--trace", trace.to_str().unwrap(), "--json"])
+        .output()
+        .expect("run dot-cli");
+    let text = stdout_of(&out);
+    let report: dot_core::fleet::SuperviseFleetReport =
+        serde_json::from_str(&text).expect("supervise report deserializes");
+    assert_eq!(report.tenants.len(), 1);
+    let tenant = &report.tenants[0];
+    assert!(tenant.error.is_none());
+    assert_eq!(tenant.ticks, 4);
+    assert!(tenant.triggers >= 1, "the phase flip must trigger");
+    assert!(tenant.applications >= 1);
+    // The provenance object is the same schema replan --json stamps, with
+    // the loop's actual trigger in place of the Manual stub.
+    assert!(matches!(
+        tenant.provenance.trigger,
+        dot_core::controller::TriggerReason::Drift { .. }
+            | dot_core::controller::TriggerReason::DriftAndSla { .. }
+    ));
+    assert!(text.contains("\"elapsed_ms\""), "provenance must serialize");
+}
+
+#[test]
+fn supervise_usage_and_malformed_traces_fail_with_typed_codes() {
+    // Missing --trace is a usage error.
+    let problem = problem_file("supervise_usage.json", OLTP_PROBLEM);
+    let out = cli()
+        .arg("supervise")
+        .arg(&problem)
+        .output()
+        .expect("run dot-cli");
+    assert_eq!(out.status.code(), Some(1));
+
+    // A typo'd trace-step key is an invalid request naming it.
+    let bad = problem_file("supervise_bad_trace.json", r#"[ { "shfit": 0.3 } ]"#);
+    let out = cli()
+        .arg("supervise")
+        .arg(&problem)
+        .args(["--trace", bad.to_str().unwrap()])
+        .output()
+        .expect("run dot-cli");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("shfit") && err.contains("unknown key"),
+        "{err}"
+    );
+
+    // An out-of-domain step is a typed invalid request, not a panic.
+    let out_of_domain = problem_file("supervise_domain_trace.json", r#"[ { "shift": 1.5 } ]"#);
+    let out = cli()
+        .arg("supervise")
+        .arg(&problem)
+        .args(["--trace", out_of_domain.to_str().unwrap()])
+        .output()
+        .expect("run dot-cli");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("shift"), "{err}");
+
+    // An empty trace is rejected before any work happens.
+    let empty = problem_file("supervise_empty_trace.json", "[]");
+    let out = cli()
+        .arg("supervise")
+        .arg(&problem)
+        .args(["--trace", empty.to_str().unwrap()])
+        .output()
+        .expect("run dot-cli");
+    assert_eq!(out.status.code(), Some(2));
+
+    // An unknown phase surfaces as the tenant's typed error with exit 2.
+    let lunar = problem_file("supervise_lunar_trace.json", r#"[ { "phase": "lunar" } ]"#);
+    let out = cli()
+        .arg("supervise")
+        .arg(&problem)
+        .args(["--trace", lunar.to_str().unwrap()])
+        .output()
+        .expect("run dot-cli");
+    assert_eq!(out.status.code(), Some(2));
+
+    // In --json mode the failure's stdout is ONE valid JSON value — the
+    // typed error document, never the report with an error appended.
+    let out = cli()
+        .arg("supervise")
+        .arg(&problem)
+        .args(["--trace", lunar.to_str().unwrap(), "--json"])
+        .output()
+        .expect("run dot-cli");
+    assert_eq!(out.status.code(), Some(2));
+    let text = String::from_utf8_lossy(&out.stdout);
+    let value: serde::Value = serde_json::from_str(&text).expect("single JSON document");
+    assert!(
+        value
+            .as_object()
+            .expect("tagged error object")
+            .iter()
+            .any(|(k, _)| k == "InvalidRequest"),
+        "{text}"
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("lunar"), "{err}");
 }
 
 #[test]

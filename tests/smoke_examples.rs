@@ -79,3 +79,11 @@ fn workload_drift_runs() {
     assert!(text.contains("break-even"), "output:\n{text}");
     assert!(text.contains("identity plan"), "output:\n{text}");
 }
+
+#[test]
+fn online_controller_runs() {
+    let text = run_example("online_controller");
+    assert!(text.contains("TRIGGERED"), "output:\n{text}");
+    assert!(text.contains("APPLIED"), "output:\n{text}");
+    assert!(text.contains("no flap"), "output:\n{text}");
+}
