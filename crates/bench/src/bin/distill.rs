@@ -1,0 +1,463 @@
+//! Distill the bench suite into a committed perf trajectory.
+//!
+//! Re-measures the repo's headline hot paths with the same fixtures the
+//! criterion benches use — cold solve, warm replan, quiescent controller
+//! tick (against the two-full-estimate tick it replaced), fleet cache hit
+//! rate, and the dominance-pruned vs. estimate-everything sweeps on every
+//! conformance workload family — and writes the medians to a
+//! `BENCH_<pr>.json` at the repo root. Committing the file per PR gives the
+//! repo a perf trajectory that reviews and CI can hold regressions against.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p dot-bench --bin distill                 # write BENCH_6.json
+//! cargo run --release -p dot-bench --bin distill -- --out <path> # write elsewhere
+//! cargo run --release -p dot-bench --bin distill -- --check <path> # validate a file
+//! ```
+//!
+//! `--check` parses the file and fails (exit 1) when the trajectory breaks
+//! an invariant the code promises: the quiescent tick must undercut the
+//! two-full-estimate tick it replaced, every conformance family must prune
+//! a nonzero number of candidates, and the pruned sweeps must not run
+//! meaningfully slower than their estimate-everything counterparts.
+
+use dot_core::advisor::Advisor;
+use dot_core::controller::{Controller, ControllerConfig};
+use dot_core::fleet::{provision_fleet, FleetConfig, TenantRequest};
+use dot_core::problem::Problem;
+use dot_core::toc::{self, CachedEstimator, Estimator};
+use dot_core::{constraints, dot, exhaustive};
+use dot_dbms::EngineConfig;
+use dot_profiler::{profile_workload, ProfileSource};
+use dot_storage::catalog;
+use dot_workloads::{drift, synth, tpcc, tpch, ycsb, PerfMetric, SlaSpec};
+use serde::{Deserialize, Serialize};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Where the trajectory for this PR lives, relative to the repo root.
+const DEFAULT_PATH: &str = "BENCH_6.json";
+/// Timed samples per measurement (a warmup run precedes them).
+const SAMPLES: usize = 5;
+/// `--check`: a pruned sweep may be up to this factor slower than the
+/// estimate-everything sweep before it counts as a regression (headroom
+/// for machine noise on the near-tie families).
+const PRUNED_SLOWDOWN_TOLERANCE: f64 = 1.5;
+/// `--check`: families whose largest cell investigates more candidates
+/// than this must prune some of them. Below it (the two-object YCSB and
+/// synthetic spaces, enumerated most-expensive-first) every candidate
+/// undercuts the incumbent and there is legitimately nothing to cut.
+const NONTRIVIAL_INVESTIGATED: usize = 10;
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Trajectory {
+    /// Format version of this file, not of the repo.
+    schema_version: u32,
+    /// The PR whose benches were distilled (matches the filename).
+    pr: u32,
+    /// Timed samples behind each median.
+    samples: usize,
+    hot_paths: HotPaths,
+    fleet: FleetNumbers,
+    pruning: Vec<PruningCell>,
+}
+
+/// Medians for the paths the controller/replan benches watch, in ms.
+#[derive(Debug, Serialize, Deserialize)]
+struct HotPaths {
+    /// Full pipeline on a fresh session (profile + constraints + sweep).
+    cold_solve_ms: f64,
+    /// Replan on a warm session with a shared TOC cache.
+    warm_replan_ms: f64,
+    /// Quiescent controller tick — incremental delta re-estimation.
+    tick_quiescent_ms: f64,
+    /// The tick cost this replaced: two full TOC estimates of the observed
+    /// problem (deployed layout + premium reference).
+    tick_two_full_estimates_ms: f64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct FleetNumbers {
+    tenants: usize,
+    hit_rate: f64,
+    hits: u64,
+    misses: u64,
+}
+
+/// One (conformance family, solver) cell of the pruning comparison.
+#[derive(Debug, Serialize, Deserialize)]
+struct PruningCell {
+    family: String,
+    solver: String,
+    layouts_investigated: usize,
+    layouts_pruned: usize,
+    median_ms_pruned: f64,
+    /// `None` for the additive ES, whose suffix bound has no off switch.
+    median_ms_unpruned: Option<f64>,
+}
+
+fn median_ms<F: FnMut()>(mut f: F) -> f64 {
+    f(); // warmup
+    let mut samples: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+    samples[samples.len() / 2]
+}
+
+/// The hot-path medians, on the controller/replan bench fixture (TPC-C,
+/// day/night phase flip, shared TOC cache).
+fn measure_hot_paths() -> HotPaths {
+    let schema = tpcc::schema(4.0);
+    let pool = catalog::box2();
+    let day = drift::analytical_phase(&schema);
+    let night = tpcc::workload(&schema);
+    let deployed = Advisor::builder(&schema, &pool, &day)
+        .sla(0.5)
+        .build()
+        .expect("day session")
+        .recommend("dot")
+        .expect("day layout")
+        .layout;
+
+    let cold_solve_ms = median_ms(|| {
+        black_box(
+            Advisor::builder(&schema, &pool, &night)
+                .sla(0.5)
+                .build()
+                .expect("session")
+                .recommend("dot")
+                .expect("re-provision"),
+        );
+    });
+
+    let cache = Arc::new(CachedEstimator::new());
+    let warm_advisor = Advisor::builder(&schema, &pool, &night)
+        .sla(0.5)
+        .toc_cache(Arc::clone(&cache))
+        .build()
+        .expect("warm session");
+    let warm_replan_ms = median_ms(|| {
+        black_box(warm_advisor.replan(&deployed).expect("replan"));
+    });
+
+    // Quiescent tick: below-threshold drift against a layout deployed for
+    // the night baseline, watched by the incremental controller (the first
+    // tick anchors, the timed ticks ride the delta).
+    let night_deployed = warm_advisor.recommend("dot").expect("night layout").layout;
+    let noisy = drift::shift_read_write(&night, 0.05);
+    let mut supervisor = Controller::new(
+        &schema,
+        &pool,
+        &night,
+        night_deployed.clone(),
+        0.5,
+        ControllerConfig::default(),
+    )
+    .expect("controller opens")
+    .with_toc_cache(Arc::clone(&cache));
+    let first = supervisor.observe(&noisy).expect("first tick");
+    assert!(!first.triggered(), "noise must not trigger");
+    let tick_quiescent_ms = median_ms(|| {
+        black_box(supervisor.observe(&noisy).expect("tick"));
+    });
+
+    // What that tick used to pay: two full estimates of the observed
+    // problem — the deployed layout and the premium reference.
+    let observed = Problem::new(
+        &schema,
+        &pool,
+        &noisy,
+        SlaSpec::relative(0.5),
+        EngineConfig::oltp(),
+    );
+    let premium = observed.premium_layout();
+    let tick_two_full_estimates_ms = median_ms(|| {
+        black_box(toc::estimate_toc(&observed, &night_deployed));
+        black_box(toc::estimate_toc(&observed, &premium));
+    });
+
+    HotPaths {
+        cold_solve_ms,
+        warm_replan_ms,
+        tick_quiescent_ms,
+        tick_two_full_estimates_ms,
+    }
+}
+
+/// The fleet bench's 16 synthetic tenants, provisioned once on the
+/// machine-sized worker pool; the shared-cache hit rate is the number the
+/// fleet subsystem exists to move.
+fn measure_fleet() -> FleetNumbers {
+    let mut tenants = Vec::new();
+    for shape in 0..4 {
+        let schema = tpch::subset_schema(shape as f64 + 1.0);
+        let workload = tpch::subset_workload(&schema);
+        for t in 0..4 {
+            tenants.push(TenantRequest {
+                name: format!("shape{shape}-tenant{t}"),
+                pool: catalog::box2(),
+                schema: schema.clone(),
+                workload: workload.clone(),
+                sla: if t % 2 == 0 { 0.5 } else { 0.25 },
+                solver: None,
+                engine: None,
+                refinements: None,
+            });
+        }
+    }
+    let report = provision_fleet(&tenants, &FleetConfig::default());
+    assert_eq!(report.aggregate.tenants_provisioned, tenants.len());
+    FleetNumbers {
+        tenants: tenants.len(),
+        hit_rate: report.cache.hit_rate(),
+        hits: report.cache.hits,
+        misses: report.cache.misses,
+    }
+}
+
+/// Pruned vs. estimate-everything sweeps on the four conformance families
+/// (`crates/core/tests/solver_conformance.rs` fixtures).
+fn measure_pruning() -> Vec<PruningCell> {
+    /// Full ES is only timed where the enumeration is small enough to
+    /// sample repeatedly.
+    const ES_TIMED_LAYOUTS: f64 = 10_000.0;
+
+    let pool = catalog::box2();
+    let families: Vec<(&str, dot_dbms::Schema, dot_workloads::Workload, f64)> = vec![
+        {
+            let s = tpch::subset_schema(1.0);
+            let w = tpch::subset_workload(&s);
+            ("tpch", s, w, 0.5)
+        },
+        {
+            let s = tpcc::schema(5.0);
+            let w = tpcc::workload(&s);
+            ("tpcc", s, w, 0.25)
+        },
+        {
+            let s = ycsb::schema(2_000_000.0);
+            let w = ycsb::workload(&s, ycsb::YcsbMix::B, 300);
+            ("ycsb", s, w, 0.25)
+        },
+        {
+            let s = synth::bench_schema(5_000_000.0, 120.0);
+            let w = synth::mixed_workload(&s);
+            ("synth", s, w, 0.5)
+        },
+    ];
+
+    let mut cells = Vec::new();
+    for (family, schema, workload, sla) in &families {
+        let cfg = match workload.metric {
+            PerfMetric::ResponseTime => EngineConfig::dss(),
+            PerfMetric::Throughput => EngineConfig::oltp(),
+        };
+        let p = Problem::new(schema, &pool, workload, SlaSpec::relative(*sla), cfg);
+        let cons = constraints::derive(&p);
+        let prof = profile_workload(workload, schema, &pool, &p.cfg, ProfileSource::Estimate);
+        let estimator = Estimator::direct();
+
+        let out = dot::optimize_with_pruning(&p, &prof, &cons, &estimator, true);
+        cells.push(PruningCell {
+            family: (*family).to_owned(),
+            solver: "dot".to_owned(),
+            layouts_investigated: out.layouts_investigated,
+            layouts_pruned: out.layouts_pruned,
+            median_ms_pruned: median_ms(|| {
+                black_box(dot::optimize_with_pruning(
+                    &p, &prof, &cons, &estimator, true,
+                ));
+            }),
+            median_ms_unpruned: Some(median_ms(|| {
+                black_box(dot::optimize_with_pruning(
+                    &p, &prof, &cons, &estimator, false,
+                ));
+            })),
+        });
+
+        let space = (pool.len() as f64).powf(schema.object_count() as f64);
+        if space <= ES_TIMED_LAYOUTS {
+            let out = exhaustive::exhaustive_search_with_pruning(&p, &cons, &estimator, true);
+            cells.push(PruningCell {
+                family: (*family).to_owned(),
+                solver: "es".to_owned(),
+                layouts_investigated: out.layouts_investigated,
+                layouts_pruned: out.layouts_pruned,
+                median_ms_pruned: median_ms(|| {
+                    black_box(exhaustive::exhaustive_search_with_pruning(
+                        &p, &cons, &estimator, true,
+                    ));
+                }),
+                median_ms_unpruned: Some(median_ms(|| {
+                    black_box(exhaustive::exhaustive_search_with_pruning(
+                        &p, &cons, &estimator, false,
+                    ));
+                })),
+            });
+        }
+
+        if workload.metric == PerfMetric::Throughput {
+            let out = exhaustive::exhaustive_search_additive_with(&p, &prof, &cons, &estimator);
+            cells.push(PruningCell {
+                family: (*family).to_owned(),
+                solver: "es-additive".to_owned(),
+                layouts_investigated: out.layouts_investigated,
+                layouts_pruned: out.layouts_pruned,
+                median_ms_pruned: median_ms(|| {
+                    black_box(exhaustive::exhaustive_search_additive_with(
+                        &p, &prof, &cons, &estimator,
+                    ));
+                }),
+                median_ms_unpruned: None,
+            });
+        }
+    }
+    cells
+}
+
+fn distill(path: &str) {
+    let trajectory = Trajectory {
+        schema_version: 1,
+        pr: 6,
+        samples: SAMPLES,
+        hot_paths: measure_hot_paths(),
+        fleet: measure_fleet(),
+        pruning: measure_pruning(),
+    };
+    let json = serde_json::to_string_pretty(&trajectory).expect("trajectory serializes");
+    std::fs::write(path, json + "\n").expect("trajectory written");
+    println!("distill: wrote {path}");
+    summarize(&trajectory);
+}
+
+fn summarize(t: &Trajectory) {
+    let h = &t.hot_paths;
+    println!(
+        "distill: cold solve {:.1} ms, warm replan {:.2} ms, quiescent tick {:.4} ms \
+         (two-full-estimate tick {:.3} ms, {:.0}x)",
+        h.cold_solve_ms,
+        h.warm_replan_ms,
+        h.tick_quiescent_ms,
+        h.tick_two_full_estimates_ms,
+        h.tick_two_full_estimates_ms / h.tick_quiescent_ms.max(1e-9),
+    );
+    println!(
+        "distill: fleet hit rate {:.1}% over {} tenants",
+        t.fleet.hit_rate * 100.0,
+        t.fleet.tenants
+    );
+    for c in &t.pruning {
+        match c.median_ms_unpruned {
+            Some(unpruned) => println!(
+                "distill: {}/{} pruned {}/{} — {:.2} ms vs {:.2} ms unpruned",
+                c.family,
+                c.solver,
+                c.layouts_pruned,
+                c.layouts_investigated,
+                c.median_ms_pruned,
+                unpruned
+            ),
+            None => println!(
+                "distill: {}/{} pruned {}/{} — {:.2} ms (bound always on)",
+                c.family, c.solver, c.layouts_pruned, c.layouts_investigated, c.median_ms_pruned
+            ),
+        }
+    }
+}
+
+fn check(path: &str) {
+    let raw = match std::fs::read_to_string(path) {
+        Ok(raw) => raw,
+        Err(e) => fail(&format!("cannot read {path}: {e}")),
+    };
+    let t: Trajectory = match serde_json::from_str(&raw) {
+        Ok(t) => t,
+        Err(e) => fail(&format!("{path} does not parse as a trajectory: {e}")),
+    };
+    let h = &t.hot_paths;
+    for (name, v) in [
+        ("cold_solve_ms", h.cold_solve_ms),
+        ("warm_replan_ms", h.warm_replan_ms),
+        ("tick_quiescent_ms", h.tick_quiescent_ms),
+        ("tick_two_full_estimates_ms", h.tick_two_full_estimates_ms),
+    ] {
+        if !v.is_finite() || v <= 0.0 {
+            fail(&format!("{path}: {name} = {v} is not a positive median"));
+        }
+    }
+    if h.tick_quiescent_ms >= h.tick_two_full_estimates_ms {
+        fail(&format!(
+            "{path}: quiescent tick ({} ms) must undercut the two-full-estimate \
+             tick it replaced ({} ms)",
+            h.tick_quiescent_ms, h.tick_two_full_estimates_ms
+        ));
+    }
+    if !t.fleet.hit_rate.is_finite() || t.fleet.hit_rate <= 0.0 {
+        fail(&format!("{path}: fleet hit rate must be positive"));
+    }
+    if t.pruning.is_empty() {
+        fail(&format!("{path}: no pruning cells recorded"));
+    }
+    let mut families: Vec<&str> = t.pruning.iter().map(|c| c.family.as_str()).collect();
+    families.sort_unstable();
+    families.dedup();
+    let grand_total: usize = t.pruning.iter().map(|c| c.layouts_pruned).sum();
+    if grand_total == 0 {
+        fail(&format!(
+            "{path}: zero pruned candidates across every conformance workload"
+        ));
+    }
+    for family in families {
+        let cells = || t.pruning.iter().filter(|c| c.family == family);
+        let total: usize = cells().map(|c| c.layouts_pruned).sum();
+        let widest = cells().map(|c| c.layouts_investigated).max().unwrap_or(0);
+        if total == 0 && widest > NONTRIVIAL_INVESTIGATED {
+            fail(&format!(
+                "{path}: conformance family {family} investigated {widest} \
+                 candidates but pruned zero"
+            ));
+        }
+    }
+    for c in &t.pruning {
+        if let Some(unpruned) = c.median_ms_unpruned {
+            if c.median_ms_pruned > unpruned * PRUNED_SLOWDOWN_TOLERANCE {
+                fail(&format!(
+                    "{path}: {}/{} pruned sweep ({} ms) is slower than the \
+                     estimate-everything sweep ({} ms) beyond tolerance",
+                    c.family, c.solver, c.median_ms_pruned, unpruned
+                ));
+            }
+        }
+    }
+    println!("check: {path} ok");
+    summarize(&t);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("distill: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.split_first() {
+        None => distill(DEFAULT_PATH),
+        Some((flag, rest)) if flag == "--out" => match rest {
+            [path] => distill(path),
+            _ => fail("--out takes exactly one path"),
+        },
+        Some((flag, rest)) if flag == "--check" => match rest {
+            [] => check(DEFAULT_PATH),
+            [path] => check(path),
+            _ => fail("--check takes at most one path"),
+        },
+        Some((flag, _)) => fail(&format!("unknown flag {flag} (use --out or --check)")),
+    }
+}

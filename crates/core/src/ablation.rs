@@ -21,7 +21,7 @@ use crate::constraints::Constraints;
 use crate::dot::DotOutcome;
 use crate::moves::{enumerate_moves, Move};
 use crate::problem::Problem;
-use crate::toc::Estimator;
+use crate::toc::{Estimator, ObjectiveBound};
 use dot_profiler::baseline::group_placements;
 use dot_profiler::WorkloadProfile;
 use serde::{Deserialize, Serialize};
@@ -174,7 +174,9 @@ pub fn optimize_ablated_with(
 
     let l0 = problem.premium_layout();
     let est0 = toc.estimate(problem, &l0);
+    let bound = ObjectiveBound::new(problem, &est0);
     let mut investigated = 1usize;
+    let mut pruned = 0usize;
     let mut current = l0.clone();
     let (mut best, mut best_est, mut best_toc) = if cons.satisfied(problem, &l0, &est0) {
         let t = est0.objective_cents;
@@ -184,8 +186,16 @@ pub fn optimize_ablated_with(
     };
     for m in &moves {
         let candidate = m.apply(&current);
-        let est = toc.estimate(problem, &candidate);
         investigated += 1;
+        // Same dominance cut as `dot::optimize_with` — never changes which
+        // layout wins, only skips estimates that cannot beat the incumbent.
+        if let Some(lb) = bound.lower_bound(problem, &candidate) {
+            if lb >= best_toc {
+                pruned += 1;
+                continue;
+            }
+        }
+        let est = toc.estimate(problem, &candidate);
         if cons.satisfied(problem, &candidate, &est) && est.objective_cents < best_toc {
             best_toc = est.objective_cents;
             current = candidate;
@@ -197,6 +207,7 @@ pub fn optimize_ablated_with(
         layout: best,
         estimate: best_est,
         layouts_investigated: investigated,
+        layouts_pruned: pruned,
         elapsed: start.elapsed(),
     }
 }

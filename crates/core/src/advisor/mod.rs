@@ -79,6 +79,11 @@ pub struct Provenance {
     pub solver: String,
     /// Complete layouts the solver evaluated.
     pub layouts_investigated: usize,
+    /// Candidates the dominance cut skipped without estimating (see
+    /// `toc::ObjectiveBound`). Subset of `layouts_investigated`; 0 for
+    /// solvers that never prune and for pre-pruning serialized records.
+    #[serde(default)]
+    pub layouts_pruned: usize,
     /// Solver wall-clock time in integer milliseconds.
     pub elapsed_ms: u64,
     /// Validation/refinement rounds run (0 = first recommendation passed).
@@ -152,6 +157,7 @@ impl SolveContext<'_, '_> {
         layout: Layout,
         estimate: TocEstimate,
         layouts_investigated: usize,
+        layouts_pruned: usize,
         elapsed: Duration,
         validation: Option<ValidationReport>,
         refinement_rounds: usize,
@@ -186,6 +192,7 @@ impl SolveContext<'_, '_> {
             provenance: Provenance {
                 solver: solver.to_owned(),
                 layouts_investigated,
+                layouts_pruned,
                 elapsed_ms: elapsed.as_millis() as u64,
                 refinement_rounds,
                 final_sla,

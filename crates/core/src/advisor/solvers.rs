@@ -165,6 +165,7 @@ impl Solver for DotSolver {
         let mut final_sla = problem.sla.ratio;
         let mut outcome = dot::optimize_with(problem, cx.profile, &active_cons, &cx.toc);
         let mut investigated = outcome.layouts_investigated;
+        let mut pruned = outcome.layouts_pruned;
 
         if outcome.layout.is_none() {
             match self.relaxation {
@@ -179,6 +180,7 @@ impl Solver for DotSolver {
                         let relaxed =
                             dot::optimize_with(problem, cx.profile, &relaxed_cons, &cx.toc);
                         investigated += relaxed.layouts_investigated;
+                        pruned += relaxed.layouts_pruned;
                         if relaxed.layout.is_some() {
                             final_sla = next;
                             active_cons = relaxed_cons;
@@ -219,6 +221,7 @@ impl Solver for DotSolver {
                 layout,
                 estimate,
                 investigated,
+                pruned,
                 start.elapsed(),
                 None,
                 0,
@@ -253,6 +256,7 @@ impl Solver for DotSolver {
                     layout,
                     estimate,
                     investigated,
+                    pruned,
                     start.elapsed(),
                     Some(validation),
                     rounds,
@@ -271,6 +275,7 @@ impl Solver for DotSolver {
             );
             let next = dot::optimize_with(problem, &refined, &active_cons, &cx.toc);
             investigated += next.layouts_investigated;
+            pruned += next.layouts_pruned;
             if next.layout.is_none() {
                 // Refinement lost feasibility: keep the last good layout.
                 return Ok(cx.recommendation(
@@ -279,6 +284,7 @@ impl Solver for DotSolver {
                     layout,
                     estimate,
                     investigated,
+                    pruned,
                     start.elapsed(),
                     Some(validation),
                     rounds,
@@ -352,6 +358,7 @@ impl Solver for EsSolver {
             out.layout,
             out.estimate,
             out.layouts_investigated,
+            out.layouts_pruned,
             start,
         )
     }
@@ -402,6 +409,7 @@ impl Solver for EsAdditiveSolver {
             out.layout,
             out.estimate,
             out.layouts_investigated,
+            out.layouts_pruned,
             start,
         )
     }
@@ -409,6 +417,7 @@ impl Solver for EsAdditiveSolver {
 
 /// Shared tail of the search solvers: feasible → recommendation,
 /// exhausted → infeasible.
+#[allow(clippy::too_many_arguments)] // mirrors the provenance record
 fn finish_search(
     cx: &SolveContext<'_, '_>,
     id: &str,
@@ -416,6 +425,7 @@ fn finish_search(
     layout: Option<Layout>,
     estimate: Option<crate::toc::TocEstimate>,
     investigated: usize,
+    pruned: usize,
     start: Instant,
 ) -> Result<Recommendation, ProvisionError> {
     match (layout, estimate) {
@@ -425,6 +435,7 @@ fn finish_search(
             layout,
             estimate,
             investigated,
+            pruned,
             start.elapsed(),
             None,
             0,
@@ -612,6 +623,7 @@ fn finish_fixed_layout(
         layout,
         est,
         1,
+        0,
         start.elapsed(),
         None,
         0,
@@ -682,6 +694,7 @@ impl Solver for AblationSolver {
             layout,
             estimate,
             layouts_investigated,
+            layouts_pruned,
             ..
         } = out;
         match (layout, estimate) {
@@ -691,6 +704,7 @@ impl Solver for AblationSolver {
                 layout,
                 estimate,
                 layouts_investigated,
+                layouts_pruned,
                 start.elapsed(),
                 None,
                 0,

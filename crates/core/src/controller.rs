@@ -71,8 +71,9 @@
 
 use crate::advisor::{Advisor, ProvisionError};
 use crate::constraints;
+use crate::problem::{LayoutCostModel, Problem};
 use crate::replan::{MigrationBudget, MigrationDecision, ReplanRecommendation};
-use crate::toc::CachedEstimator;
+use crate::toc::{CachedEstimator, ProblemDelta, TocEstimate};
 use dot_dbms::{EngineConfig, Layout, Schema};
 use dot_storage::StoragePool;
 use dot_workloads::drift::{self, WorkloadSignature};
@@ -374,6 +375,30 @@ pub fn expand_trace(
     Ok(out)
 }
 
+/// The estimates a quiescent tick re-targets incrementally instead of
+/// recomputing: one full observation's problem inputs plus the two
+/// estimates (deployed layout, premium reference) its scoring needed.
+/// While subsequent observations stay inside [`ProblemDelta`]'s validity
+/// envelope — the reweighting shifts the drift generators produce — each
+/// tick costs one `O(queries)` re-accumulation per estimate instead of two
+/// planner runs, with bit-identical results; anything else (a phase
+/// change, an adopted migration) refreshes the anchor through the full
+/// path.
+struct DeltaAnchor {
+    /// The observation the anchored estimates were computed under.
+    workload: Workload,
+    /// Engine configuration the anchor session resolved to.
+    cfg: EngineConfig,
+    /// Cost model of the anchor problem.
+    cost_model: LayoutCostModel,
+    /// The layout `deployed_estimate` was computed for.
+    deployed: Layout,
+    /// The deployed layout's estimate under the anchor observation.
+    deployed_estimate: TocEstimate,
+    /// The premium-reference estimate behind the anchor's constraints.
+    reference_estimate: TocEstimate,
+}
+
 /// The online re-provisioning controller: one deployed layout under
 /// supervision. See the [module docs](self) for the loop's semantics.
 pub struct Controller<'a> {
@@ -385,6 +410,7 @@ pub struct Controller<'a> {
     cache: Option<Arc<CachedEstimator>>,
     baseline: WorkloadSignature,
     deployed: Layout,
+    anchor: Option<DeltaAnchor>,
     refinements: Option<usize>,
     tick: u64,
     armed: bool,
@@ -436,6 +462,7 @@ impl<'a> Controller<'a> {
             cache: None,
             baseline: drift::signature(baseline),
             deployed,
+            anchor: None,
             refinements: None,
             tick: 0,
             armed: true,
@@ -532,8 +559,47 @@ impl<'a> Controller<'a> {
         let signature = drift::signature(observed);
         let distance = self.baseline.distance(&signature);
         let problem = advisor.problem();
-        let cons = advisor.constraints();
-        let estimate = advisor.estimator().estimate(problem, &self.deployed);
+        // Incremental hot path: when the observation differs from the
+        // anchored one only by reweighting (the [`ProblemDelta`] envelope)
+        // and the deployed layout is unchanged, both per-tick estimates are
+        // re-targeted in O(queries) instead of two planner runs. The delta
+        // path is bit-identical to full recomputation, so the event log
+        // never depends on which path scored a tick; anything outside the
+        // envelope falls through and refreshes the anchor.
+        let incremental = self.anchor.as_ref().and_then(|a| {
+            if a.deployed != self.deployed {
+                return None;
+            }
+            let anchor_problem =
+                Problem::new(self.schema, self.pool, &a.workload, problem.sla, a.cfg)
+                    .with_cost_model(a.cost_model);
+            ProblemDelta::between(&anchor_problem, problem).map(|delta| {
+                (
+                    a.deployed_estimate.apply_delta(&delta),
+                    a.reference_estimate.apply_delta(&delta),
+                )
+            })
+        });
+        let mut owned_cons = None;
+        let estimate = match incremental {
+            Some((estimate, reference)) => {
+                owned_cons = Some(constraints::from_reference(problem, reference, problem.sla));
+                estimate
+            }
+            None => {
+                let estimate = advisor.estimator().estimate(problem, &self.deployed);
+                self.anchor = Some(DeltaAnchor {
+                    workload: observed.clone(),
+                    cfg: problem.cfg,
+                    cost_model: problem.cost_model,
+                    deployed: self.deployed.clone(),
+                    deployed_estimate: estimate.clone(),
+                    reference_estimate: advisor.constraints().reference.clone(),
+                });
+                estimate
+            }
+        };
+        let cons = owned_cons.as_ref().unwrap_or_else(|| advisor.constraints());
         let margins = cons.violation_margins(observed, &estimate);
         let sla_pressure = constraints::sla_pressure(&margins);
         let feasible = cons.satisfied(problem, &self.deployed, &estimate);
@@ -728,6 +794,43 @@ mod tests {
         c.observe(&baseline).unwrap();
         assert_eq!(c.events().len(), 1);
         assert_eq!(c.ticks(), 4);
+    }
+
+    #[test]
+    fn quiescent_ticks_reuse_the_anchor_instead_of_estimating() {
+        let (schema, pool, baseline) = setup();
+        let deployed = deployed_for(&schema, &pool, &baseline);
+        let cache = Arc::new(CachedEstimator::new());
+        let mut c = Controller::new(
+            &schema,
+            &pool,
+            &baseline,
+            deployed,
+            0.5,
+            ControllerConfig::default(),
+        )
+        .unwrap()
+        .with_toc_cache(Arc::clone(&cache));
+        // The first tick anchors through the estimator (cache traffic).
+        c.observe(&baseline).unwrap();
+        let first = cache.stats();
+        assert!(first.misses > 0, "the anchor tick estimates in full");
+        // Quiescent and representably-drifted ticks ride the delta path:
+        // zero estimator traffic, identical scoring.
+        c.observe(&baseline).unwrap();
+        c.observe(&drift::shift_read_write(&baseline, 0.05))
+            .unwrap();
+        let after = cache.stats();
+        assert_eq!(
+            (after.hits, after.misses),
+            (first.hits, first.misses),
+            "in-envelope ticks must not consult the estimator"
+        );
+        // A phase change exceeds the validity bound: the estimator runs
+        // again (and a replan may add its own traffic on top).
+        c.observe(&drift::analytical_phase(&schema)).unwrap();
+        let flipped = cache.stats();
+        assert!(flipped.hits + flipped.misses > first.hits + first.misses);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 use crate::constraints::{self, Constraints};
 use crate::moves::enumerate_moves;
 use crate::problem::Problem;
-use crate::toc::{Estimator, TocEstimate};
+use crate::toc::{Estimator, ObjectiveBound, TocEstimate};
 use dot_dbms::Layout;
 use dot_profiler::{ProfileSource, WorkloadProfile};
 use dot_workloads::SlaSpec;
@@ -20,8 +20,13 @@ pub struct DotOutcome {
     pub layout: Option<Layout>,
     /// Estimate of the recommended layout.
     pub estimate: Option<TocEstimate>,
-    /// Layouts investigated (`|∆| + 1`, counting `L_0`).
+    /// Layouts investigated (`|∆| + 1`, counting `L_0`). Pruned candidates
+    /// still count: they were enumerated, just not estimated.
     pub layouts_investigated: usize,
+    /// Candidates the dominance cut ([`ObjectiveBound`]) skipped without
+    /// estimating. Defaults to 0 when parsing pre-pruning serializations.
+    #[serde(default)]
+    pub layouts_pruned: usize,
     /// Wall-clock time of the sweep.
     #[serde(skip, default)]
     pub elapsed: Duration,
@@ -59,10 +64,28 @@ pub fn optimize_with(
     cons: &Constraints,
     toc: &Estimator<'_>,
 ) -> DotOutcome {
+    optimize_with_pruning(problem, profile, cons, toc, true)
+}
+
+/// [`optimize_with`] with the dominance cut switchable: `prune: false`
+/// runs the historical estimate-every-candidate sweep. Both settings
+/// return the identical recommendation (the cut only skips candidates
+/// whose objective lower bound already meets the incumbent; see
+/// [`ObjectiveBound`]) — the perf-trajectory distillation measures the two
+/// against each other.
+pub fn optimize_with_pruning(
+    problem: &Problem<'_>,
+    profile: &WorkloadProfile,
+    cons: &Constraints,
+    toc: &Estimator<'_>,
+    prune: bool,
+) -> DotOutcome {
     let start = Instant::now();
     let l0 = problem.premium_layout();
     let est0 = toc.estimate(problem, &l0);
+    let bound = prune.then(|| ObjectiveBound::new(problem, &est0));
     let mut investigated = 1usize;
+    let mut pruned = 0usize;
 
     let mut current = l0.clone();
     let (mut best, mut best_est, mut best_toc) = if cons.satisfied(problem, &l0, &est0) {
@@ -74,8 +97,20 @@ pub fn optimize_with(
 
     for m in enumerate_moves(problem, profile) {
         let candidate = m.apply(&current);
-        let est = toc.estimate(problem, &candidate);
         investigated += 1;
+        // Dominance cut: a candidate whose objective lower bound already
+        // meets the incumbent cannot be accepted (acceptance is strict),
+        // so its estimate is never needed.
+        if let Some(lb) = bound
+            .as_ref()
+            .and_then(|b| b.lower_bound(problem, &candidate))
+        {
+            if lb >= best_toc {
+                pruned += 1;
+                continue;
+            }
+        }
+        let est = toc.estimate(problem, &candidate);
         if cons.satisfied(problem, &candidate, &est) && est.objective_cents < best_toc {
             best_toc = est.objective_cents;
             current = candidate;
@@ -88,6 +123,7 @@ pub fn optimize_with(
         layout: best,
         estimate: best_est,
         layouts_investigated: investigated,
+        layouts_pruned: pruned,
         elapsed: start.elapsed(),
     }
 }
@@ -154,6 +190,7 @@ pub fn run_pipeline(
                 layout: Some(rec.layout),
                 estimate: Some(rec.estimate),
                 layouts_investigated: rec.provenance.layouts_investigated,
+                layouts_pruned: rec.provenance.layouts_pruned,
                 elapsed: Duration::from_millis(rec.provenance.elapsed_ms),
             },
             validation: rec.validation,
@@ -172,6 +209,7 @@ pub fn run_pipeline(
                     layout: None,
                     estimate: None,
                     layouts_investigated,
+                    layouts_pruned: 0,
                     elapsed: Duration::ZERO,
                 },
                 validation: None,

@@ -18,7 +18,7 @@
 
 use crate::constraints::Constraints;
 use crate::problem::{LayoutCostModel, Problem};
-use crate::toc::{Estimator, TocEstimate};
+use crate::toc::{Estimator, ObjectiveBound, TocEstimate};
 use dot_dbms::Layout;
 use dot_profiler::baseline::group_placements;
 use dot_profiler::WorkloadProfile;
@@ -34,8 +34,14 @@ pub struct EsOutcome {
     pub layout: Option<Layout>,
     /// Its estimate.
     pub estimate: Option<TocEstimate>,
-    /// Complete layouts evaluated.
+    /// Complete layouts evaluated (pruned candidates included: they were
+    /// enumerated, just not estimated).
     pub layouts_investigated: usize,
+    /// Candidates skipped without estimating: dominance cuts in the literal
+    /// enumeration, suffix-bound subtree cuts in the additive search.
+    /// Defaults to 0 when parsing pre-pruning serializations.
+    #[serde(default)]
+    pub layouts_pruned: usize,
     /// Wall-clock time.
     #[serde(skip, default)]
     pub elapsed: Duration,
@@ -59,17 +65,39 @@ pub fn exhaustive_search_with(
     cons: &Constraints,
     toc: &Estimator<'_>,
 ) -> EsOutcome {
+    exhaustive_search_with_pruning(problem, cons, toc, true)
+}
+
+/// [`exhaustive_search_with`] with the dominance cut switchable:
+/// `prune: false` estimates every enumerated layout. Both settings return
+/// the identical optimum (the cut only skips candidates whose objective
+/// lower bound already meets the branch's incumbent; see
+/// [`ObjectiveBound`]) — the perf-trajectory distillation measures the two
+/// against each other. Each enumeration thread prunes against its own
+/// incumbent, so the pruned count is deterministic and independent of any
+/// attached estimate cache.
+pub fn exhaustive_search_with_pruning(
+    problem: &Problem<'_>,
+    cons: &Constraints,
+    toc: &Estimator<'_>,
+    prune: bool,
+) -> EsOutcome {
     let start = Instant::now();
     let n = problem.schema.object_count();
     let classes: Vec<ClassId> = problem.pool.ids().collect();
     let m = classes.len();
     assert!(m >= 1 && n >= 1);
+    // The constraints' reference IS the all-premium estimate, so the bound
+    // costs nothing extra to build.
+    let bound = prune.then(|| ObjectiveBound::new(problem, &cons.reference));
+    let bound = bound.as_ref();
 
     struct Best {
         layout: Option<Layout>,
         estimate: Option<TocEstimate>,
         toc: f64,
         evaluated: usize,
+        pruned: usize,
     }
 
     let evaluate_branch = |first: ClassId| -> Best {
@@ -78,6 +106,7 @@ pub fn exhaustive_search_with(
             estimate: None,
             toc: f64::INFINITY,
             evaluated: 0,
+            pruned: 0,
         };
         // Odometer over objects 1..n (object 0 fixed to `first`).
         let mut digits = vec![0usize; n.saturating_sub(1)];
@@ -89,11 +118,17 @@ pub fn exhaustive_search_with(
             best.evaluated += 1;
             // Cheap capacity pre-check before paying for planning.
             if layout.fits(problem.schema, problem.pool) {
-                let est = toc.estimate(problem, &layout);
-                if cons.performance_satisfied(&est) && est.objective_cents < best.toc {
-                    best.toc = est.objective_cents;
-                    best.layout = Some(layout);
-                    best.estimate = Some(est);
+                let lb = bound.and_then(|b| b.lower_bound(problem, &layout));
+                if lb.is_some_and(|lb| lb >= best.toc) {
+                    // Dominance cut: cannot beat this branch's incumbent.
+                    best.pruned += 1;
+                } else {
+                    let est = toc.estimate(problem, &layout);
+                    if cons.performance_satisfied(&est) && est.objective_cents < best.toc {
+                        best.toc = est.objective_cents;
+                        best.layout = Some(layout);
+                        best.estimate = Some(est);
+                    }
                 }
             }
             // Advance the odometer.
@@ -128,8 +163,10 @@ pub fn exhaustive_search_with(
     let mut estimate: Option<TocEstimate> = None;
     let mut toc = f64::INFINITY;
     let mut evaluated = 0usize;
+    let mut pruned = 0usize;
     for b in results {
         evaluated += b.evaluated;
+        pruned += b.pruned;
         if b.toc < toc {
             toc = b.toc;
             layout = b.layout;
@@ -140,6 +177,7 @@ pub fn exhaustive_search_with(
         layout,
         estimate,
         layouts_investigated: evaluated,
+        layouts_pruned: pruned,
         elapsed: start.elapsed(),
     }
 }
@@ -275,6 +313,7 @@ pub fn exhaustive_search_additive_with(
         best_choice: Vec<usize>,
         choice: Vec<usize>,
         leaves: usize,
+        pruned: usize,
     }
     impl Search<'_> {
         fn dfs(&mut self, i: usize, cost: f64, time: f64, space: &mut [f64]) {
@@ -285,6 +324,7 @@ pub fn exhaustive_search_additive_with(
             // measurement period — see TocEstimate::objective_cents).
             let cost_bound = cost + self.min_cost_rest[i];
             if cost_bound >= self.best_toc {
+                self.pruned += 1;
                 return;
             }
             if i == self.options.len() {
@@ -320,6 +360,7 @@ pub fn exhaustive_search_additive_with(
     // planner and tighten the cap slightly if it overshoots.
     let mut cap = time_cap_ms;
     let mut leaves_total = 0usize;
+    let mut pruned_total = 0usize;
     let mut result: (Option<Layout>, Option<TocEstimate>) = (None, None);
     for _ in 0..10 {
         let mut search = Search {
@@ -333,10 +374,12 @@ pub fn exhaustive_search_additive_with(
             best_choice: Vec::new(),
             choice: Vec::new(),
             leaves: 0,
+            pruned: 0,
         };
         let mut space = vec![0.0; pool.len()];
         search.dfs(0, 0.0, 0.0, &mut space);
         leaves_total += search.leaves;
+        pruned_total += search.pruned;
         if search.best_choice.len() != n_groups {
             break; // infeasible under this cap
         }
@@ -361,6 +404,7 @@ pub fn exhaustive_search_additive_with(
         layout,
         estimate,
         layouts_investigated: leaves_total,
+        layouts_pruned: pruned_total,
         elapsed: start.elapsed(),
     }
 }

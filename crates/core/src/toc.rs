@@ -20,11 +20,13 @@
 use crate::problem::Problem;
 use dot_dbms::plan::PlanStats;
 use dot_dbms::{exec, Layout};
+use dot_workloads::spec::PerfMetric;
+use dot_workloads::Workload;
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Everything `estimateTOC` knows about one layout.
@@ -62,9 +64,9 @@ impl TocEstimate {
         let hours = problem.workload.execution_hours(run.stream_time_ms);
         let toc_cents_per_pass = layout_cost * hours;
         let objective_cents = match problem.workload.metric {
-            dot_workloads::spec::PerfMetric::ResponseTime => toc_cents_per_pass,
+            PerfMetric::ResponseTime => toc_cents_per_pass,
             // §4.5: OLTP runs a fixed 1-hour measurement period.
-            dot_workloads::spec::PerfMetric::Throughput => layout_cost,
+            PerfMetric::Throughput => layout_cost,
         };
         TocEstimate {
             layout_cost_cents_per_hour: layout_cost,
@@ -80,6 +82,106 @@ impl TocEstimate {
             objective_cents,
             plan_stats: run.stats,
         }
+    }
+
+    /// Re-target this estimate — computed for some layout under the delta's
+    /// *anchor* problem — to the delta's *observed* problem. The result is
+    /// **bit-identical** to a full [`estimate_toc`] of the same layout under
+    /// the observed problem, at the cost of one pass over the per-query
+    /// times instead of a planner run (the delta's existence proves the
+    /// planner would produce the same per-query times; see
+    /// [`ProblemDelta::between`]).
+    pub fn apply_delta(&self, delta: &ProblemDelta) -> TocEstimate {
+        let w = &delta.workload;
+        // Re-accumulate the stream time exactly as the planner does: in
+        // query order, starting from zero.
+        let mut stream_time_ms = 0.0f64;
+        for (time_ms, q) in self.per_query_ms.iter().zip(&w.queries) {
+            stream_time_ms += time_ms * q.weight;
+        }
+        let layout_cost = self.layout_cost_cents_per_hour;
+        let throughput = w.throughput_tasks_per_hour(stream_time_ms);
+        let hours = w.execution_hours(stream_time_ms);
+        let toc_cents_per_pass = layout_cost * hours;
+        let objective_cents = match w.metric {
+            PerfMetric::ResponseTime => toc_cents_per_pass,
+            PerfMetric::Throughput => layout_cost,
+        };
+        TocEstimate {
+            layout_cost_cents_per_hour: layout_cost,
+            stream_time_ms,
+            per_query_ms: self.per_query_ms.clone(),
+            throughput_tasks_per_hour: throughput,
+            toc_cents_per_pass,
+            toc_cents_per_task: if throughput > 0.0 {
+                layout_cost / throughput
+            } else {
+                f64::INFINITY
+            },
+            objective_cents,
+            plan_stats: self.plan_stats,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental re-estimation
+// ---------------------------------------------------------------------------
+
+/// A validated workload delta between an *anchor* problem and an *observed*
+/// one, within which [`TocEstimate::apply_delta`] is **exact**.
+///
+/// [`ProblemDelta::between`] admits exactly the shifts the reweighting
+/// drift generators (`dot_workloads::drift`) produce: per-query `weight`,
+/// stream `concurrency`, and `tasks_per_stream` may differ, while
+/// everything the planner reads — schema, pool, engine configuration, cost
+/// model, and the queries' shapes — must be unchanged. Inside that
+/// envelope an anchor estimate's per-query times and plan statistics still
+/// hold verbatim, and the derived quantities are recomputed through the
+/// observed workload's own formulas, so the re-targeted estimate is
+/// bit-identical to a full [`estimate_toc`] (pinned by the property suite
+/// in `tests/toc_delta_props.rs`). A shift outside the envelope — e.g. a
+/// phase change to different queries — yields `None`: that is the validity
+/// bound, and callers fall back to full recomputation.
+#[derive(Debug, Clone)]
+pub struct ProblemDelta {
+    /// The observed workload estimates are re-targeted to.
+    workload: Workload,
+}
+
+impl ProblemDelta {
+    /// Validate that `observed` differs from `anchor` only by reweighting,
+    /// returning the delta if so and `None` (recompute in full) otherwise.
+    pub fn between(anchor: &Problem<'_>, observed: &Problem<'_>) -> Option<ProblemDelta> {
+        // The planner inputs must match: schema and pool by identity
+        // (distinct-but-equal instances conservatively recompute), engine
+        // configuration and cost model by value.
+        if !std::ptr::eq(anchor.schema, observed.schema)
+            || !std::ptr::eq(anchor.pool, observed.pool)
+            || anchor.cfg != observed.cfg
+            || anchor.cost_model != observed.cost_model
+        {
+            return None;
+        }
+        let (a, o) = (anchor.workload, observed.workload);
+        if a.metric != o.metric || a.queries.len() != o.queries.len() {
+            return None;
+        }
+        // Queries must match modulo weight: the weight scales only the
+        // stream-time accumulation, never the per-query plan.
+        for (qa, qo) in a.queries.iter().zip(&o.queries) {
+            if qa.clone().with_weight(qo.weight) != *qo {
+                return None;
+            }
+        }
+        Some(ProblemDelta {
+            workload: o.clone(),
+        })
+    }
+
+    /// The observed workload this delta re-targets estimates to.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
     }
 }
 
@@ -119,6 +221,103 @@ pub fn measure_toc(problem: &Problem<'_>, layout: &Layout, seed: u64) -> TocEsti
         seed,
     );
     TocEstimate::from_run(problem, layout, run)
+}
+
+// ---------------------------------------------------------------------------
+// Dominance pruning support
+// ---------------------------------------------------------------------------
+
+/// Relative safety margin the response-time bound concedes to
+/// floating-point accumulation: per-query times are monotone under
+/// pointwise device dominance only up to rounding, so the stream-time
+/// floor is shaved by this factor before it prunes anything.
+const TIME_BOUND_MARGIN: f64 = 1e-6;
+
+/// An analytic, cache-independent lower bound on any candidate layout's
+/// [`TocEstimate::objective_cents`] — the branch-and-bound cut behind the
+/// optimizers' dominance pruning.
+///
+/// - **Throughput** (OLTP, §4.5): the objective *is* `C(L)`, so the bound
+///   (the candidate's layout cost) is exact.
+/// - **Response time** (DSS): the objective is `C(L) · t(L, W)`. When the
+///   premium class pointwise-dominates every class in the pool — no higher
+///   latency on any I/O pattern at the workload's concurrency — no layout
+///   can stream faster than the all-premium reference, so
+///   `C(L) · hours(t(L_0, W))` bounds the objective from below (shaved by
+///   `TIME_BOUND_MARGIN`, a one-ulp-scale safety factor against float
+///   reassociation). Without pointwise dominance the bound
+///   disables itself and nothing is pruned.
+///
+/// A candidate whose bound already meets the incumbent best objective can
+/// be skipped without estimating: every optimizer accepts strictly better
+/// objectives only, so the skip cannot change the returned layout — pruned
+/// and unpruned sweeps are bit-identical (`tests/pruning_props.rs`). The
+/// bound reads only the problem and the premium reference estimate, never
+/// a cache, so pruning counters are identical across cache off/cold/warm.
+#[derive(Debug, Clone, Copy)]
+pub struct ObjectiveBound {
+    mode: BoundMode,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum BoundMode {
+    /// Throughput metric: the objective equals the layout cost.
+    LayoutCost,
+    /// Response-time metric with a dominance-backed stream-time floor.
+    CostTimesHours {
+        /// Lower bound on any candidate's execution hours.
+        min_hours: f64,
+    },
+    /// Response-time metric without pointwise dominance: prune nothing.
+    Disabled,
+}
+
+impl ObjectiveBound {
+    /// Build the bound from the all-premium reference estimate (`premium`
+    /// must be the estimate of [`Problem::premium_layout`], which every
+    /// sweep computes anyway).
+    pub fn new(problem: &Problem<'_>, premium: &TocEstimate) -> ObjectiveBound {
+        let mode = match problem.workload.metric {
+            PerfMetric::Throughput => BoundMode::LayoutCost,
+            PerfMetric::ResponseTime => {
+                let classes = problem.pool.classes();
+                let concurrency = problem.cfg.concurrency;
+                let top = &classes[problem.pool.most_expensive().0];
+                let dominates = classes.iter().all(|c| {
+                    dot_storage::IO_TYPES.iter().all(|&io| {
+                        top.profile.latency_ms(io, concurrency)
+                            <= c.profile.latency_ms(io, concurrency)
+                    })
+                });
+                if dominates {
+                    BoundMode::CostTimesHours {
+                        min_hours: problem.workload.execution_hours(premium.stream_time_ms)
+                            * (1.0 - TIME_BOUND_MARGIN),
+                    }
+                } else {
+                    BoundMode::Disabled
+                }
+            }
+        };
+        ObjectiveBound { mode }
+    }
+
+    /// Lower bound on `layout`'s objective in cents, or `None` when this
+    /// problem admits no pruning.
+    pub fn lower_bound(&self, problem: &Problem<'_>, layout: &Layout) -> Option<f64> {
+        match self.mode {
+            BoundMode::LayoutCost => Some(problem.layout_cost_cents_per_hour(layout)),
+            BoundMode::CostTimesHours { min_hours } => {
+                Some(problem.layout_cost_cents_per_hour(layout) * min_hours)
+            }
+            BoundMode::Disabled => None,
+        }
+    }
+
+    /// Whether this bound can prune at all.
+    pub fn is_active(&self) -> bool {
+        !matches!(self.mode, BoundMode::Disabled)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -181,16 +380,31 @@ const DEFAULT_CAPACITY: usize = 1 << 16;
 /// shard lock; two threads missing on the same key concurrently both
 /// compute the (identical) value and one insert wins.
 ///
-/// Eviction: each shard holds at most `capacity / 16` entries and is
-/// flushed wholesale when full. Eviction affects only the hit rate, never
-/// returned values — an evicted key is simply recomputed.
+/// Eviction: each shard holds at most `capacity / 16` entries; when a full
+/// shard admits a new key, the single **oldest insertion** is evicted to
+/// make room, so a warm shard stays full instead of sawtoothing from empty.
+/// Eviction affects only the hit rate, never returned values — an evicted
+/// key is simply recomputed. Occupancy is mirrored in per-shard atomic
+/// counters, so [`CachedEstimator::stats`] never takes a shard lock.
 pub struct CachedEstimator {
-    /// Fingerprint → (layout → estimate), nested so lookups borrow the
-    /// candidate layout instead of cloning it into a tuple key.
-    shards: Vec<Mutex<HashMap<u64, HashMap<Layout, TocEstimate>>>>,
+    shards: Vec<Mutex<Shard>>,
+    /// Per-shard resident-entry counts, mirrored outside the locks so
+    /// `stats()` never contends with estimate traffic.
+    occupancy: Vec<AtomicUsize>,
     shard_capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+}
+
+/// One shard: the nested estimate map plus the insertion-order queue that
+/// picks eviction victims.
+#[derive(Default)]
+struct Shard {
+    /// Fingerprint → (layout → estimate), nested so lookups borrow the
+    /// candidate layout instead of cloning it into a tuple key.
+    map: HashMap<u64, HashMap<Layout, TocEstimate>>,
+    /// Resident keys, oldest insertion first.
+    order: VecDeque<(u64, Layout)>,
 }
 
 impl CachedEstimator {
@@ -203,8 +417,9 @@ impl CachedEstimator {
     pub fn with_capacity(max_entries: usize) -> CachedEstimator {
         CachedEstimator {
             shards: (0..SHARD_COUNT)
-                .map(|_| Mutex::new(HashMap::new()))
+                .map(|_| Mutex::new(Shard::default()))
                 .collect(),
+            occupancy: (0..SHARD_COUNT).map(|_| AtomicUsize::new(0)).collect(),
             shard_capacity: (max_entries / SHARD_COUNT).max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -231,10 +446,11 @@ impl CachedEstimator {
     pub fn estimate(&self, problem_fp: u64, problem: &Problem<'_>, layout: &Layout) -> TocEstimate {
         let mut hasher = DefaultHasher::new();
         (problem_fp, layout).hash(&mut hasher);
-        let shard = &self.shards[hasher.finish() as usize % SHARD_COUNT];
-        if let Some(found) = shard
+        let idx = hasher.finish() as usize % SHARD_COUNT;
+        if let Some(found) = self.shards[idx]
             .lock()
             .expect("shard lock")
+            .map
             .get(&problem_fp)
             .and_then(|per_layout| per_layout.get(layout))
         {
@@ -243,39 +459,57 @@ impl CachedEstimator {
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let computed = estimate_toc(problem, layout);
-        let mut map = shard.lock().expect("shard lock");
-        if map.values().map(HashMap::len).sum::<usize>() >= self.shard_capacity {
-            map.clear();
+        let mut shard = self.shards[idx].lock().expect("shard lock");
+        let resident = shard
+            .map
+            .get(&problem_fp)
+            .is_some_and(|per_layout| per_layout.contains_key(layout));
+        // A racing miss may have inserted between the two lock scopes; only
+        // a genuinely new key evicts and counts.
+        if !resident {
+            if shard.order.len() >= self.shard_capacity {
+                if let Some((victim_fp, victim_layout)) = shard.order.pop_front() {
+                    if let Some(per_layout) = shard.map.get_mut(&victim_fp) {
+                        per_layout.remove(&victim_layout);
+                        if per_layout.is_empty() {
+                            shard.map.remove(&victim_fp);
+                        }
+                    }
+                    self.occupancy[idx].fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+            shard
+                .map
+                .entry(problem_fp)
+                .or_default()
+                .insert(layout.clone(), computed.clone());
+            shard.order.push_back((problem_fp, layout.clone()));
+            self.occupancy[idx].fetch_add(1, Ordering::Relaxed);
         }
-        map.entry(problem_fp)
-            .or_default()
-            .insert(layout.clone(), computed.clone());
         computed
     }
 
-    /// Counter and occupancy snapshot.
+    /// Counter and occupancy snapshot — reads only atomics, never a shard
+    /// lock, so per-batch fleet reporting cannot stall estimate traffic.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries: self
-                .shards
+                .occupancy
                 .iter()
-                .map(|s| {
-                    s.lock()
-                        .expect("shard lock")
-                        .values()
-                        .map(HashMap::len)
-                        .sum::<usize>()
-                })
+                .map(|o| o.load(Ordering::Relaxed))
                 .sum(),
         }
     }
 
     /// Drop every entry (counters are kept).
     pub fn clear(&self) {
-        for shard in &self.shards {
-            shard.lock().expect("shard lock").clear();
+        for (shard, occupancy) in self.shards.iter().zip(&self.occupancy) {
+            let mut shard = shard.lock().expect("shard lock");
+            shard.map.clear();
+            shard.order.clear();
+            occupancy.store(0, Ordering::Relaxed);
         }
     }
 }
@@ -526,6 +760,96 @@ mod tests {
                 assert_eq!(toc.estimate(&p, l), estimate_toc(&p, l), "round {round}");
             }
         }
+    }
+
+    #[test]
+    fn apply_delta_matches_full_recompute_bitwise() {
+        let (s, pool, w) = setup();
+        let anchor =
+            crate::Problem::new(&s, &pool, &w, SlaSpec::relative(0.5), EngineConfig::dss());
+        for shift in [-0.3, -0.05, 0.1, 0.4] {
+            let shifted = dot_workloads::drift::shift_read_write(&w, shift);
+            let observed = crate::Problem::new(
+                &s,
+                &pool,
+                &shifted,
+                SlaSpec::relative(0.5),
+                EngineConfig::dss(),
+            );
+            let delta = ProblemDelta::between(&anchor, &observed).expect("representable shift");
+            for layout in pool.ids().map(|c| Layout::uniform(c, s.object_count())) {
+                let base = estimate_toc(&anchor, &layout);
+                let full = estimate_toc(&observed, &layout);
+                assert_eq!(base.apply_delta(&delta), full, "shift {shift}");
+            }
+        }
+        // A phase change swaps the query set: outside the validity bound.
+        let phase = dot_workloads::drift::analytical_phase(&s);
+        let observed = crate::Problem::new(
+            &s,
+            &pool,
+            &phase,
+            SlaSpec::relative(0.5),
+            EngineConfig::dss(),
+        );
+        assert!(ProblemDelta::between(&anchor, &observed).is_none());
+        // So is a different engine configuration.
+        let other_cfg =
+            crate::Problem::new(&s, &pool, &w, SlaSpec::relative(0.5), EngineConfig::oltp());
+        assert!(ProblemDelta::between(&anchor, &other_cfg).is_none());
+    }
+
+    #[test]
+    fn occupancy_stays_bounded_and_clear_resets_it() {
+        use dot_dbms::query::{QuerySpec, ReadOp, Rel, ScanSpec};
+        // Six objects over box2's three classes: 729 distinct layouts, far
+        // more than the capacity, so every shard is driven past its bound.
+        let s = dot_dbms::SchemaBuilder::new("occ")
+            .table("t0", 1_000_000.0, 100.0)
+            .primary_index(8.0)
+            .table("t1", 500_000.0, 80.0)
+            .primary_index(8.0)
+            .table("t2", 250_000.0, 60.0)
+            .primary_index(8.0)
+            .build();
+        let queries: Vec<QuerySpec> = s
+            .tables()
+            .iter()
+            .map(|t| {
+                let pk = s.primary_index_of(t.id).expect("pk").id;
+                QuerySpec::read(
+                    &format!("q_{}", t.name),
+                    ReadOp::of(Rel::Scan(ScanSpec::indexed(t.id, 0.01, pk))),
+                )
+            })
+            .collect();
+        let w = dot_workloads::Workload::dss("occ", queries);
+        let pool = catalog::box2();
+        let p = crate::Problem::new(&s, &pool, &w, SlaSpec::relative(0.5), EngineConfig::dss());
+        let capacity = 32;
+        let cache = CachedEstimator::with_capacity(capacity);
+        let toc = cache.scope(&p);
+        let classes: Vec<_> = pool.ids().collect();
+        let n = s.object_count();
+        for mut code in 0..classes.len().pow(n as u32) {
+            let assignment: Vec<_> = (0..n)
+                .map(|_| {
+                    let c = classes[code % classes.len()];
+                    code /= classes.len();
+                    c
+                })
+                .collect();
+            toc.estimate(&p, &Layout::from_assignment(assignment));
+            // Single-victim eviction: occupancy never overshoots the bound
+            // and never collapses to empty mid-churn.
+            assert!(cache.stats().entries <= capacity);
+        }
+        let full = cache.stats();
+        assert_eq!(full.entries, capacity, "churn must keep every shard full");
+        cache.clear();
+        let cleared = cache.stats();
+        assert_eq!(cleared.entries, 0);
+        assert_eq!(cleared.misses, full.misses, "clear keeps the counters");
     }
 
     #[test]

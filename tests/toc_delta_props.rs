@@ -1,0 +1,176 @@
+//! Property suite for incremental TOC re-estimation
+//! (`toc::ProblemDelta` / `TocEstimate::apply_delta`): for random problems,
+//! random reweighting drifts, and random layouts, the delta-applied
+//! estimate is **bit-identical** to a full `estimate_toc` of the observed
+//! problem — and shifts outside the validity envelope (phase changes,
+//! engine-config changes, different schema instances) refuse to form a
+//! delta at all, forcing the documented fallback to full recomputation.
+
+use dot_core::problem::Problem;
+use dot_core::toc::{self, ProblemDelta};
+use dot_dbms::query::{Op, QuerySpec, ReadOp, Rel, ScanSpec, UpdateOp};
+use dot_dbms::{EngineConfig, Layout, SchemaBuilder};
+use dot_storage::{catalog, ClassId};
+use dot_workloads::{drift, SlaSpec, Workload};
+use proptest::prelude::*;
+
+/// Random schema: 1–4 tables, each with a primary index and 0–1 secondary.
+fn arb_schema() -> impl Strategy<Value = dot_dbms::Schema> {
+    proptest::collection::vec(
+        (
+            1_000.0..5_000_000.0f64, // rows
+            40.0..400.0f64,          // row bytes
+            proptest::bool::ANY,     // secondary index?
+        ),
+        1..4,
+    )
+    .prop_map(|tables| {
+        let mut b = SchemaBuilder::new("prop");
+        for (i, (rows, bytes, secondary)) in tables.into_iter().enumerate() {
+            b = b.table(&format!("t{i}"), rows, bytes).primary_index(8.0);
+            if secondary {
+                b = b.index(&format!("t{i}_sec"), 8.0);
+            }
+        }
+        b.build()
+    })
+}
+
+/// A mixed read/write workload (one indexed read per table plus one
+/// update), so `shift_read_write` moves weight in both directions.
+fn mixed_workload(schema: &dot_dbms::Schema, sel: f64, weights: &[f64], oltp: bool) -> Workload {
+    let mut queries: Vec<QuerySpec> = schema
+        .tables()
+        .iter()
+        .map(|t| {
+            let pk = schema.primary_index_of(t.id).expect("pk").id;
+            QuerySpec::read(
+                &format!("q_{}", t.name),
+                ReadOp::of(Rel::Scan(ScanSpec::indexed(t.id, sel, pk))),
+            )
+        })
+        .collect();
+    let t0 = &schema.tables()[0];
+    let pk0 = schema.primary_index_of(t0.id).expect("pk").id;
+    queries.push(QuerySpec::transaction(
+        "w_0",
+        vec![Op::Update(UpdateOp {
+            table: t0.id,
+            rows: 50.0,
+            via: Some(pk0),
+            updates_indexed_key: false,
+        })],
+    ));
+    for (q, w) in queries.iter_mut().zip(weights) {
+        q.weight = *w;
+    }
+    if oltp {
+        Workload::oltp("prop", queries, 8, 100.0)
+    } else {
+        Workload::dss("prop", queries)
+    }
+}
+
+/// Random layouts over box2's three classes, seeded by a digit vector.
+fn layouts_from_seed(object_count: usize, seed: &[usize]) -> Vec<Layout> {
+    let pool = catalog::box2();
+    let classes: Vec<ClassId> = pool.ids().collect();
+    (0..4)
+        .map(|rot| {
+            let assignment: Vec<ClassId> = (0..object_count)
+                .map(|i| classes[seed[(i + rot) % seed.len()] % classes.len()])
+                .collect();
+            Layout::from_assignment(assignment)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// DSS: a read/write shift chained with a demand scaling is inside the
+    /// validity envelope, and applying the delta to an anchor estimate is
+    /// bit-identical to fully re-estimating the drifted problem.
+    #[test]
+    fn dss_reweighting_delta_is_bit_identical(
+        schema in arb_schema(),
+        sel in 1e-4..0.5f64,
+        weights in proptest::collection::vec(0.1..10.0f64, 5),
+        seed in proptest::collection::vec(0usize..3, 1..16),
+        shift in -0.8..0.8f64,
+        factor in 0.2..3.0f64,
+    ) {
+        let pool = catalog::box2();
+        let w = mixed_workload(&schema, sel, &weights, false);
+        let anchor = Problem::new(&schema, &pool, &w, SlaSpec::relative(0.5), EngineConfig::dss());
+        let drifted = drift::scale_throughput(&drift::shift_read_write(&w, shift), factor);
+        let observed =
+            Problem::new(&schema, &pool, &drifted, SlaSpec::relative(0.5), EngineConfig::dss());
+        let delta = ProblemDelta::between(&anchor, &observed);
+        prop_assert!(delta.is_some(), "reweighting drift must be representable");
+        let delta = delta.unwrap();
+        for layout in layouts_from_seed(schema.object_count(), &seed) {
+            let base = toc::estimate_toc(&anchor, &layout);
+            let full = toc::estimate_toc(&observed, &layout);
+            prop_assert_eq!(base.apply_delta(&delta), full);
+        }
+    }
+
+    /// OLTP: demand scaling moves the degree of concurrency instead of the
+    /// weights; the delta path must still match full recomputation bitwise.
+    #[test]
+    fn oltp_reweighting_delta_is_bit_identical(
+        schema in arb_schema(),
+        sel in 1e-4..0.5f64,
+        weights in proptest::collection::vec(0.1..10.0f64, 5),
+        seed in proptest::collection::vec(0usize..3, 1..16),
+        shift in -0.8..0.8f64,
+        factor in 0.2..3.0f64,
+    ) {
+        let pool = catalog::box2();
+        let w = mixed_workload(&schema, sel, &weights, true);
+        let anchor = Problem::new(&schema, &pool, &w, SlaSpec::relative(0.5), EngineConfig::oltp());
+        let drifted = drift::scale_throughput(&drift::shift_read_write(&w, shift), factor);
+        let observed =
+            Problem::new(&schema, &pool, &drifted, SlaSpec::relative(0.5), EngineConfig::oltp());
+        let delta = ProblemDelta::between(&anchor, &observed);
+        prop_assert!(delta.is_some(), "reweighting drift must be representable");
+        let delta = delta.unwrap();
+        for layout in layouts_from_seed(schema.object_count(), &seed) {
+            let base = toc::estimate_toc(&anchor, &layout);
+            let full = toc::estimate_toc(&observed, &layout);
+            prop_assert_eq!(base.apply_delta(&delta), full);
+        }
+    }
+
+    /// Outside the envelope — different query shapes, engine config, or
+    /// schema instance — no delta forms and the caller must recompute.
+    #[test]
+    fn out_of_envelope_shifts_refuse_a_delta(
+        schema in arb_schema(),
+        sel in 1e-4..0.5f64,
+        weights in proptest::collection::vec(0.1..10.0f64, 5),
+    ) {
+        let pool = catalog::box2();
+        let w = mixed_workload(&schema, sel, &weights, false);
+        let anchor = Problem::new(&schema, &pool, &w, SlaSpec::relative(0.5), EngineConfig::dss());
+
+        // Phase change: a different query set entirely.
+        let phase = drift::analytical_phase(&schema);
+        let observed =
+            Problem::new(&schema, &pool, &phase, SlaSpec::relative(0.5), EngineConfig::dss());
+        prop_assert!(ProblemDelta::between(&anchor, &observed).is_none());
+
+        // Same workload, different engine configuration.
+        let other_cfg =
+            Problem::new(&schema, &pool, &w, SlaSpec::relative(0.5), EngineConfig::oltp());
+        prop_assert!(ProblemDelta::between(&anchor, &other_cfg).is_none());
+
+        // Same workload, distinct (if equal) schema instance: conservative
+        // refusal — identity, not deep equality, guards the planner inputs.
+        let schema2 = schema.clone();
+        let other_schema =
+            Problem::new(&schema2, &pool, &w, SlaSpec::relative(0.5), EngineConfig::dss());
+        prop_assert!(ProblemDelta::between(&anchor, &other_schema).is_none());
+    }
+}
