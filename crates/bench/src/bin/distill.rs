@@ -3,7 +3,8 @@
 //! Re-measures the repo's headline hot paths with the same fixtures the
 //! criterion benches use — cold solve, warm replan, quiescent controller
 //! tick (against the two-full-estimate tick it replaced), fleet cache hit
-//! rate, and the dominance-pruned vs. estimate-everything sweeps on every
+//! rate, the `dot-serve` daemon's concurrent observe-tick throughput, and
+//! the dominance-pruned vs. estimate-everything sweeps on every
 //! conformance workload family — and writes the medians to a
 //! `BENCH_<pr>.json` at the repo root. Committing the file per PR gives the
 //! repo a perf trajectory that reviews and CI can hold regressions against.
@@ -11,19 +12,20 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p dot-bench --bin distill                 # write BENCH_6.json
+//! cargo run --release -p dot-bench --bin distill                 # write BENCH_7.json
 //! cargo run --release -p dot-bench --bin distill -- --out <path> # write elsewhere
 //! cargo run --release -p dot-bench --bin distill -- --check <path> # validate a file
 //! ```
 //!
 //! `--check` parses the file and fails (exit 1) when the trajectory breaks
 //! an invariant the code promises: the quiescent tick must undercut the
-//! two-full-estimate tick it replaced, every conformance family must prune
-//! a nonzero number of candidates, and the pruned sweeps must not run
-//! meaningfully slower than their estimate-everything counterparts.
+//! two-full-estimate tick it replaced, the daemon must sustain a positive
+//! concurrent tick rate, every conformance family must prune a nonzero
+//! number of candidates, and the pruned sweeps must not run meaningfully
+//! slower than their estimate-everything counterparts.
 
 use dot_core::advisor::Advisor;
-use dot_core::controller::{Controller, ControllerConfig};
+use dot_core::controller::{Controller, ControllerConfig, TraceStep};
 use dot_core::fleet::{provision_fleet, FleetConfig, TenantRequest};
 use dot_core::problem::Problem;
 use dot_core::toc::{self, CachedEstimator, Estimator};
@@ -38,7 +40,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Where the trajectory for this PR lives, relative to the repo root.
-const DEFAULT_PATH: &str = "BENCH_6.json";
+const DEFAULT_PATH: &str = "BENCH_7.json";
 /// Timed samples per measurement (a warmup run precedes them).
 const SAMPLES: usize = 5;
 /// `--check`: a pruned sweep may be up to this factor slower than the
@@ -61,6 +63,7 @@ struct Trajectory {
     samples: usize,
     hot_paths: HotPaths,
     fleet: FleetNumbers,
+    daemon: DaemonNumbers,
     pruning: Vec<PruningCell>,
 }
 
@@ -84,6 +87,20 @@ struct FleetNumbers {
     hit_rate: f64,
     hits: u64,
     misses: u64,
+}
+
+/// `dot-serve` daemon throughput: concurrent quiescent observe ticks over
+/// TCP, every tenant on its own connection against one shared estimator.
+#[derive(Debug, Serialize, Deserialize)]
+struct DaemonNumbers {
+    /// Concurrently attached tenants (one connection and thread each).
+    tenants: usize,
+    /// Total observe ticks replayed across all tenants.
+    ticks: u64,
+    /// Aggregate tick rate: `ticks / wall seconds` while all tenants
+    /// streamed concurrently — transport, framing, and registry locking
+    /// included.
+    observe_ticks_per_sec: f64,
 }
 
 /// One (conformance family, solver) cell of the pruning comparison.
@@ -222,6 +239,138 @@ fn measure_fleet() -> FleetNumbers {
     }
 }
 
+/// Concurrent observe-tick throughput through the `dot-serve` daemon: an
+/// in-process server on an ephemeral port, 8 tenants on 8 connections,
+/// each replaying sub-threshold drift ticks (the steady-state serving
+/// regime — quiescent incremental re-estimation, no migrations) while
+/// sharing the daemon's one TOC cache. The clock covers the full stack:
+/// JSON framing, the worker pool, per-tenant locking, and the tick itself.
+fn measure_daemon() -> DaemonNumbers {
+    use dot_serve::framing::write_frame;
+    use dot_serve::protocol::{ProblemSpec, Request, RequestFrame, Response, ResponseFrame};
+    use dot_serve::{Server, ServerConfig};
+    use std::io::{BufRead, BufReader};
+    use std::net::{SocketAddr, TcpStream};
+
+    const TENANTS: usize = 8;
+    const TICKS_PER_TENANT: u64 = 32;
+
+    let server = Server::bind(ServerConfig {
+        listen: Some("127.0.0.1:0".to_owned()),
+        workers: TENANTS,
+        ..ServerConfig::default()
+    })
+    .expect("daemon binds");
+    let addr = server.local_addr().expect("tcp addr");
+    let run = std::thread::spawn(move || server.run().expect("daemon runs"));
+
+    struct Client {
+        reader: BufReader<TcpStream>,
+        writer: TcpStream,
+        next_id: u64,
+    }
+    impl Client {
+        fn connect(addr: SocketAddr) -> Client {
+            let stream = TcpStream::connect(addr).expect("connect");
+            stream.set_nodelay(true).expect("nodelay");
+            Client {
+                reader: BufReader::new(stream.try_clone().expect("clone")),
+                writer: stream,
+                next_id: 1,
+            }
+        }
+        fn send(&mut self, request: Request) -> u64 {
+            let id = self.next_id;
+            self.next_id += 1;
+            write_frame(&mut self.writer, &RequestFrame { id, request }).expect("send");
+            id
+        }
+        fn recv(&mut self) -> ResponseFrame {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).expect("recv");
+            serde_json::from_str(line.trim()).expect("response frame")
+        }
+        /// One observe tick: drain the streamed events to `ObserveDone`.
+        fn tick(&mut self, tenant: u64, step: &TraceStep) {
+            self.send(Request::Observe {
+                tenant,
+                step: step.clone(),
+            });
+            loop {
+                match self.recv().response {
+                    Response::Event { .. } => {}
+                    Response::ObserveDone { .. } => return,
+                    other => panic!("observe: {other:?}"),
+                }
+            }
+        }
+    }
+
+    let spec: ProblemSpec =
+        serde_json::from_str(r#"{ "pool": "box2", "database": "tpcc:2", "sla": 0.5 }"#)
+            .expect("problem spec");
+    let step = TraceStep {
+        shift: Some(0.02),
+        scale: None,
+        phase: None,
+        repeat: Some(1),
+    };
+
+    // Attach (and anchor with one untimed warmup tick) before the clock
+    // starts, so the measured window is pure steady-state serving.
+    let mut clients: Vec<(Client, u64)> = (0..TENANTS)
+        .map(|i| {
+            let mut client = Client::connect(addr);
+            client.send(Request::AttachTenant {
+                name: Some(format!("bench-{i}")),
+                problem: spec.clone(),
+                deployed: None,
+                controller: None,
+            });
+            let tenant = match client.recv().response {
+                Response::Attached { tenant, .. } => tenant,
+                other => panic!("attach: {other:?}"),
+            };
+            client.tick(tenant, &step);
+            (client, tenant)
+        })
+        .collect();
+
+    let start = Instant::now();
+    let workers: Vec<_> = clients
+        .drain(..)
+        .map(|(mut client, tenant)| {
+            let step = step.clone();
+            std::thread::spawn(move || {
+                for _ in 0..TICKS_PER_TENANT {
+                    client.tick(tenant, &step);
+                }
+                client
+            })
+        })
+        .collect();
+    let mut clients: Vec<Client> = workers
+        .into_iter()
+        .map(|w| w.join().expect("tenant thread"))
+        .collect();
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let mut control = clients.pop().expect("a client remains");
+    control.send(Request::Shutdown);
+    match control.recv().response {
+        Response::ShuttingDown { tenants } => assert_eq!(tenants.len(), TENANTS),
+        other => panic!("shutdown: {other:?}"),
+    }
+    run.join().expect("daemon unwinds");
+
+    let ticks = TENANTS as u64 * TICKS_PER_TENANT;
+    DaemonNumbers {
+        tenants: TENANTS,
+        ticks,
+        observe_ticks_per_sec: ticks as f64 / elapsed.max(1e-9),
+    }
+}
+
 /// Pruned vs. estimate-everything sweeps on the four conformance families
 /// (`crates/core/tests/solver_conformance.rs` fixtures).
 fn measure_pruning() -> Vec<PruningCell> {
@@ -324,11 +473,12 @@ fn measure_pruning() -> Vec<PruningCell> {
 
 fn distill(path: &str) {
     let trajectory = Trajectory {
-        schema_version: 1,
-        pr: 6,
+        schema_version: 2,
+        pr: 7,
         samples: SAMPLES,
         hot_paths: measure_hot_paths(),
         fleet: measure_fleet(),
+        daemon: measure_daemon(),
         pruning: measure_pruning(),
     };
     let json = serde_json::to_string_pretty(&trajectory).expect("trajectory serializes");
@@ -352,6 +502,10 @@ fn summarize(t: &Trajectory) {
         "distill: fleet hit rate {:.1}% over {} tenants",
         t.fleet.hit_rate * 100.0,
         t.fleet.tenants
+    );
+    println!(
+        "distill: daemon {:.0} observe ticks/s over {} concurrent tenants ({} ticks)",
+        t.daemon.observe_ticks_per_sec, t.daemon.tenants, t.daemon.ticks
     );
     for c in &t.pruning {
         match c.median_ms_unpruned {
@@ -401,6 +555,20 @@ fn check(path: &str) {
     }
     if !t.fleet.hit_rate.is_finite() || t.fleet.hit_rate <= 0.0 {
         fail(&format!("{path}: fleet hit rate must be positive"));
+    }
+    let d = &t.daemon;
+    if d.tenants == 0 || d.ticks == 0 {
+        fail(&format!(
+            "{path}: daemon trajectory must replay ticks over attached tenants \
+             ({} tenants, {} ticks)",
+            d.tenants, d.ticks
+        ));
+    }
+    if !d.observe_ticks_per_sec.is_finite() || d.observe_ticks_per_sec <= 0.0 {
+        fail(&format!(
+            "{path}: daemon observe_ticks_per_sec = {} is not a positive rate",
+            d.observe_ticks_per_sec
+        ));
     }
     if t.pruning.is_empty() {
         fail(&format!("{path}: no pruning cells recorded"));

@@ -401,9 +401,14 @@ struct DeltaAnchor {
 
 /// The online re-provisioning controller: one deployed layout under
 /// supervision. See the [module docs](self) for the loop's semantics.
-pub struct Controller<'a> {
-    schema: &'a Schema,
-    pool: &'a StoragePool,
+///
+/// The controller *owns* its problem inputs (the schema and pool are
+/// cloned at construction), so long-running hosts — the `dot-serve`
+/// session registry, where tenants attach and detach while the daemon
+/// runs — can store controllers without tying them to a caller's borrow.
+pub struct Controller {
+    schema: Schema,
+    pool: StoragePool,
     sla: f64,
     engine: Option<EngineConfig>,
     config: ControllerConfig,
@@ -421,18 +426,18 @@ pub struct Controller<'a> {
     events: Vec<ControlEvent>,
 }
 
-impl<'a> Controller<'a> {
+impl Controller {
     /// Open a controller over the deployed layout, with `baseline` being
     /// the workload the layout was provisioned for. Validates the layout
     /// against the schema and pool, the SLA domain, and the config.
     pub fn new(
-        schema: &'a Schema,
-        pool: &'a StoragePool,
+        schema: &Schema,
+        pool: &StoragePool,
         baseline: &Workload,
         deployed: Layout,
         sla: f64,
         config: ControllerConfig,
-    ) -> Result<Controller<'a>, ProvisionError> {
+    ) -> Result<Controller, ProvisionError> {
         ProvisionError::check_sla(sla, "")?;
         config.validate()?;
         if deployed.len() != schema.object_count() {
@@ -454,8 +459,8 @@ impl<'a> Controller<'a> {
             });
         }
         Ok(Controller {
-            schema,
-            pool,
+            schema: schema.clone(),
+            pool: pool.clone(),
             sla,
             engine: None,
             config,
@@ -540,7 +545,7 @@ impl<'a> Controller<'a> {
     pub fn observe(&mut self, observed: &Workload) -> Result<TickOutcome, ProvisionError> {
         let tick = self.tick;
 
-        let mut builder = Advisor::builder(self.schema, self.pool, observed).sla(self.sla);
+        let mut builder = Advisor::builder(&self.schema, &self.pool, observed).sla(self.sla);
         if let Some(engine) = self.engine {
             builder = builder.engine(engine);
         }
@@ -571,7 +576,7 @@ impl<'a> Controller<'a> {
                 return None;
             }
             let anchor_problem =
-                Problem::new(self.schema, self.pool, &a.workload, problem.sla, a.cfg)
+                Problem::new(&self.schema, &self.pool, &a.workload, problem.sla, a.cfg)
                     .with_cost_model(a.cost_model);
             ProblemDelta::between(&anchor_problem, problem).map(|delta| {
                 (
@@ -794,6 +799,58 @@ mod tests {
         c.observe(&baseline).unwrap();
         assert_eq!(c.events().len(), 1);
         assert_eq!(c.ticks(), 4);
+    }
+
+    #[test]
+    fn per_tick_draining_reproduces_the_accumulated_log() {
+        // Regression for long-running sessions: a host that drains every
+        // tick must see the same events, in the same order, as one that
+        // lets the log accumulate — and the controller's internal buffer
+        // must stay bounded by a single tick's events, never growing
+        // toward the trace-length cap.
+        let (schema, pool, baseline) = setup();
+        let deployed = deployed_for(&schema, &pool, &baseline);
+        let steps = [
+            baseline.clone(),
+            drift::shift_read_write(&baseline, 0.05),
+            drift::analytical_phase(&schema),
+            drift::analytical_phase(&schema),
+            baseline.clone(),
+        ];
+        let mut accumulated = Controller::new(
+            &schema,
+            &pool,
+            &baseline,
+            deployed.clone(),
+            0.5,
+            ControllerConfig::default(),
+        )
+        .unwrap();
+        accumulated.run_trace(&steps).unwrap();
+
+        let mut drained = Controller::new(
+            &schema,
+            &pool,
+            &baseline,
+            deployed,
+            0.5,
+            ControllerConfig::default(),
+        )
+        .unwrap();
+        let mut shipped = Vec::new();
+        for observed in &steps {
+            let outcome = drained.observe(observed).unwrap();
+            let tick_events = drained.drain_events();
+            assert_eq!(tick_events, outcome.events, "drain returns this tick");
+            assert!(
+                drained.events().is_empty(),
+                "the internal log must not accumulate across drained ticks"
+            );
+            shipped.extend(tick_events);
+        }
+        assert_eq!(shipped, accumulated.events());
+        assert_eq!(drained.ticks(), accumulated.ticks());
+        assert_eq!(drained.deployed(), accumulated.deployed());
     }
 
     #[test]

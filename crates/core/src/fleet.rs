@@ -656,13 +656,21 @@ fn supervise_one(
     }
     controller = controller.with_refinements(tenant.refinements.unwrap_or(fleet_refinements));
     let mut error = None;
+    // Drain the controller's log every tick instead of letting it grow for
+    // the whole trace: the report still carries the full log, but the
+    // controller itself stays bounded — the same discipline the `dot-serve`
+    // daemon applies to sessions that observe indefinitely. Draining after
+    // a failed tick still collects the events the tick logged before the
+    // error surfaced (the observation and the trigger).
+    let mut events = Vec::new();
     for observed in &trace {
-        if let Err(e) = controller.observe(observed) {
+        let failed = controller.observe(observed).err();
+        events.extend(controller.drain_events());
+        if let Some(e) = failed {
             error = Some(e);
             break;
         }
     }
-    let events = controller.events().to_vec();
     let triggers = events
         .iter()
         .filter(|e| matches!(e, ControlEvent::Triggered { .. }))

@@ -1,0 +1,334 @@
+//! The daemon's tenant registry: many concurrent per-tenant
+//! [`Controller`] sessions over one shared [`CachedEstimator`].
+//!
+//! Locking discipline: the registry's own mutex guards only the tenant
+//! *map* (attach/detach/lookup — held for moments); each tenant carries
+//! its own mutex serializing that tenant's ticks. Observes on different
+//! tenants therefore run concurrently, while two connections observing the
+//! same tenant serialize — the controller's event order stays a single
+//! deterministic log. Shutdown sets a flag (new work is answered with
+//! [`ProtocolError::ShuttingDown`]), then flushes tenants one by one;
+//! taking each tenant's lock naturally waits out that tenant's in-flight
+//! ticks, so flushed summaries count every tick a client was promised.
+
+use crate::protocol::{ProblemSpec, ProtocolError, TenantId, TenantSummary};
+use dot_core::advisor::{Advisor, ProvisionError, Recommendation};
+use dot_core::controller::{
+    expand_trace, ControlEvent, ControlProvenance, Controller, ControllerConfig, TraceStep,
+    TriggerReason,
+};
+use dot_core::toc::{CacheStats, CachedEstimator};
+use dot_dbms::{Layout, Schema};
+use dot_workloads::Workload;
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One attached tenant: identity plus the mutex serializing its ticks.
+struct TenantSlot {
+    id: TenantId,
+    name: String,
+    state: Mutex<TenantState>,
+}
+
+/// The parts of a tenant that change as it ticks.
+struct TenantState {
+    controller: Controller,
+    /// Schema clone for [`expand_trace`] (the controller owns its own).
+    schema: Schema,
+    /// The baseline workload trace steps drift relative to.
+    baseline: Workload,
+    triggers: usize,
+    applications: usize,
+    last_trigger: Option<TriggerReason>,
+    attached: Instant,
+}
+
+/// Cumulative counters answered at the end of an `Observe` stream.
+#[derive(Debug, Clone, Copy)]
+pub struct TenantCounters {
+    /// Ticks ingested over the tenant's lifetime.
+    pub ticks: u64,
+    /// Replans triggered over the tenant's lifetime.
+    pub triggers: usize,
+    /// Plans applied over the tenant's lifetime.
+    pub applications: usize,
+}
+
+/// Why an `Observe` stream stopped early.
+pub enum ObserveFailure {
+    /// A typed protocol/provisioning reject — answer with an error frame.
+    Protocol(ProtocolError),
+    /// The event sink (the client connection) failed — drop the client.
+    Io(io::Error),
+}
+
+impl From<ProvisionError> for ObserveFailure {
+    fn from(error: ProvisionError) -> Self {
+        ObserveFailure::Protocol(ProtocolError::Provision { error })
+    }
+}
+
+/// The daemon's shared state: the tenant map, the fleet-wide TOC cache,
+/// and the shutdown latch.
+pub struct Registry {
+    cache: Arc<CachedEstimator>,
+    /// Attach-ordered (shutdown summaries flush in attach order).
+    tenants: Mutex<Vec<Arc<TenantSlot>>>,
+    next_id: AtomicU64,
+    shutting_down: AtomicBool,
+}
+
+impl Registry {
+    /// An empty registry whose shared cache holds up to `cache_capacity`
+    /// estimates.
+    pub fn new(cache_capacity: usize) -> Registry {
+        Registry {
+            cache: Arc::new(CachedEstimator::with_capacity(cache_capacity)),
+            tenants: Mutex::new(Vec::new()),
+            next_id: AtomicU64::new(1),
+            shutting_down: AtomicBool::new(false),
+        }
+    }
+
+    /// The shared estimator (all tenants and one-shot provisions hit it).
+    pub fn cache(&self) -> &Arc<CachedEstimator> {
+        &self.cache
+    }
+
+    /// Whether the shutdown latch is set.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Set the shutdown latch; `true` for the caller that set it first.
+    pub fn begin_shutdown(&self) -> bool {
+        !self.shutting_down.swap(true, Ordering::SeqCst)
+    }
+
+    fn reject_if_shutting_down(&self) -> Result<(), ProtocolError> {
+        if self.is_shutting_down() {
+            Err(ProtocolError::ShuttingDown)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn slot(&self, tenant: TenantId) -> Result<Arc<TenantSlot>, ProtocolError> {
+        self.tenants
+            .lock()
+            .unwrap()
+            .iter()
+            .find(|s| s.id == tenant)
+            .cloned()
+            .ok_or(ProtocolError::UnknownTenant { tenant })
+    }
+
+    /// One-shot provisioning through the shared cache; no tenant state.
+    pub fn provision(
+        &self,
+        spec: &ProblemSpec,
+        solver: Option<&str>,
+    ) -> Result<Recommendation, ProtocolError> {
+        self.reject_if_shutting_down()?;
+        let resolved = spec.resolve().map_err(provision)?;
+        let mut builder = Advisor::builder(&resolved.schema, &resolved.pool, &resolved.workload);
+        builder = builder
+            .sla(resolved.sla)
+            .refinements(resolved.refinements)
+            .toc_cache(Arc::clone(&self.cache));
+        if let Some(engine) = resolved.engine {
+            builder = builder.engine(engine);
+        }
+        let advisor = builder.build().map_err(provision)?;
+        advisor
+            .recommend(solver.unwrap_or("dot"))
+            .map_err(provision)
+    }
+
+    /// Register a tenant: validate the problem, provision the baseline
+    /// when no deployed layout is given, and open its controller.
+    pub fn attach(
+        &self,
+        name: Option<String>,
+        spec: &ProblemSpec,
+        deployed: Option<Layout>,
+        config: Option<ControllerConfig>,
+    ) -> Result<(TenantId, String), ProtocolError> {
+        self.reject_if_shutting_down()?;
+        let resolved = spec.resolve().map_err(provision)?;
+        let config = config.unwrap_or_default();
+        config.validate().map_err(provision)?;
+        // No deployed layout: deploy what the controller's own solver
+        // recommends for the baseline, through the shared cache — the same
+        // choice `dot-cli supervise` makes without `--current`.
+        let deployed = match deployed {
+            Some(layout) => layout,
+            None => {
+                let mut builder =
+                    Advisor::builder(&resolved.schema, &resolved.pool, &resolved.workload);
+                builder = builder
+                    .sla(resolved.sla)
+                    .refinements(resolved.refinements)
+                    .toc_cache(Arc::clone(&self.cache));
+                if let Some(engine) = resolved.engine {
+                    builder = builder.engine(engine);
+                }
+                builder
+                    .build()
+                    .map_err(provision)?
+                    .recommend(&config.solver)
+                    .map_err(provision)?
+                    .layout
+            }
+        };
+        let mut controller = Controller::new(
+            &resolved.schema,
+            &resolved.pool,
+            &resolved.workload,
+            deployed,
+            resolved.sla,
+            config,
+        )
+        .map_err(provision)?
+        .with_toc_cache(Arc::clone(&self.cache))
+        .with_refinements(resolved.refinements);
+        if let Some(engine) = resolved.engine {
+            controller = controller.with_engine(engine);
+        }
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        let name = name.unwrap_or_else(|| format!("tenant-{id}"));
+        let slot = Arc::new(TenantSlot {
+            id,
+            name: name.clone(),
+            state: Mutex::new(TenantState {
+                controller,
+                schema: resolved.schema,
+                baseline: resolved.workload,
+                triggers: 0,
+                applications: 0,
+                last_trigger: None,
+                attached: Instant::now(),
+            }),
+        });
+        let mut tenants = self.tenants.lock().unwrap();
+        // An attach that raced the shutdown latch must not leak a tenant
+        // the flush already missed.
+        if self.is_shutting_down() {
+            return Err(ProtocolError::ShuttingDown);
+        }
+        tenants.push(slot);
+        Ok((id, name))
+    }
+
+    /// Tick a tenant's controller through one scripted step, streaming
+    /// each tick's events through `sink` as the tick completes. The
+    /// tenant's lock is held for the whole step, so concurrent observes of
+    /// one tenant serialize while other tenants proceed.
+    pub fn observe(
+        &self,
+        tenant: TenantId,
+        step: &TraceStep,
+        sink: &mut dyn FnMut(&ControlEvent) -> io::Result<()>,
+    ) -> Result<TenantCounters, ObserveFailure> {
+        self.reject_if_shutting_down()
+            .map_err(ObserveFailure::Protocol)?;
+        let slot = self.slot(tenant).map_err(ObserveFailure::Protocol)?;
+        let mut state = slot.state.lock().unwrap();
+        // Re-check under the tenant lock: a shutdown that latched while we
+        // waited will flush right after we release, and must not lose
+        // ticks it never promised the flusher.
+        self.reject_if_shutting_down()
+            .map_err(ObserveFailure::Protocol)?;
+        let trace = expand_trace(&state.schema, &state.baseline, std::slice::from_ref(step))?;
+        for observed in &trace {
+            let failed = state.controller.observe(observed).err();
+            // Even a failed tick logged its observation (and possibly the
+            // trigger) before erroring — stream those, then the error.
+            for event in state.controller.drain_events() {
+                match &event {
+                    ControlEvent::Triggered { reason, .. } => {
+                        state.triggers += 1;
+                        state.last_trigger = Some(reason.clone());
+                    }
+                    ControlEvent::Applied { .. } => state.applications += 1,
+                    _ => {}
+                }
+                sink(&event).map_err(ObserveFailure::Io)?;
+            }
+            if let Some(e) = failed {
+                return Err(e.into());
+            }
+        }
+        Ok(TenantCounters {
+            ticks: state.controller.ticks(),
+            triggers: state.triggers,
+            applications: state.applications,
+        })
+    }
+
+    /// Unregister a tenant, flushing its final summary.
+    pub fn detach(&self, tenant: TenantId) -> Result<TenantSummary, ProtocolError> {
+        let slot = {
+            let mut tenants = self.tenants.lock().unwrap();
+            let idx = tenants
+                .iter()
+                .position(|s| s.id == tenant)
+                .ok_or(ProtocolError::UnknownTenant { tenant })?;
+            tenants.remove(idx)
+        };
+        Ok(summarize(&slot))
+    }
+
+    /// Fleet totals plus the shared cache's counters. Tenant locks are
+    /// taken one at a time, so totals are per-tenant consistent (a tenant
+    /// mid-step is counted as of its last completed tick).
+    pub fn stats(&self) -> (usize, TenantCounters, CacheStats) {
+        let slots: Vec<Arc<TenantSlot>> = self.tenants.lock().unwrap().clone();
+        let mut totals = TenantCounters {
+            ticks: 0,
+            triggers: 0,
+            applications: 0,
+        };
+        for slot in &slots {
+            let state = slot.state.lock().unwrap();
+            totals.ticks += state.controller.ticks();
+            totals.triggers += state.triggers;
+            totals.applications += state.applications;
+        }
+        (slots.len(), totals, self.cache.stats())
+    }
+
+    /// Flush every tenant for shutdown, in attach order. Taking each
+    /// tenant's lock waits out its in-flight ticks; the emptied map makes
+    /// later detaches answer [`ProtocolError::UnknownTenant`].
+    pub fn flush_all(&self) -> Vec<TenantSummary> {
+        let slots: Vec<Arc<TenantSlot>> = std::mem::take(&mut *self.tenants.lock().unwrap());
+        slots.iter().map(|slot| summarize(slot)).collect()
+    }
+}
+
+fn provision(error: ProvisionError) -> ProtocolError {
+    ProtocolError::Provision { error }
+}
+
+/// A tenant's lifetime summary — the same counters and provenance schema
+/// `supervise_fleet` stamps on a [`SuperviseOutcome`](dot_core::fleet::SuperviseOutcome).
+fn summarize(slot: &TenantSlot) -> TenantSummary {
+    let state = slot.state.lock().unwrap();
+    TenantSummary {
+        tenant: slot.id,
+        name: slot.name.clone(),
+        ticks: state.controller.ticks(),
+        triggers: state.triggers,
+        applications: state.applications,
+        provenance: ControlProvenance {
+            elapsed_ms: state.attached.elapsed().as_millis() as u64,
+            trigger: state
+                .last_trigger
+                .clone()
+                .unwrap_or(TriggerReason::Quiescent),
+        },
+    }
+}

@@ -27,6 +27,10 @@
 //!         [--cooldown <n>]             min ticks between triggers (default 3)
 //!         [--budget-*]                 migration budget, as replan
 //!         [--json]                     emit the serialized SuperviseFleetReport
+//!         [--stream]                   emit JSON-lines ControlEvent frames per
+//!                                      tick instead of one batched report
+//! dot-cli serve     [flags]            run the provisioning daemon (see
+//!                                      `dot-serve --help`; same entry point)
 //! dot-cli explain   <problem.json>     show premium-layout plans and I/O
 //! ```
 //!
@@ -37,6 +41,13 @@
 //! horizon — or a `stay`/`unchanged` verdict when migrating is not worth
 //! the movement. Unknown keys in problem files, fleet manifests, and trace
 //! files are rejected as invalid requests rather than silently ignored.
+//!
+//! `supervise --stream` swaps the batched report for a live JSON-lines
+//! stream of the `dot-serve` wire protocol's frames: one `Event` frame per
+//! control event as each tick completes, a final `Detached` frame carrying
+//! the tenant summary (or an `Error` frame with the typed failure), so a
+//! supervised session scripts identically whether it ran offline or
+//! against the daemon.
 //!
 //! `supervise` closes the loop: the problem file describes the *baseline*
 //! phase, and the trace file scripts a sequence of observed profiles as
@@ -88,6 +99,7 @@ use dot_dbms::{explain, planner, EngineConfig, Layout, Schema};
 use dot_storage::StoragePool;
 use dot_workloads::Workload;
 use serde::Deserialize;
+use std::io::Write;
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -639,6 +651,7 @@ fn cmd_supervise(
     drift_threshold: Option<f64>,
     cooldown: Option<u64>,
     json: bool,
+    stream: bool,
 ) -> Result<(), ProvisionError> {
     let req = load(path)?;
     let trace = load_trace(trace_path)?;
@@ -667,6 +680,9 @@ fn cmd_supervise(
                 .layout
         }
     };
+    if stream {
+        return stream_supervise(&req, &trace, current, config);
+    }
     let tenant = SuperviseTenantRequest {
         name: "tenant-0".to_owned(),
         pool: req.pool.clone(),
@@ -704,6 +720,85 @@ fn cmd_supervise(
     }
     print_supervise_report(&req, &config, &report);
     Ok(())
+}
+
+/// `--stream`: replay the trace through one controller inline, emitting
+/// the `dot-serve` wire protocol's response frames as JSON lines — one
+/// `Event` frame per control event as each tick completes, then a
+/// `Detached` frame with the tenant's summary (an `Error` frame carries a
+/// mid-trace typed failure; events already streamed stay valid). The
+/// controller's log is drained every tick, so memory stays bounded no
+/// matter how long the trace runs.
+fn stream_supervise(
+    req: &Request,
+    trace: &[TraceStep],
+    current: Layout,
+    config: ControllerConfig,
+) -> Result<(), ProvisionError> {
+    use dot_serve::protocol::{ProtocolError, Response, ResponseFrame, TenantSummary};
+    let start = Instant::now();
+    let mut out = std::io::stdout().lock();
+    let mut emit = |response: Response| -> Result<(), ProvisionError> {
+        dot_serve::framing::write_frame(&mut out, &ResponseFrame { id: 0, response })
+            .and_then(|()| out.flush())
+            .map_err(|e| ProvisionError::InvalidRequest {
+                reason: format!("write stream: {e}"),
+            })
+    };
+    let observations = dot_core::controller::expand_trace(&req.schema, &req.workload, trace)?;
+    let mut controller = dot_core::controller::Controller::new(
+        &req.schema,
+        &req.pool,
+        &req.workload,
+        current,
+        req.sla,
+        config,
+    )?
+    .with_toc_cache(std::sync::Arc::new(dot_core::toc::CachedEstimator::new()))
+    .with_refinements(req.refinements);
+    if req.engine_explicit {
+        controller = controller.with_engine(req.engine);
+    }
+    let mut triggers = 0;
+    let mut applications = 0;
+    let mut last_trigger = None;
+    for observed in &observations {
+        let failed = controller.observe(observed).err();
+        // A failed tick still logged its observation (and possibly the
+        // trigger): stream those, then the typed error frame.
+        for event in controller.drain_events() {
+            match &event {
+                ControlEvent::Triggered { reason, .. } => {
+                    triggers += 1;
+                    last_trigger = Some(reason.clone());
+                }
+                ControlEvent::Applied { .. } => applications += 1,
+                _ => {}
+            }
+            emit(Response::Event { tenant: 0, event })?;
+        }
+        if let Some(error) = failed {
+            emit(Response::Error {
+                error: ProtocolError::Provision {
+                    error: error.clone(),
+                },
+            })?;
+            return Err(error);
+        }
+    }
+    emit(Response::Detached {
+        summary: TenantSummary {
+            tenant: 0,
+            name: "tenant-0".to_owned(),
+            ticks: controller.ticks(),
+            triggers,
+            applications,
+            provenance: ControlProvenance {
+                elapsed_ms: start.elapsed().as_millis() as u64,
+                trigger: last_trigger.unwrap_or(TriggerReason::Quiescent),
+            },
+        },
+    })
 }
 
 fn print_supervise_report(
@@ -846,7 +941,9 @@ fn usage() -> ExitCode {
          \x20               [--budget-bytes <n>] [--budget-seconds <n>] [--budget-cents <n>] [--json]\n\
          dot-cli supervise <problem.json> --trace <trace.json> [--current <layout.json>]\n\
          \x20               [--solver <id>] [--drift-threshold <x>] [--cooldown <n>]\n\
-         \x20               [--budget-bytes <n>] [--budget-seconds <n>] [--budget-cents <n>] [--json]\n\
+         \x20               [--budget-bytes <n>] [--budget-seconds <n>] [--budget-cents <n>]\n\
+         \x20               [--json | --stream]\n\
+         dot-cli serve [--listen <addr>] [--unix-socket <path>] [--workers <n>] [--cache-capacity <n>]\n\
          dot-cli explain <problem.json>"
     );
     ExitCode::FAILURE
@@ -855,8 +952,9 @@ fn usage() -> ExitCode {
 /// Every accepted flag, with whether it consumes the next argument (the
 /// scanner needs this to step over values that themselves start with `--`
 /// would-be flags).
-const KNOWN_FLAGS: [(&str, bool); 9] = [
+const KNOWN_FLAGS: [(&str, bool); 10] = [
     ("--json", false),
+    ("--stream", false),
     ("--solver", true),
     ("--current", true),
     ("--budget-bytes", true),
@@ -885,6 +983,7 @@ fn allowed_flags(subcommand: &str) -> &'static [&'static str] {
         ],
         "supervise" => &[
             "--json",
+            "--stream",
             "--solver",
             "--current",
             "--trace",
@@ -932,10 +1031,21 @@ fn reject_unknown_flags(args: &[String]) -> Result<(), ExitCode> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
+    // The daemon owns its flag surface (one parser for `dot-serve` and
+    // `dot-cli serve`, so the two entry points cannot drift); hand over
+    // before this binary's own flag discipline sees the arguments.
+    if args.get(1).map(String::as_str) == Some("serve") {
+        return ExitCode::from(dot_serve::cli::run(&args[2..]).clamp(0, 255) as u8);
+    }
     if let Err(code) = reject_unknown_flags(&args) {
         return code;
     }
     let json = args.iter().any(|a| a == "--json");
+    let stream = args.iter().any(|a| a == "--stream");
+    if json && stream {
+        eprintln!("error: --json and --stream are mutually exclusive");
+        return ExitCode::FAILURE;
+    }
     // `provision` defaults a missing flag to "dot"; `fleet` keeps the
     // distinction so the manifest's per-tenant solvers are only overridden
     // by an explicit flag.
@@ -1063,6 +1173,7 @@ fn main() -> ExitCode {
                 drift_threshold,
                 cooldown,
                 json,
+                stream,
             ),
             _ => {
                 eprintln!(

@@ -1,0 +1,7 @@
+//! Standalone entry point for the provisioning daemon; `dot-cli serve`
+//! reaches the same [`dot_serve::cli::run`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(dot_serve::cli::run(&args));
+}

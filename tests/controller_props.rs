@@ -58,12 +58,12 @@ fn mixed_workload(schema: &Schema) -> Workload {
 }
 
 /// A deployed layout the baseline recommends, plus its controller.
-fn controller_for<'a>(
-    schema: &'a Schema,
-    pool: &'a dot_storage::StoragePool,
-    baseline: &'a Workload,
+fn controller_for(
+    schema: &Schema,
+    pool: &dot_storage::StoragePool,
+    baseline: &Workload,
     config: ControllerConfig,
-) -> Controller<'a> {
+) -> Controller {
     let deployed = Advisor::builder(schema, pool, baseline)
         .sla(0.25)
         .build()

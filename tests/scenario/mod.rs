@@ -19,6 +19,9 @@ use dot_workloads::tpcc;
 use std::sync::Arc;
 
 /// How the simulated controller obtains TOC estimates.
+// The module is compiled into several test binaries; not every binary
+// exercises every mode (the daemon e2e replays under `Off` only).
+#[allow(dead_code)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CacheMode {
     /// No cache: every estimate goes straight through the planner.

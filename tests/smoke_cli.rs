@@ -656,6 +656,62 @@ fn supervise_json_shares_the_control_provenance_schema() {
 }
 
 #[test]
+fn supervise_stream_emits_daemon_protocol_frames() {
+    // `--stream` speaks the `dot-serve` wire protocol: one `Event` frame
+    // per control event as each tick completes, then a terminal
+    // `Detached` frame with the tenant summary — so a script written
+    // against the daemon parses the one-shot CLI stream unchanged.
+    let problem = problem_file("supervise_stream.json", OLTP_PROBLEM);
+    let trace = problem_file("supervise_stream_trace.json", SUPERVISE_TRACE);
+    let out = cli()
+        .arg("supervise")
+        .arg(&problem)
+        .args(["--trace", trace.to_str().unwrap(), "--stream"])
+        .output()
+        .expect("run dot-cli");
+    let text = stdout_of(&out);
+    let frames: Vec<dot_serve::protocol::ResponseFrame> = text
+        .lines()
+        .map(|line| dot_serve::framing::parse_response(line).expect("protocol frame"))
+        .collect();
+    assert!(frames.len() > 1, "stream must carry events:\n{text}");
+    let (last, events) = frames.split_last().unwrap();
+    let mut observed = 0;
+    for frame in events {
+        match &frame.response {
+            dot_serve::protocol::Response::Event { tenant: 0, event } => {
+                if matches!(event, dot_core::controller::ControlEvent::Observed { .. }) {
+                    observed += 1;
+                }
+            }
+            other => panic!("expected an Event frame, got {other:?}"),
+        }
+    }
+    // The trace is 4 ticks; every tick logs its observation.
+    assert_eq!(observed, 4, "{text}");
+    match &last.response {
+        dot_serve::protocol::Response::Detached { summary } => {
+            assert_eq!(summary.ticks, 4);
+            assert!(summary.triggers >= 1, "the phase flip must trigger");
+            assert!(summary.applications >= 1);
+        }
+        other => panic!("expected the terminal Detached frame, got {other:?}"),
+    }
+
+    // The two output modes are exclusive: asking for both is a usage
+    // error before any work happens.
+    let out = cli()
+        .arg("supervise")
+        .arg(&problem)
+        .args(["--trace", trace.to_str().unwrap(), "--json", "--stream"])
+        .output()
+        .expect("run dot-cli");
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("mutually exclusive"), "{err}");
+}
+
+#[test]
 fn supervise_usage_and_malformed_traces_fail_with_typed_codes() {
     // Missing --trace is a usage error.
     let problem = problem_file("supervise_usage.json", OLTP_PROBLEM);
