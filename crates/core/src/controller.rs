@@ -399,6 +399,60 @@ struct DeltaAnchor {
     reference_estimate: TocEstimate,
 }
 
+/// The serializable control-loop state of a [`Controller`]: everything a
+/// restarted host needs to resume a session bit-identically, given the
+/// same problem inputs (schema, pool, SLA, config) it was opened with.
+///
+/// The internal `DeltaAnchor` is deliberately absent — it caches estimator
+/// *outputs*, which a resumed controller rebuilds on its first tick with
+/// bit-identical results (the anchor is an optimization, never a second
+/// source of truth). Likewise the event log: events already streamed to a
+/// client are not replayed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControllerCheckpoint {
+    /// Ticks ingested so far (the next observation is tick `tick`).
+    pub tick: u64,
+    /// Whether the hysteresis latch is armed.
+    pub armed: bool,
+    /// The SLA pressure in force when the latch engaged.
+    pub latched_pressure: f64,
+    /// The tick of the last trigger (cool-down bookkeeping).
+    pub last_trigger: Option<u64>,
+    /// The baseline signature drift is measured against.
+    pub baseline: WorkloadSignature,
+    /// The layout deployed as of the checkpoint.
+    pub deployed: Layout,
+}
+
+/// Shared by [`Controller::new`] and [`Controller::with_checkpoint`]: a
+/// layout is only deployable if it covers the schema and stays inside the
+/// pool.
+fn validate_deployed(
+    schema: &Schema,
+    pool: &StoragePool,
+    deployed: &Layout,
+) -> Result<(), ProvisionError> {
+    if deployed.len() != schema.object_count() {
+        return Err(ProvisionError::InvalidRequest {
+            reason: format!(
+                "deployed layout covers {} objects, schema has {}",
+                deployed.len(),
+                schema.object_count()
+            ),
+        });
+    }
+    if let Some(&alien) = deployed.assignment().iter().find(|c| c.0 >= pool.len()) {
+        return Err(ProvisionError::InvalidRequest {
+            reason: format!(
+                "deployed layout places an object on {alien}, but pool {:?} has only {} classes",
+                pool.name(),
+                pool.len()
+            ),
+        });
+    }
+    Ok(())
+}
+
 /// The online re-provisioning controller: one deployed layout under
 /// supervision. See the [module docs](self) for the loop's semantics.
 ///
@@ -440,24 +494,7 @@ impl Controller {
     ) -> Result<Controller, ProvisionError> {
         ProvisionError::check_sla(sla, "")?;
         config.validate()?;
-        if deployed.len() != schema.object_count() {
-            return Err(ProvisionError::InvalidRequest {
-                reason: format!(
-                    "deployed layout covers {} objects, schema has {}",
-                    deployed.len(),
-                    schema.object_count()
-                ),
-            });
-        }
-        if let Some(&alien) = deployed.assignment().iter().find(|c| c.0 >= pool.len()) {
-            return Err(ProvisionError::InvalidRequest {
-                reason: format!(
-                    "deployed layout places an object on {alien}, but pool {:?} has only {} classes",
-                    pool.name(),
-                    pool.len()
-                ),
-            });
-        }
+        validate_deployed(schema, pool, &deployed)?;
         Ok(Controller {
             schema: schema.clone(),
             pool: pool.clone(),
@@ -500,6 +537,43 @@ impl Controller {
     pub fn with_refinements(mut self, rounds: usize) -> Self {
         self.refinements = Some(rounds);
         self
+    }
+
+    /// Snapshot the control-loop state for persistence. Resuming a fresh
+    /// controller (same problem inputs) from this checkpoint continues the
+    /// event log bit-identically — see [`with_checkpoint`](Self::with_checkpoint).
+    pub fn checkpoint(&self) -> ControllerCheckpoint {
+        ControllerCheckpoint {
+            tick: self.tick,
+            armed: self.armed,
+            latched_pressure: self.latched_pressure,
+            last_trigger: self.last_trigger,
+            baseline: self.baseline.clone(),
+            deployed: self.deployed.clone(),
+        }
+    }
+
+    /// Resume from a [`checkpoint`](Self::checkpoint) taken by an earlier
+    /// incarnation over the same problem inputs. The delta anchor is *not*
+    /// restored — the first resumed tick rebuilds it through the full
+    /// estimation path, with bit-identical events (the anchor only caches
+    /// estimator outputs). The checkpoint's deployed layout is validated
+    /// like a constructor argument, so a corrupted snapshot is a typed
+    /// error, not a latent panic.
+    pub fn with_checkpoint(
+        mut self,
+        checkpoint: &ControllerCheckpoint,
+    ) -> Result<Self, ProvisionError> {
+        validate_deployed(&self.schema, &self.pool, &checkpoint.deployed)?;
+        self.tick = checkpoint.tick;
+        self.armed = checkpoint.armed;
+        self.latched_pressure = checkpoint.latched_pressure;
+        self.last_trigger = checkpoint.last_trigger;
+        self.baseline = checkpoint.baseline.clone();
+        self.deployed = checkpoint.deployed.clone();
+        self.anchor = None;
+        self.events.clear();
+        Ok(self)
     }
 
     /// The layout currently deployed (updated when a plan is applied).
@@ -1191,6 +1265,88 @@ mod tests {
         };
         assert!(matches!(
             Controller::new(&schema, &pool, &baseline, ok, 0.5, bad_cfg),
+            Err(ProvisionError::InvalidRequest { .. })
+        ));
+    }
+
+    #[test]
+    fn checkpoint_resume_continues_the_trajectory_bit_identically() {
+        // A trace with a mid-stream migration: the checkpoint must carry
+        // the re-baselined signature and the migrated layout, and the
+        // resumed twin (which rebuilds its delta anchor from scratch) must
+        // emit exactly the events the uninterrupted run emits.
+        let (schema, pool, baseline) = setup();
+        let deployed = deployed_for(&schema, &pool, &baseline);
+        let config = ControllerConfig {
+            cooldown_ticks: 2,
+            ..ControllerConfig::default()
+        };
+        let steps = [
+            drift::shift_read_write(&baseline, 0.02),
+            drift::analytical_phase(&schema),
+            drift::analytical_phase(&schema),
+            baseline.clone(),
+            baseline.clone(),
+        ];
+        let mut uninterrupted = Controller::new(
+            &schema,
+            &pool,
+            &baseline,
+            deployed.clone(),
+            0.5,
+            config.clone(),
+        )
+        .unwrap();
+        uninterrupted.run_trace(&steps).unwrap();
+        let golden = uninterrupted.drain_events();
+
+        // Run the prefix, checkpoint right after the migration landed,
+        // and resume a fresh controller for the suffix.
+        let mut prefix =
+            Controller::new(&schema, &pool, &baseline, deployed, 0.5, config.clone()).unwrap();
+        prefix.run_trace(&steps[..2]).unwrap();
+        let mut events = prefix.drain_events();
+        let checkpoint = prefix.checkpoint();
+        assert_eq!(checkpoint.tick, 2);
+        drop(prefix);
+
+        // The checkpoint round-trips through the wire encoding (that is
+        // how the serve registry persists it).
+        let json = serde_json::to_string(&checkpoint).unwrap();
+        let restored: ControllerCheckpoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(restored, checkpoint);
+
+        let deployed_again = deployed_for(&schema, &pool, &baseline);
+        let mut resumed = Controller::new(
+            &schema,
+            &pool,
+            &baseline,
+            deployed_again,
+            0.5,
+            config.clone(),
+        )
+        .unwrap()
+        .with_checkpoint(&restored)
+        .unwrap();
+        assert_eq!(resumed.ticks(), 2);
+        resumed.run_trace(&steps[2..]).unwrap();
+        events.extend(resumed.drain_events());
+        assert_eq!(events, golden, "resume must not fork the event log");
+
+        // A corrupted checkpoint (layout off the pool) is a typed error.
+        let mut corrupt = checkpoint.clone();
+        corrupt.deployed = Layout::uniform(dot_storage::ClassId(pool.len()), schema.object_count());
+        let fresh = Controller::new(
+            &schema,
+            &pool,
+            &baseline,
+            deployed_for(&schema, &pool, &baseline),
+            0.5,
+            config,
+        )
+        .unwrap();
+        assert!(matches!(
+            fresh.with_checkpoint(&corrupt),
             Err(ProvisionError::InvalidRequest { .. })
         ));
     }

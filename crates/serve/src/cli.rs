@@ -10,6 +10,8 @@ use std::path::PathBuf;
 pub const USAGE: &str = "\
 usage: dot-serve [--listen <addr>] [--unix-socket <path>]
                  [--workers <n>] [--cache-capacity <entries>]
+                 [--state-dir <path>] [--tenant-inflight <n>]
+                 [--busy-retry-ms <ms>]
 
 Long-running provisioning daemon speaking the JSON-lines protocol
 (see the `dot_serve::protocol` docs). One request per line; `Observe`
@@ -23,6 +25,13 @@ options:
   --unix-socket <path>       also listen on a Unix-domain socket
   --workers <n>              worker threads (default: CPU count, max 8)
   --cache-capacity <n>       shared TOC-cache entries (default 65536)
+  --state-dir <path>         persist the tenant registry here (snapshot on
+                             attach/detach/apply/shutdown; restored on
+                             startup, so clients resume by tenant id)
+  --tenant-inflight <n>      per-tenant in-flight observe budget before
+                             requests are answered Busy (default 4, min 1)
+  --busy-retry-ms <ms>       back-off hint stamped on Busy rejects
+                             (default 50)
 ";
 
 /// Parse `args` (without the program name) into a [`ServerConfig`].
@@ -52,6 +61,23 @@ pub fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
                 config.cache_capacity = value("--cache-capacity")?
                     .parse::<usize>()
                     .map_err(|e| format!("--cache-capacity: {e}"))?;
+            }
+            "--state-dir" => {
+                config.state_dir = Some(PathBuf::from(value("--state-dir")?));
+            }
+            "--tenant-inflight" => {
+                let n = value("--tenant-inflight")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--tenant-inflight: {e}"))?;
+                if n == 0 {
+                    return Err("--tenant-inflight must be at least 1".to_owned());
+                }
+                config.tenant_inflight_limit = n;
+            }
+            "--busy-retry-ms" => {
+                config.busy_retry_ms = value("--busy-retry-ms")?
+                    .parse::<u64>()
+                    .map_err(|e| format!("--busy-retry-ms: {e}"))?;
             }
             other => return Err(format!("unknown flag {other:?}")),
         }

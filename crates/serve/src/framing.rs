@@ -125,13 +125,15 @@ pub fn parse_request(line: &str) -> Result<RequestFrame, ResponseFrame> {
             let id = serde_json::from_str::<serde::Value>(line)
                 .ok()
                 .and_then(|v| match v {
-                    serde::Value::Object(fields) => fields.iter().find_map(|(k, v)| {
-                        if k == "id" {
-                            v.as_f64().map(|f| f as u64)
-                        } else {
-                            None
-                        }
-                    }),
+                    // `as_u64`, not `as_f64 as u64`: the cast corrupted
+                    // ids above 2^53 and rounded negatives to huge
+                    // positives. Non-u64 ids (negative, fractional) fall
+                    // back to 0 like a missing id.
+                    serde::Value::Object(fields) => {
+                        fields
+                            .iter()
+                            .find_map(|(k, v)| if k == "id" { v.as_u64() } else { None })
+                    }
                     _ => None,
                 })
                 .unwrap_or(0);
@@ -196,6 +198,19 @@ mod tests {
         let err = parse_request("{\"id\": 42, \"request\": {\"Nope\": {}}}").unwrap_err();
         assert_eq!(err.id, 42);
         let err = parse_request("not json at all").unwrap_err();
+        assert_eq!(err.id, 0);
+    }
+
+    #[test]
+    fn id_recovery_is_not_lossy_at_the_u64_extremes() {
+        // Regression: `as_f64().map(|f| f as u64)` corrupted ids above
+        // 2^53. u64::MAX must survive recovery...
+        let line = format!("{{\"id\": {}, \"request\": {{\"Nope\": {{}}}}}}", u64::MAX);
+        let err = parse_request(&line).unwrap_err();
+        assert_eq!(err.id, u64::MAX);
+        // ...and a negative id must fall back to 0, not wrap to a bogus
+        // huge positive the client never sent.
+        let err = parse_request("{\"id\": -7, \"request\": {\"Nope\": {}}}").unwrap_err();
         assert_eq!(err.id, 0);
     }
 

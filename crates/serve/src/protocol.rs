@@ -242,6 +242,26 @@ pub enum ProtocolError {
     },
     /// The daemon is draining for shutdown and accepts no new work.
     ShuttingDown,
+    /// The tenant's bounded in-flight observe budget is exhausted — a hot
+    /// tenant degrades to typed rejects instead of queueing unboundedly on
+    /// its slot mutex. Back off for `retry_after_ms` and resend; other
+    /// tenants are unaffected.
+    Busy {
+        /// The saturated tenant.
+        tenant: TenantId,
+        /// Suggested client back-off before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// A tick of this tenant's controller panicked. The panic was
+    /// contained: the daemon and every other tenant keep serving, but this
+    /// tenant's in-memory state can no longer be trusted and every further
+    /// `Observe` answers this same error until the tenant is detached.
+    Faulted {
+        /// The poisoned tenant.
+        tenant: TenantId,
+        /// The contained panic's message.
+        reason: String,
+    },
     /// The provisioning layer rejected the request — a per-tenant typed
     /// error (infeasible SLA, unknown preset, malformed trace step, ...)
     /// that never disturbs other tenants or the daemon.
@@ -261,6 +281,8 @@ impl ProtocolError {
             ProtocolError::UnsupportedVersion { .. } => "unsupported-version",
             ProtocolError::UnknownTenant { .. } => "unknown-tenant",
             ProtocolError::ShuttingDown => "shutting-down",
+            ProtocolError::Busy { .. } => "busy",
+            ProtocolError::Faulted { .. } => "faulted",
             ProtocolError::Provision { .. } => "provision",
         }
     }
@@ -282,6 +304,16 @@ impl std::fmt::Display for ProtocolError {
             ),
             ProtocolError::UnknownTenant { tenant } => write!(f, "unknown tenant {tenant}"),
             ProtocolError::ShuttingDown => write!(f, "daemon is shutting down"),
+            ProtocolError::Busy {
+                tenant,
+                retry_after_ms,
+            } => write!(
+                f,
+                "tenant {tenant} is busy; retry after {retry_after_ms} ms"
+            ),
+            ProtocolError::Faulted { tenant, reason } => {
+                write!(f, "tenant {tenant} is faulted: {reason}")
+            }
             ProtocolError::Provision { error } => write!(f, "{error}"),
         }
     }

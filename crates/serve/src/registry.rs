@@ -10,26 +10,113 @@
 //! [`ProtocolError::ShuttingDown`]), then flushes tenants one by one;
 //! taking each tenant's lock naturally waits out that tenant's in-flight
 //! ticks, so flushed summaries count every tick a client was promised.
+//!
+//! Three hardening layers ride on top of that core:
+//!
+//! - **Persistence** — with a `state_dir` configured, the registry
+//!   snapshots itself to `registry.json` (atomic tmp-file + rename) on
+//!   attach, detach, every applied migration, and graceful shutdown.
+//!   [`Registry::open`] restores the snapshot, so clients reconnect and
+//!   resume by tenant id after a restart — even a `kill -9`, which at
+//!   worst loses the quiet ticks since the last applied plan. What is
+//!   persisted per tenant is a [`TenantSnapshot`]: the problem spec, the
+//!   controller config, and the controller's [`ControllerCheckpoint`] —
+//!   a resumed session continues the event log bit-identically.
+//! - **Backpressure** — each tenant carries a bounded in-flight observe
+//!   budget; overflow is a typed [`ProtocolError::Busy`] reject instead
+//!   of an unbounded queue on the slot mutex.
+//! - **Panic containment** — each tick runs under `catch_unwind`; a
+//!   panicking tick marks only that tenant faulted (every further observe
+//!   answers [`ProtocolError::Faulted`]) and poisoned locks are recovered
+//!   instead of `.unwrap()`-crashing the daemon, so one tenant's bug
+//!   never disturbs another tenant or the process.
 
 use crate::protocol::{ProblemSpec, ProtocolError, TenantId, TenantSummary};
 use dot_core::advisor::{Advisor, ProvisionError, Recommendation};
 use dot_core::controller::{
-    expand_trace, ControlEvent, ControlProvenance, Controller, ControllerConfig, TraceStep,
-    TriggerReason,
+    expand_trace, ControlEvent, ControlProvenance, Controller, ControllerCheckpoint,
+    ControllerConfig, TraceStep, TriggerReason,
 };
 use dot_core::toc::{CacheStats, CachedEstimator};
 use dot_dbms::{Layout, Schema};
 use dot_workloads::Workload;
+use serde::{Deserialize, Serialize};
 use std::io;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
+
+/// Version stamp of the on-disk [`RegistrySnapshot`]; a mismatch is a
+/// typed startup error, never a silent misparse.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// The snapshot's file name inside the state directory.
+pub const STATE_FILE: &str = "registry.json";
+
+/// Lock a mutex, recovering a poisoned one: the daemon contains panics
+/// per tenant (the fault flag keeps inconsistent state from being
+/// reused), so poisoning is bookkeeping, not a reason to crash every
+/// other tenant's session.
+pub(crate) fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Render a `catch_unwind` payload (almost always a `&str` or `String`).
+fn panic_reason(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "tick panicked (non-string payload)".to_owned()
+    }
+}
+
+/// Registry knobs (the server copies these out of its own config).
+#[derive(Debug, Clone)]
+pub struct RegistryConfig {
+    /// Shared TOC-cache capacity in entries.
+    pub cache_capacity: usize,
+    /// Directory for the registry snapshot; `None` disables persistence.
+    pub state_dir: Option<PathBuf>,
+    /// Per-tenant in-flight observe budget (running + queued); the
+    /// request over the budget is answered [`ProtocolError::Busy`].
+    pub tenant_inflight_limit: usize,
+    /// The back-off hint stamped on `Busy` rejects, in milliseconds.
+    pub busy_retry_ms: u64,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        RegistryConfig {
+            cache_capacity: 1 << 16,
+            state_dir: None,
+            tenant_inflight_limit: 4,
+            busy_retry_ms: 50,
+        }
+    }
+}
 
 /// One attached tenant: identity plus the mutex serializing its ticks.
 struct TenantSlot {
     id: TenantId,
     name: String,
     state: Mutex<TenantState>,
+    /// Observes currently running or queued on `state` (the budget).
+    inflight: AtomicUsize,
+    /// Set when a tick panicked: the contained panic's message. A faulted
+    /// tenant's in-memory state is never ticked again (its last durable
+    /// snapshot stays valid, so a restart recovers the tenant).
+    fault: Mutex<Option<String>>,
+    /// The last durably-consistent snapshot, refreshed at attach, on
+    /// every applied migration, and at graceful shutdown. `persist` reads
+    /// only this (never the live state), so snapshotting the registry
+    /// does not wait on in-flight ticks.
+    durable: Mutex<TenantSnapshot>,
 }
 
 /// The parts of a tenant that change as it ticks.
@@ -43,6 +130,45 @@ struct TenantState {
     applications: usize,
     last_trigger: Option<TriggerReason>,
     attached: Instant,
+    /// Wall-clock milliseconds accumulated by earlier incarnations of a
+    /// restored tenant (summaries report lifetime, not since-restart).
+    prior_elapsed_ms: u64,
+}
+
+/// Everything needed to restore one tenant after a restart: the inputs
+/// ([`ProblemSpec`] + [`ControllerConfig`]) plus the control-loop state
+/// ([`ControllerCheckpoint`]) and the summary counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantSnapshot {
+    /// The tenant's handle, preserved across restarts.
+    pub tenant: TenantId,
+    /// The tenant's label.
+    pub name: String,
+    /// The baseline problem (presets re-resolve identically on restore).
+    pub problem: ProblemSpec,
+    /// The controller knobs.
+    pub controller: ControllerConfig,
+    /// The control-loop state as of the snapshot.
+    pub checkpoint: ControllerCheckpoint,
+    /// Replans triggered as of the snapshot.
+    pub triggers: usize,
+    /// Plans applied as of the snapshot.
+    pub applications: usize,
+    /// The last trigger reason as of the snapshot.
+    pub last_trigger: Option<TriggerReason>,
+    /// Wall-clock milliseconds attached as of the snapshot.
+    pub elapsed_ms: u64,
+}
+
+/// The whole registry on disk: one JSON document, written atomically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegistrySnapshot {
+    /// [`SNAPSHOT_VERSION`] at write time.
+    pub version: u32,
+    /// The id counter (restored ids never collide with new attaches).
+    pub next_id: u64,
+    /// Every attached tenant, in attach order.
+    pub tenants: Vec<TenantSnapshot>,
 }
 
 /// Cumulative counters answered at the end of an `Observe` stream.
@@ -57,6 +183,7 @@ pub struct TenantCounters {
 }
 
 /// Why an `Observe` stream stopped early.
+#[derive(Debug)]
 pub enum ObserveFailure {
     /// A typed protocol/provisioning reject — answer with an error frame.
     Protocol(ProtocolError),
@@ -70,10 +197,33 @@ impl From<ProvisionError> for ObserveFailure {
     }
 }
 
+/// Decrement-on-drop guard for a tenant's in-flight budget, so every
+/// return path (success, typed error, sink failure, even a panic
+/// unwinding past the observe) releases the slot it took.
+struct InflightPermit<'a>(&'a AtomicUsize);
+
+impl<'a> InflightPermit<'a> {
+    fn acquire(slot: &'a TenantSlot, limit: usize) -> Option<InflightPermit<'a>> {
+        let prev = slot.inflight.fetch_add(1, Ordering::SeqCst);
+        if prev >= limit {
+            slot.inflight.fetch_sub(1, Ordering::SeqCst);
+            return None;
+        }
+        Some(InflightPermit(&slot.inflight))
+    }
+}
+
+impl Drop for InflightPermit<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 /// The daemon's shared state: the tenant map, the fleet-wide TOC cache,
 /// and the shutdown latch.
 pub struct Registry {
     cache: Arc<CachedEstimator>,
+    config: RegistryConfig,
     /// Attach-ordered (shutdown summaries flush in attach order).
     tenants: Mutex<Vec<Arc<TenantSlot>>>,
     next_id: AtomicU64,
@@ -81,14 +231,138 @@ pub struct Registry {
 }
 
 impl Registry {
-    /// An empty registry whose shared cache holds up to `cache_capacity`
-    /// estimates.
-    pub fn new(cache_capacity: usize) -> Registry {
+    /// An empty registry. Persistence still applies if the config names a
+    /// `state_dir`, but nothing is restored — use [`open`](Registry::open)
+    /// for the restore-on-startup path.
+    pub fn new(config: RegistryConfig) -> Registry {
         Registry {
-            cache: Arc::new(CachedEstimator::with_capacity(cache_capacity)),
+            cache: Arc::new(CachedEstimator::with_capacity(config.cache_capacity)),
             tenants: Mutex::new(Vec::new()),
             next_id: AtomicU64::new(1),
             shutting_down: AtomicBool::new(false),
+            config,
+        }
+    }
+
+    /// Open a registry: create the state directory if configured, and
+    /// restore the snapshot found there (if any) so tenants survive a
+    /// daemon restart. A snapshot that cannot be restored — unreadable,
+    /// wrong version, or a problem that no longer resolves — is a typed
+    /// startup error, never a silently-empty registry.
+    pub fn open(config: RegistryConfig) -> io::Result<Registry> {
+        let registry = Registry::new(config);
+        if let Some(dir) = registry.config.state_dir.clone() {
+            std::fs::create_dir_all(&dir)?;
+            let path = dir.join(STATE_FILE);
+            match std::fs::read_to_string(&path) {
+                Ok(text) => registry.restore(&text).map_err(|reason| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("{}: {reason}", path.display()),
+                    )
+                })?,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(registry)
+    }
+
+    /// Rebuild the tenant map from a serialized [`RegistrySnapshot`].
+    fn restore(&self, text: &str) -> Result<(), String> {
+        let snapshot: RegistrySnapshot =
+            serde_json::from_str(text).map_err(|e| format!("malformed snapshot: {e}"))?;
+        if snapshot.version != SNAPSHOT_VERSION {
+            return Err(format!(
+                "snapshot version {} unsupported (this daemon writes {SNAPSHOT_VERSION})",
+                snapshot.version
+            ));
+        }
+        let mut max_id = 0;
+        let mut tenants = Vec::with_capacity(snapshot.tenants.len());
+        for snap in snapshot.tenants {
+            max_id = max_id.max(snap.tenant);
+            let slot = self
+                .restore_slot(snap)
+                .map_err(|(name, e)| format!("tenant {name:?}: {e}"))?;
+            tenants.push(Arc::new(slot));
+        }
+        // Ids stay unique even against a snapshot whose counter lagged.
+        self.next_id
+            .store(snapshot.next_id.max(max_id + 1), Ordering::SeqCst);
+        *lock_recover(&self.tenants) = tenants;
+        Ok(())
+    }
+
+    /// Reopen one tenant's session from its snapshot: re-resolve the
+    /// problem, rebuild the controller, and resume its checkpoint. No
+    /// solving happens here — the deployed layout comes from the
+    /// checkpoint, so restore latency is parsing plus construction.
+    fn restore_slot(&self, snap: TenantSnapshot) -> Result<TenantSlot, (String, ProvisionError)> {
+        let fail = |e| (snap.name.clone(), e);
+        let resolved = snap.problem.resolve().map_err(fail)?;
+        let mut controller = Controller::new(
+            &resolved.schema,
+            &resolved.pool,
+            &resolved.workload,
+            snap.checkpoint.deployed.clone(),
+            resolved.sla,
+            snap.controller.clone(),
+        )
+        .map_err(fail)?
+        .with_toc_cache(Arc::clone(&self.cache))
+        .with_refinements(resolved.refinements);
+        if let Some(engine) = resolved.engine {
+            controller = controller.with_engine(engine);
+        }
+        let controller = controller.with_checkpoint(&snap.checkpoint).map_err(fail)?;
+        Ok(TenantSlot {
+            id: snap.tenant,
+            name: snap.name.clone(),
+            state: Mutex::new(TenantState {
+                controller,
+                schema: resolved.schema,
+                baseline: resolved.workload,
+                triggers: snap.triggers,
+                applications: snap.applications,
+                last_trigger: snap.last_trigger.clone(),
+                attached: Instant::now(),
+                prior_elapsed_ms: snap.elapsed_ms,
+            }),
+            inflight: AtomicUsize::new(0),
+            fault: Mutex::new(None),
+            durable: Mutex::new(snap),
+        })
+    }
+
+    /// Snapshot the current tenant map to the state directory (no-op
+    /// without one). Reads only the durable per-tenant snapshots, so it
+    /// never waits on an in-flight tick.
+    fn persist(&self) {
+        let slots: Vec<Arc<TenantSlot>> = lock_recover(&self.tenants).clone();
+        self.persist_slots(&slots);
+    }
+
+    /// Snapshot an explicit slot list — `flush_all` passes the pre-flush
+    /// set so graceful shutdown writes the tenants it just flushed, even
+    /// though the live map is already empty.
+    fn persist_slots(&self, slots: &[Arc<TenantSlot>]) {
+        let Some(dir) = &self.config.state_dir else {
+            return;
+        };
+        let snapshot = RegistrySnapshot {
+            version: SNAPSHOT_VERSION,
+            next_id: self.next_id.load(Ordering::SeqCst),
+            tenants: slots
+                .iter()
+                .map(|s| lock_recover(&s.durable).clone())
+                .collect(),
+        };
+        // Persistence failures must not fail the request that triggered
+        // them (the in-memory registry stays authoritative); report and
+        // carry on.
+        if let Err(e) = write_snapshot(dir, &snapshot) {
+            eprintln!("dot-serve: failed to persist registry state: {e}");
         }
     }
 
@@ -116,9 +390,7 @@ impl Registry {
     }
 
     fn slot(&self, tenant: TenantId) -> Result<Arc<TenantSlot>, ProtocolError> {
-        self.tenants
-            .lock()
-            .unwrap()
+        lock_recover(&self.tenants)
             .iter()
             .find(|s| s.id == tenant)
             .cloned()
@@ -148,7 +420,10 @@ impl Registry {
     }
 
     /// Register a tenant: validate the problem, provision the baseline
-    /// when no deployed layout is given, and open its controller.
+    /// when no deployed layout is given, and open its controller. The id
+    /// is allocated under the table lock *after* the shutdown re-check,
+    /// so a rejected attach never burns an id (a restored registry's
+    /// counter stays collision-free).
     pub fn attach(
         &self,
         name: Option<String>,
@@ -189,7 +464,7 @@ impl Registry {
             &resolved.workload,
             deployed,
             resolved.sla,
-            config,
+            config.clone(),
         )
         .map_err(provision)?
         .with_toc_cache(Arc::clone(&self.cache))
@@ -197,35 +472,58 @@ impl Registry {
         if let Some(engine) = resolved.engine {
             controller = controller.with_engine(engine);
         }
-        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
-        let name = name.unwrap_or_else(|| format!("tenant-{id}"));
-        let slot = Arc::new(TenantSlot {
-            id,
-            name: name.clone(),
-            state: Mutex::new(TenantState {
-                controller,
-                schema: resolved.schema,
-                baseline: resolved.workload,
+        {
+            let mut tenants = lock_recover(&self.tenants);
+            // An attach that raced the shutdown latch must not leak a
+            // tenant the flush already missed — and must not have
+            // allocated an id yet, either.
+            if self.is_shutting_down() {
+                return Err(ProtocolError::ShuttingDown);
+            }
+            let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+            let name = name.unwrap_or_else(|| format!("tenant-{id}"));
+            let durable = TenantSnapshot {
+                tenant: id,
+                name: name.clone(),
+                problem: spec.clone(),
+                controller: config,
+                checkpoint: controller.checkpoint(),
                 triggers: 0,
                 applications: 0,
                 last_trigger: None,
-                attached: Instant::now(),
-            }),
-        });
-        let mut tenants = self.tenants.lock().unwrap();
-        // An attach that raced the shutdown latch must not leak a tenant
-        // the flush already missed.
-        if self.is_shutting_down() {
-            return Err(ProtocolError::ShuttingDown);
+                elapsed_ms: 0,
+            };
+            tenants.push(Arc::new(TenantSlot {
+                id,
+                name: name.clone(),
+                state: Mutex::new(TenantState {
+                    controller,
+                    schema: resolved.schema,
+                    baseline: resolved.workload,
+                    triggers: 0,
+                    applications: 0,
+                    last_trigger: None,
+                    attached: Instant::now(),
+                    prior_elapsed_ms: 0,
+                }),
+                inflight: AtomicUsize::new(0),
+                fault: Mutex::new(None),
+                durable: Mutex::new(durable),
+            }));
+            drop(tenants);
+            self.persist();
+            Ok((id, name))
         }
-        tenants.push(slot);
-        Ok((id, name))
     }
 
     /// Tick a tenant's controller through one scripted step, streaming
     /// each tick's events through `sink` as the tick completes. The
     /// tenant's lock is held for the whole step, so concurrent observes of
-    /// one tenant serialize while other tenants proceed.
+    /// one tenant serialize while other tenants proceed — up to the
+    /// tenant's in-flight budget, past which the request is a typed
+    /// [`ProtocolError::Busy`] reject. Each tick runs under
+    /// `catch_unwind`: a panic faults this tenant (every later observe
+    /// answers [`ProtocolError::Faulted`]) and nothing else.
     pub fn observe(
         &self,
         tenant: TenantId,
@@ -235,27 +533,90 @@ impl Registry {
         self.reject_if_shutting_down()
             .map_err(ObserveFailure::Protocol)?;
         let slot = self.slot(tenant).map_err(ObserveFailure::Protocol)?;
-        let mut state = slot.state.lock().unwrap();
+        if let Some(reason) = lock_recover(&slot.fault).clone() {
+            return Err(ObserveFailure::Protocol(ProtocolError::Faulted {
+                tenant,
+                reason,
+            }));
+        }
+        // The budget check happens *before* queueing on the state mutex:
+        // the over-budget request is answered immediately, it does not
+        // join the queue it was rejected for.
+        let Some(_permit) = InflightPermit::acquire(&slot, self.config.tenant_inflight_limit)
+        else {
+            return Err(ObserveFailure::Protocol(ProtocolError::Busy {
+                tenant,
+                retry_after_ms: self.config.busy_retry_ms,
+            }));
+        };
+        let mut state = lock_recover(&slot.state);
         // Re-check under the tenant lock: a shutdown that latched while we
         // waited will flush right after we release, and must not lose
-        // ticks it never promised the flusher.
+        // ticks it never promised the flusher. Same for a fault: the tick
+        // we queued behind may have poisoned the tenant.
         self.reject_if_shutting_down()
             .map_err(ObserveFailure::Protocol)?;
+        if let Some(reason) = lock_recover(&slot.fault).clone() {
+            return Err(ObserveFailure::Protocol(ProtocolError::Faulted {
+                tenant,
+                reason,
+            }));
+        }
         let trace = expand_trace(&state.schema, &state.baseline, std::slice::from_ref(step))?;
         for observed in &trace {
-            let failed = state.controller.observe(observed).err();
+            #[cfg(feature = "test-hooks")]
+            if slot.name.contains("__slow__") {
+                // Fault-injection hook: make each tick slow enough that a
+                // concurrent client can observe the in-flight budget.
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+            let state = &mut *state;
+            let ticked = catch_unwind(AssertUnwindSafe(|| {
+                #[cfg(feature = "test-hooks")]
+                if slot.name.contains("__panic__") {
+                    panic!("test-hooks: injected tick panic");
+                }
+                state.controller.observe(observed)
+            }));
+            let failed = match ticked {
+                Ok(outcome) => outcome.err(),
+                Err(payload) => {
+                    // The panic was contained before it could poison the
+                    // state mutex, but the controller may have died
+                    // mid-update: latch the fault so this tenant is never
+                    // ticked again, and answer with the typed frame.
+                    let reason = panic_reason(payload);
+                    *lock_recover(&slot.fault) = Some(reason.clone());
+                    return Err(ObserveFailure::Protocol(ProtocolError::Faulted {
+                        tenant,
+                        reason,
+                    }));
+                }
+            };
             // Even a failed tick logged its observation (and possibly the
             // trigger) before erroring — stream those, then the error.
+            let mut applied = false;
             for event in state.controller.drain_events() {
                 match &event {
                     ControlEvent::Triggered { reason, .. } => {
                         state.triggers += 1;
                         state.last_trigger = Some(reason.clone());
                     }
-                    ControlEvent::Applied { .. } => state.applications += 1,
+                    ControlEvent::Applied { .. } => {
+                        state.applications += 1;
+                        applied = true;
+                    }
                     _ => {}
                 }
                 sink(&event).map_err(ObserveFailure::Io)?;
+            }
+            if applied {
+                // A migration landed: this tick is a durability point.
+                // Refresh the snapshot and persist right away, so even a
+                // `kill -9` later in the step resumes from the migrated
+                // layout — at worst the quiet ticks after it are re-fed.
+                refresh_durable(&slot, state);
+                self.persist();
             }
             if let Some(e) = failed {
                 return Err(e.into());
@@ -271,13 +632,14 @@ impl Registry {
     /// Unregister a tenant, flushing its final summary.
     pub fn detach(&self, tenant: TenantId) -> Result<TenantSummary, ProtocolError> {
         let slot = {
-            let mut tenants = self.tenants.lock().unwrap();
+            let mut tenants = lock_recover(&self.tenants);
             let idx = tenants
                 .iter()
                 .position(|s| s.id == tenant)
                 .ok_or(ProtocolError::UnknownTenant { tenant })?;
             tenants.remove(idx)
         };
+        self.persist();
         Ok(summarize(&slot))
     }
 
@@ -285,14 +647,14 @@ impl Registry {
     /// taken one at a time, so totals are per-tenant consistent (a tenant
     /// mid-step is counted as of its last completed tick).
     pub fn stats(&self) -> (usize, TenantCounters, CacheStats) {
-        let slots: Vec<Arc<TenantSlot>> = self.tenants.lock().unwrap().clone();
+        let slots: Vec<Arc<TenantSlot>> = lock_recover(&self.tenants).clone();
         let mut totals = TenantCounters {
             ticks: 0,
             triggers: 0,
             applications: 0,
         };
         for slot in &slots {
-            let state = slot.state.lock().unwrap();
+            let state = lock_recover(&slot.state);
             totals.ticks += state.controller.ticks();
             totals.triggers += state.triggers;
             totals.applications += state.applications;
@@ -302,11 +664,47 @@ impl Registry {
 
     /// Flush every tenant for shutdown, in attach order. Taking each
     /// tenant's lock waits out its in-flight ticks; the emptied map makes
-    /// later detaches answer [`ProtocolError::UnknownTenant`].
+    /// later detaches answer [`ProtocolError::UnknownTenant`]. The flushed
+    /// set is persisted, so a graceful shutdown's state file carries every
+    /// tenant's final checkpoint for the next daemon to restore.
     pub fn flush_all(&self) -> Vec<TenantSummary> {
-        let slots: Vec<Arc<TenantSlot>> = std::mem::take(&mut *self.tenants.lock().unwrap());
-        slots.iter().map(|slot| summarize(slot)).collect()
+        let slots: Vec<Arc<TenantSlot>> = std::mem::take(&mut *lock_recover(&self.tenants));
+        let summaries = slots
+            .iter()
+            .map(|slot| {
+                let state = lock_recover(&slot.state);
+                if lock_recover(&slot.fault).is_none() {
+                    // A faulted tenant's live state is not trustworthy;
+                    // its durable snapshot stays at the last apply.
+                    refresh_durable(slot, &state);
+                }
+                summarize_locked(slot, &state)
+            })
+            .collect();
+        self.persist_slots(&slots);
+        summaries
     }
+}
+
+/// Atomic snapshot write: a temp file renamed into place, so a crash
+/// mid-write can never leave a truncated `registry.json`.
+fn write_snapshot(dir: &Path, snapshot: &RegistrySnapshot) -> io::Result<()> {
+    let json = serde_json::to_string(snapshot)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let tmp = dir.join(format!("{STATE_FILE}.tmp"));
+    std::fs::write(&tmp, json.as_bytes())?;
+    std::fs::rename(&tmp, dir.join(STATE_FILE))
+}
+
+/// Refresh a tenant's durable snapshot from its live state (caller holds
+/// the state lock, which is what makes the copy consistent).
+fn refresh_durable(slot: &TenantSlot, state: &TenantState) {
+    let mut durable = lock_recover(&slot.durable);
+    durable.checkpoint = state.controller.checkpoint();
+    durable.triggers = state.triggers;
+    durable.applications = state.applications;
+    durable.last_trigger = state.last_trigger.clone();
+    durable.elapsed_ms = state.prior_elapsed_ms + state.attached.elapsed().as_millis() as u64;
 }
 
 fn provision(error: ProvisionError) -> ProtocolError {
@@ -316,7 +714,11 @@ fn provision(error: ProvisionError) -> ProtocolError {
 /// A tenant's lifetime summary — the same counters and provenance schema
 /// `supervise_fleet` stamps on a [`SuperviseOutcome`](dot_core::fleet::SuperviseOutcome).
 fn summarize(slot: &TenantSlot) -> TenantSummary {
-    let state = slot.state.lock().unwrap();
+    let state = lock_recover(&slot.state);
+    summarize_locked(slot, &state)
+}
+
+fn summarize_locked(slot: &TenantSlot, state: &TenantState) -> TenantSummary {
     TenantSummary {
         tenant: slot.id,
         name: slot.name.clone(),
@@ -324,11 +726,107 @@ fn summarize(slot: &TenantSlot) -> TenantSummary {
         triggers: state.triggers,
         applications: state.applications,
         provenance: ControlProvenance {
-            elapsed_ms: state.attached.elapsed().as_millis() as u64,
+            elapsed_ms: state.prior_elapsed_ms + state.attached.elapsed().as_millis() as u64,
             trigger: state
                 .last_trigger
                 .clone()
                 .unwrap_or(TriggerReason::Quiescent),
         },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+    use std::thread;
+
+    fn spec() -> ProblemSpec {
+        serde_json::from_str("{\"pool\": \"box2\", \"database\": \"tpcc:2\", \"sla\": 0.5}")
+            .expect("problem spec")
+    }
+
+    fn step(text: &str) -> TraceStep {
+        serde_json::from_str(text).expect("trace step")
+    }
+
+    #[test]
+    fn over_budget_observes_are_busy_rejects_not_queued_waits() {
+        let registry = Registry::new(RegistryConfig {
+            tenant_inflight_limit: 1,
+            busy_retry_ms: 7,
+            ..RegistryConfig::default()
+        });
+        let (tenant, _) = registry.attach(None, &spec(), None, None).expect("attach");
+        let registry = Arc::new(registry);
+
+        // Thread A holds the tenant's only budget slot: its sink blocks
+        // on a channel after the first event, deterministically pinning
+        // the tenant in-flight while the main thread probes it.
+        let (entered_tx, entered_rx) = mpsc::channel::<()>();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let worker = {
+            let registry = Arc::clone(&registry);
+            thread::spawn(move || {
+                let mut first = true;
+                registry.observe(tenant, &step("{\"shift\": 0.02}"), &mut |_| {
+                    if first {
+                        first = false;
+                        entered_tx.send(()).unwrap();
+                        release_rx.recv().unwrap();
+                    }
+                    Ok(())
+                })
+            })
+        };
+        entered_rx.recv().expect("worker entered its tick");
+
+        // The budget is spent: the second observe answers Busy with the
+        // configured back-off, without queueing on the state mutex.
+        let err = registry.observe(tenant, &step("{\"shift\": 0.02}"), &mut |_| Ok(()));
+        match err {
+            Err(ObserveFailure::Protocol(ProtocolError::Busy {
+                tenant: busy,
+                retry_after_ms,
+            })) => {
+                assert_eq!(busy, tenant);
+                assert_eq!(retry_after_ms, 7);
+            }
+            Err(ObserveFailure::Protocol(other)) => panic!("expected Busy, got {other:?}"),
+            Err(ObserveFailure::Io(e)) => panic!("expected Busy, got io error {e}"),
+            Ok(_) => panic!("expected Busy, observe succeeded"),
+        }
+
+        release_tx.send(()).unwrap();
+        worker.join().expect("worker").expect("first observe");
+
+        // The permit was released: the retry goes through.
+        let counters = registry
+            .observe(tenant, &step("{\"shift\": 0.02}"), &mut |_| Ok(()))
+            .expect("retry after budget freed");
+        assert_eq!(counters.ticks, 2);
+    }
+
+    #[test]
+    fn rejected_attaches_never_burn_ids() {
+        // Ids are allocated under the table lock after the shutdown
+        // re-check, so the successful attaches' ids are contiguous from 1
+        // and a post-shutdown attach consumes nothing.
+        let registry = Registry::new(RegistryConfig::default());
+        let mut ids = Vec::new();
+        for _ in 0..3 {
+            let (id, _) = registry.attach(None, &spec(), None, None).expect("attach");
+            ids.push(id);
+        }
+        assert_eq!(ids, vec![1, 2, 3]);
+
+        registry.begin_shutdown();
+        assert!(matches!(
+            registry.attach(None, &spec(), None, None),
+            Err(ProtocolError::ShuttingDown)
+        ));
+        // The rejected attach must not have advanced the counter (a
+        // restored registry would mint a colliding id otherwise).
+        assert_eq!(registry.next_id.load(Ordering::SeqCst), 4);
     }
 }

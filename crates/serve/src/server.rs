@@ -20,11 +20,12 @@ use crate::framing::{parse_request, write_frame, FrameReader, Lined, MAX_FRAME_B
 use crate::protocol::{
     ProtocolError, Request, Response, ResponseFrame, PROTOCOL_VERSION, SERVER_NAME,
 };
-use crate::registry::{ObserveFailure, Registry};
+use crate::registry::{lock_recover, ObserveFailure, Registry, RegistryConfig};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
@@ -48,17 +49,30 @@ pub struct ServerConfig {
     pub max_frame_bytes: usize,
     /// Socket read timeout: how quickly idle workers notice shutdown.
     pub poll_interval: Duration,
+    /// Registry snapshot directory; `None` disables persistence. With a
+    /// directory, `bind` restores any snapshot found there, so tenants
+    /// survive restarts and clients resume by tenant id.
+    pub state_dir: Option<PathBuf>,
+    /// Per-tenant in-flight observe budget (overflow answers
+    /// [`ProtocolError::Busy`]).
+    pub tenant_inflight_limit: usize,
+    /// The back-off hint stamped on `Busy` rejects, in milliseconds.
+    pub busy_retry_ms: u64,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
+        let registry = RegistryConfig::default();
         ServerConfig {
             listen: Some("127.0.0.1:0".to_owned()),
             unix_socket: None,
             workers: 0,
-            cache_capacity: 1 << 16,
+            cache_capacity: registry.cache_capacity,
             max_frame_bytes: MAX_FRAME_BYTES,
             poll_interval: Duration::from_millis(25),
+            state_dir: None,
+            tenant_inflight_limit: registry.tenant_inflight_limit,
+            busy_retry_ms: registry.busy_retry_ms,
         }
     }
 }
@@ -191,8 +205,14 @@ impl Server {
                 "no listener configured: set a TCP address or a unix socket path",
             ));
         }
+        let registry = Registry::open(RegistryConfig {
+            cache_capacity: config.cache_capacity,
+            state_dir: config.state_dir.clone(),
+            tenant_inflight_limit: config.tenant_inflight_limit,
+            busy_retry_ms: config.busy_retry_ms,
+        })?;
         Ok(Server {
-            registry: Arc::new(Registry::new(config.cache_capacity)),
+            registry: Arc::new(registry),
             config,
             tcp,
             local_addr,
@@ -237,11 +257,17 @@ impl Server {
                 let waker = &waker;
                 s.spawn(move || loop {
                     // Hold the receiver lock only for the pull, never
-                    // while serving.
-                    let conn = { rx.lock().unwrap().recv() };
+                    // while serving; recover it if a sibling panicked
+                    // mid-pull (the channel itself is still consistent).
+                    let conn = { lock_recover(&rx).recv() };
                     match conn {
                         Ok(conn) => {
-                            let _ = serve_connection(conn, registry, config, waker);
+                            // A panic below tenant containment (framing,
+                            // transport) costs this connection, never the
+                            // worker or the daemon.
+                            let _ = catch_unwind(AssertUnwindSafe(|| {
+                                serve_connection(conn, registry, config, waker)
+                            }));
                         }
                         Err(_) => break, // acceptors gone, queue drained
                     }

@@ -401,6 +401,14 @@ fn every_request_and_response_shape_round_trips_through_json() {
         },
         ProtocolError::UnknownTenant { tenant: 9 },
         ProtocolError::ShuttingDown,
+        ProtocolError::Busy {
+            tenant: 9,
+            retry_after_ms: 50,
+        },
+        ProtocolError::Faulted {
+            tenant: 9,
+            reason: "tick panicked".to_owned(),
+        },
         ProtocolError::Provision {
             error: dot_core::advisor::ProvisionError::InvalidRequest {
                 reason: "sla 7 out of (0, 1]".to_owned(),
@@ -410,7 +418,7 @@ fn every_request_and_response_shape_round_trips_through_json() {
     let mut kinds: Vec<&str> = errors.iter().map(|e| e.kind()).collect();
     kinds.sort_unstable();
     kinds.dedup();
-    assert_eq!(kinds.len(), 6, "kinds must be distinct");
+    assert_eq!(kinds.len(), 8, "kinds must be distinct");
     for error in errors {
         let frame = ResponseFrame {
             id: 1,

@@ -1,0 +1,322 @@
+//! Hardening conformance under injected faults (requires the
+//! `test-hooks` feature): a tenant whose tick panics is contained — the
+//! daemon and every other tenant keep serving bit-identically — and a
+//! tenant whose ticks are slow exhausts its in-flight budget into typed
+//! `Busy` rejects on the wire.
+
+use dot_core::advisor::Advisor;
+use dot_core::controller::{expand_trace, ControlEvent, Controller, ControllerConfig, TraceStep};
+use dot_serve::framing::write_frame;
+use dot_serve::protocol::{
+    ProblemSpec, ProtocolError, Request, RequestFrame, Response, ResponseFrame, TenantId,
+    PROTOCOL_VERSION,
+};
+use dot_serve::{Server, ServerConfig};
+use std::io::{BufRead, BufReader};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::mpsc;
+use std::thread;
+use std::time::Duration;
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+            next_id: 1,
+        }
+    }
+
+    fn request(&mut self, request: Request) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame(&mut self.writer, &RequestFrame { id, request }).expect("send");
+        id
+    }
+
+    fn recv(&mut self) -> ResponseFrame {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("recv");
+        assert!(!line.is_empty(), "server closed the connection");
+        serde_json::from_str(line.trim()).expect("parse response")
+    }
+
+    fn attach(&mut self, name: &str) -> TenantId {
+        let id = self.request(Request::AttachTenant {
+            name: Some(name.to_owned()),
+            problem: spec(),
+            deployed: None,
+            controller: None,
+        });
+        let frame = self.recv();
+        assert_eq!(frame.id, id);
+        match frame.response {
+            Response::Attached { tenant, .. } => tenant,
+            other => panic!("attach: {other:?}"),
+        }
+    }
+
+    /// Observe one step through `ObserveDone`, panicking on error frames.
+    fn observe(&mut self, tenant: TenantId, step: &TraceStep) -> (Vec<ControlEvent>, u64) {
+        match self.try_observe(tenant, step) {
+            Ok(done) => done,
+            Err(error) => panic!("observe: {error:?}"),
+        }
+    }
+
+    /// Observe one step; a typed error frame ends the stream as `Err`.
+    fn try_observe(
+        &mut self,
+        tenant: TenantId,
+        step: &TraceStep,
+    ) -> Result<(Vec<ControlEvent>, u64), ProtocolError> {
+        let id = self.request(Request::Observe {
+            tenant,
+            step: step.clone(),
+        });
+        let mut events = Vec::new();
+        loop {
+            let frame = self.recv();
+            assert_eq!(frame.id, id, "frames correlate to the observe request");
+            match frame.response {
+                Response::Event {
+                    tenant: from,
+                    event,
+                } => {
+                    assert_eq!(from, tenant);
+                    events.push(event);
+                }
+                Response::ObserveDone {
+                    tenant: from,
+                    ticks,
+                    ..
+                } => {
+                    assert_eq!(from, tenant);
+                    return Ok((events, ticks));
+                }
+                Response::Error { error } => return Err(error),
+                other => panic!("observe: {other:?}"),
+            }
+        }
+    }
+}
+
+fn spec() -> ProblemSpec {
+    serde_json::from_str("{\"pool\": \"box2\", \"database\": \"tpcc:2\", \"sla\": 0.5}")
+        .expect("problem spec")
+}
+
+fn step(text: &str) -> TraceStep {
+    serde_json::from_str(text).expect("trace step")
+}
+
+/// The offline truth the daemon's healthy tenants must match bit for bit:
+/// the same spec, default controller config, replayed in process.
+fn offline_events(steps: &[TraceStep]) -> Vec<ControlEvent> {
+    let resolved = spec().resolve().expect("resolve");
+    let config = ControllerConfig::default();
+    let layout = Advisor::builder(&resolved.schema, &resolved.pool, &resolved.workload)
+        .sla(resolved.sla)
+        .refinements(resolved.refinements)
+        .build()
+        .expect("advisor")
+        .recommend(&config.solver)
+        .expect("recommend")
+        .layout;
+    let mut controller = Controller::new(
+        &resolved.schema,
+        &resolved.pool,
+        &resolved.workload,
+        layout,
+        resolved.sla,
+        config,
+    )
+    .expect("controller")
+    .with_refinements(resolved.refinements);
+    let trace = expand_trace(&resolved.schema, &resolved.workload, steps).expect("trace");
+    for observed in &trace {
+        controller.observe(observed).expect("tick");
+    }
+    controller.drain_events()
+}
+
+#[test]
+fn a_panicking_tick_faults_only_its_own_tenant() {
+    let server = Server::bind(ServerConfig {
+        listen: Some("127.0.0.1:0".to_owned()),
+        workers: 8,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("tcp addr");
+    let run = thread::spawn(move || server.run().expect("run"));
+
+    let steps = [
+        step("{\"shift\": 0.01}"),
+        step("{\"shift\": -0.01, \"repeat\": 2}"),
+    ];
+    let golden = offline_events(&steps);
+
+    // 8 tenants; the last one's name carries the panic hook.
+    let mut control = Client::connect(addr);
+    let poisoned = control.attach("tenant-__panic__");
+
+    // The injected panic comes back as a typed Faulted frame, not a dead
+    // socket or a dead daemon.
+    let failure = control
+        .try_observe(poisoned, &steps[0])
+        .expect_err("a panicking tick must fail the observe");
+    match &failure {
+        ProtocolError::Faulted { tenant, reason } => {
+            assert_eq!(*tenant, poisoned);
+            assert!(reason.contains("injected tick panic"), "{reason}");
+        }
+        other => panic!("expected Faulted, got {other:?}"),
+    }
+    // The fault latches: a retry answers the same typed error instead of
+    // re-ticking possibly-inconsistent state.
+    let retry = control
+        .try_observe(poisoned, &steps[0])
+        .expect_err("a faulted tenant must stay faulted");
+    assert!(matches!(retry, ProtocolError::Faulted { .. }));
+
+    // The other 7 tenants — attached and observed after the panic, on
+    // their own connections — stream the offline trajectory untouched.
+    let mut workers = Vec::new();
+    for i in 0..7 {
+        let steps = steps.clone();
+        let golden = golden.clone();
+        workers.push(thread::spawn(move || {
+            let mut client = Client::connect(addr);
+            let tenant = client.attach(&format!("healthy-{i}"));
+            let mut events = Vec::new();
+            for step in &steps {
+                let (step_events, _) = client.observe(tenant, step);
+                events.extend(step_events);
+            }
+            assert_eq!(
+                events, golden,
+                "tenant healthy-{i} must be untouched by the fault"
+            );
+        }));
+    }
+    for w in workers {
+        w.join().expect("healthy tenant thread");
+    }
+
+    // The daemon itself never wavered: hello, stats, and a graceful
+    // shutdown flushing all 8 tenants (the faulted one flushed with the
+    // zero ticks it completed).
+    let id = control.request(Request::Hello {
+        version: PROTOCOL_VERSION,
+    });
+    let frame = control.recv();
+    assert_eq!(frame.id, id);
+    assert!(matches!(frame.response, Response::Hello { .. }));
+
+    control.request(Request::Stats);
+    match control.recv().response {
+        Response::Stats { tenants, ticks, .. } => {
+            assert_eq!(tenants, 8);
+            assert_eq!(ticks, 7 * 3, "7 healthy tenants x 3 ticks each");
+        }
+        other => panic!("stats: {other:?}"),
+    }
+
+    control.request(Request::Shutdown);
+    match control.recv().response {
+        Response::ShuttingDown { tenants } => {
+            assert_eq!(tenants.len(), 8);
+            let flushed = tenants
+                .iter()
+                .find(|s| s.tenant == poisoned)
+                .expect("faulted tenant still flushes a summary");
+            assert_eq!(flushed.ticks, 0, "the panicked tick never counted");
+        }
+        other => panic!("shutdown: {other:?}"),
+    }
+    run.join().expect("daemon unwinds cleanly");
+}
+
+#[test]
+fn an_over_budget_tenant_answers_busy_on_the_wire() {
+    let server = Server::bind(ServerConfig {
+        listen: Some("127.0.0.1:0".to_owned()),
+        workers: 4,
+        tenant_inflight_limit: 1,
+        busy_retry_ms: 20,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("tcp addr");
+    let run = thread::spawn(move || server.run().expect("run"));
+
+    let mut control = Client::connect(addr);
+    let tenant = control.attach("tenant-__slow__");
+
+    // A long, slow observe (the hook sleeps every tick) pins the tenant's
+    // single budget slot; the holder signals once its first event frame
+    // arrives, so the probe below lands inside the busy window.
+    let (entered_tx, entered_rx) = mpsc::channel::<()>();
+    let holder = thread::spawn(move || {
+        let mut client = Client::connect(addr);
+        let id = client.request(Request::Observe {
+            tenant,
+            step: step("{\"shift\": 0.01, \"repeat\": 40}"),
+        });
+        let mut signalled = false;
+        loop {
+            let frame = client.recv();
+            assert_eq!(frame.id, id);
+            match frame.response {
+                Response::Event { .. } => {
+                    if !signalled {
+                        signalled = true;
+                        entered_tx.send(()).unwrap();
+                    }
+                }
+                Response::ObserveDone { ticks, .. } => return ticks,
+                other => panic!("holder: {other:?}"),
+            }
+        }
+    });
+    entered_rx.recv().expect("holder entered its stream");
+
+    let busy = control
+        .try_observe(tenant, &step("{\"shift\": 0.01}"))
+        .expect_err("the second observe must be rejected");
+    match busy {
+        ProtocolError::Busy {
+            tenant: from,
+            retry_after_ms,
+        } => {
+            assert_eq!(from, tenant);
+            assert_eq!(retry_after_ms, 20);
+        }
+        other => panic!("expected Busy, got {other:?}"),
+    }
+
+    // Once the holder drains, the budget frees and the retry goes through.
+    let ticks = holder.join().expect("holder thread");
+    assert_eq!(ticks, 40);
+    let (_, ticks) = control.observe(tenant, &step("{\"shift\": 0.01}"));
+    assert_eq!(ticks, 41);
+
+    control.request(Request::Shutdown);
+    assert!(matches!(
+        control.recv().response,
+        Response::ShuttingDown { .. }
+    ));
+    run.join().expect("daemon unwinds cleanly");
+}

@@ -944,6 +944,7 @@ fn usage() -> ExitCode {
          \x20               [--budget-bytes <n>] [--budget-seconds <n>] [--budget-cents <n>]\n\
          \x20               [--json | --stream]\n\
          dot-cli serve [--listen <addr>] [--unix-socket <path>] [--workers <n>] [--cache-capacity <n>]\n\
+         \x20               [--state-dir <dir>] [--tenant-inflight <n>] [--busy-retry-ms <n>]\n\
          dot-cli explain <problem.json>"
     );
     ExitCode::FAILURE

@@ -66,6 +66,22 @@ impl Value {
         }
     }
 
+    /// The numeric value as an exact unsigned integer: `None` for
+    /// non-numbers, negatives, and non-integral values. Numbers are stored
+    /// as `f64`, so integers above 2^53 are whatever double the text
+    /// rounded to — values up to `u64::MAX` saturate to it rather than
+    /// wrapping (`u64::MAX as f64` is 2^64, one ULP above the true max).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n)
+                if n.is_finite() && n.fract() == 0.0 && *n >= 0.0 && *n <= u64::MAX as f64 =>
+            {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
     /// Whether this is `null`.
     pub fn is_null(&self) -> bool {
         matches!(self, Value::Null)
