@@ -14,14 +14,20 @@
 //! Three hardening layers ride on top of that core:
 //!
 //! - **Persistence** — with a `state_dir` configured, the registry
-//!   snapshots itself to `registry.json` (atomic tmp-file + rename) on
-//!   attach, detach, every applied migration, and graceful shutdown.
-//!   [`Registry::open`] restores the snapshot, so clients reconnect and
-//!   resume by tenant id after a restart — even a `kill -9`, which at
-//!   worst loses the quiet ticks since the last applied plan. What is
-//!   persisted per tenant is a [`TenantSnapshot`]: the problem spec, the
-//!   controller config, and the controller's [`ControllerCheckpoint`] —
-//!   a resumed session continues the event log bit-identically.
+//!   snapshots itself to `registry.json` on attach, detach, every
+//!   applied migration, and graceful shutdown. All disk I/O belongs to
+//!   one dedicated writer thread (the [`Persister`]): callers enqueue a
+//!   snapshot built under the persister's lock — so a later enqueue can
+//!   never carry an older view of the registry — and the writer performs
+//!   the fsync'd tmp-file + rename sequence serially, so two durability
+//!   points can never race the temp file or publish out of order, and a
+//!   migrating tenant is never blocked on the disk. [`Registry::open`]
+//!   restores the snapshot, so clients reconnect and resume by tenant id
+//!   after a restart — even a `kill -9`, which at worst loses the quiet
+//!   ticks since the last applied plan. What is persisted per tenant is
+//!   a [`TenantSnapshot`]: the problem spec, the controller config, and
+//!   the controller's [`ControllerCheckpoint`] — a resumed session
+//!   continues the event log bit-identically.
 //! - **Backpressure** — each tenant carries a bounded in-flight observe
 //!   budget; overflow is a typed [`ProtocolError::Busy`] reject instead
 //!   of an unbounded queue on the slot mutex.
@@ -41,11 +47,12 @@ use dot_core::toc::{CacheStats, CachedEstimator};
 use dot_dbms::{Layout, Schema};
 use dot_workloads::Workload;
 use serde::{Deserialize, Serialize};
-use std::io;
+use std::io::{self, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread;
 use std::time::Instant;
 
 /// Version stamp of the on-disk [`RegistrySnapshot`]; a mismatch is a
@@ -73,6 +80,141 @@ fn panic_reason(payload: Box<dyn std::any::Any + Send>) -> String {
         s.clone()
     } else {
         "tick panicked (non-string payload)".to_owned()
+    }
+}
+
+/// Wait on a condvar, recovering a poisoned guard — the same policy as
+/// [`lock_recover`].
+fn wait_recover<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(|p| p.into_inner())
+}
+
+/// Single-writer snapshot persistence.
+///
+/// Why a writer thread instead of writing at the call site: durability
+/// points fire concurrently from every worker thread (attach, detach,
+/// each applied migration, shutdown), and ad-hoc writes would race the
+/// temp file — interleaved bytes, a rename losing to a truncation, or a
+/// stale snapshot published over a newer one. Here the *snapshot build*
+/// runs under the queue lock, so enqueue order is registry-state order
+/// (a later ticket can never carry an older view), and the *disk write*
+/// belongs to exactly one thread, so writes are serial and in ticket
+/// order. The queue holds only the freshest pending snapshot: a burst of
+/// durability points coalesces into one write.
+///
+/// Callers that need a durability barrier (attach/detach replies,
+/// graceful shutdown, the end of an observe step that applied a plan)
+/// [`sync`](Persister::sync) on their ticket — crucially *without*
+/// holding any tenant lock, so a slow disk stalls the one caller that
+/// asked for durability, never the tenant or the tenant map.
+struct Persister {
+    shared: Arc<PersisterShared>,
+    writer: Option<thread::JoinHandle<()>>,
+}
+
+struct PersisterShared {
+    dir: PathBuf,
+    queue: Mutex<PersistQueue>,
+    /// Signaled when `pending` is set or `stop` latches.
+    work: Condvar,
+    /// Signaled when `written` advances (sync barriers wait on it).
+    done: Condvar,
+}
+
+#[derive(Default)]
+struct PersistQueue {
+    /// The freshest snapshot not yet picked up by the writer.
+    pending: Option<RegistrySnapshot>,
+    /// Tickets issued (monotone enqueue counter).
+    enqueued: u64,
+    /// The highest ticket whose write attempt completed. Failed writes
+    /// advance it too: persistence failures are logged, never fatal, and
+    /// a barrier must not hang on a full disk.
+    written: u64,
+    stop: bool,
+}
+
+impl Persister {
+    fn start(dir: PathBuf) -> Persister {
+        let shared = Arc::new(PersisterShared {
+            dir,
+            queue: Mutex::new(PersistQueue::default()),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let writer = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || shared.write_loop())
+        };
+        Persister {
+            shared,
+            writer: Some(writer),
+        }
+    }
+
+    /// Enqueue the snapshot `build` returns, replacing any pending one.
+    /// `build` runs under the queue lock — that is what makes tickets
+    /// monotone in registry state. Returns the ticket for [`sync`].
+    fn enqueue(&self, build: impl FnOnce() -> RegistrySnapshot) -> u64 {
+        let mut queue = lock_recover(&self.shared.queue);
+        queue.pending = Some(build());
+        queue.enqueued += 1;
+        self.shared.work.notify_one();
+        queue.enqueued
+    }
+
+    /// Block until the write for `ticket` (or a fresher one) completed.
+    fn sync(&self, ticket: u64) {
+        let mut queue = lock_recover(&self.shared.queue);
+        while queue.written < ticket {
+            queue = wait_recover(&self.shared.done, queue);
+        }
+    }
+}
+
+impl Drop for Persister {
+    /// Stop the writer, draining any pending snapshot first — dropping
+    /// the registry never discards an enqueued durability point.
+    fn drop(&mut self) {
+        lock_recover(&self.shared.queue).stop = true;
+        self.shared.work.notify_all();
+        if let Some(writer) = self.writer.take() {
+            let _ = writer.join();
+        }
+    }
+}
+
+impl PersisterShared {
+    fn write_loop(&self) {
+        loop {
+            let (snapshot, ticket) = {
+                let mut queue = lock_recover(&self.queue);
+                loop {
+                    if let Some(snapshot) = queue.pending.take() {
+                        break (snapshot, queue.enqueued);
+                    }
+                    if queue.stop {
+                        return;
+                    }
+                    queue = wait_recover(&self.work, queue);
+                }
+            };
+            // Persistence failures must not fail the request that asked
+            // for them (the in-memory registry stays authoritative), and
+            // nothing — not even a panicking filesystem — may kill the
+            // writer while barriers wait on it: report and carry on.
+            match catch_unwind(AssertUnwindSafe(|| write_snapshot(&self.dir, &snapshot))) {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => eprintln!("dot-serve: failed to persist registry state: {e}"),
+                Err(payload) => eprintln!(
+                    "dot-serve: registry persistence panicked: {}",
+                    panic_reason(payload)
+                ),
+            }
+            let mut queue = lock_recover(&self.queue);
+            queue.written = queue.written.max(ticket);
+            self.done.notify_all();
+        }
     }
 }
 
@@ -228,6 +370,8 @@ pub struct Registry {
     tenants: Mutex<Vec<Arc<TenantSlot>>>,
     next_id: AtomicU64,
     shutting_down: AtomicBool,
+    /// The snapshot writer; `None` without a `state_dir`.
+    persister: Option<Persister>,
 }
 
 impl Registry {
@@ -240,6 +384,7 @@ impl Registry {
             tenants: Mutex::new(Vec::new()),
             next_id: AtomicU64::new(1),
             shutting_down: AtomicBool::new(false),
+            persister: config.state_dir.clone().map(Persister::start),
             config,
         }
     }
@@ -279,8 +424,15 @@ impl Registry {
             ));
         }
         let mut max_id = 0;
-        let mut tenants = Vec::with_capacity(snapshot.tenants.len());
+        let mut tenants: Vec<Arc<TenantSlot>> = Vec::with_capacity(snapshot.tenants.len());
         for snap in snapshot.tenants {
+            // The daemon never writes colliding ids, so a duplicate means
+            // a hand-edited or corrupted snapshot: fail loud at startup
+            // (like a version mismatch) instead of letting `slot()`
+            // silently serve whichever twin attached first.
+            if tenants.iter().any(|slot| slot.id == snap.tenant) {
+                return Err(format!("duplicate tenant id {} in snapshot", snap.tenant));
+            }
             max_id = max_id.max(snap.tenant);
             let slot = self
                 .restore_slot(snap)
@@ -335,34 +487,49 @@ impl Registry {
         })
     }
 
-    /// Snapshot the current tenant map to the state directory (no-op
-    /// without one). Reads only the durable per-tenant snapshots, so it
-    /// never waits on an in-flight tick.
-    fn persist(&self) {
-        let slots: Vec<Arc<TenantSlot>> = lock_recover(&self.tenants).clone();
-        self.persist_slots(&slots);
+    /// Hand the current tenant map to the persister (no-op without one).
+    /// Reads only the durable per-tenant snapshots, so it never waits on
+    /// an in-flight tick, and the disk write happens on the writer
+    /// thread — the returned ticket is what [`persist_sync`] waits on.
+    fn persist(&self) -> u64 {
+        match &self.persister {
+            Some(p) => p.enqueue(|| {
+                let slots: Vec<Arc<TenantSlot>> = lock_recover(&self.tenants).clone();
+                self.build_snapshot(&slots)
+            }),
+            None => 0,
+        }
     }
 
-    /// Snapshot an explicit slot list — `flush_all` passes the pre-flush
-    /// set so graceful shutdown writes the tenants it just flushed, even
-    /// though the live map is already empty.
-    fn persist_slots(&self, slots: &[Arc<TenantSlot>]) {
-        let Some(dir) = &self.config.state_dir else {
+    /// Persist and wait for the write to complete — the durability
+    /// barrier for replies that promise the state is on disk (attach,
+    /// detach). Never called with a tenant lock held.
+    fn persist_sync(&self) {
+        let ticket = self.persist();
+        if let Some(p) = &self.persister {
+            p.sync(ticket);
+        }
+    }
+
+    /// Persist an explicit slot list and wait — `flush_all` passes the
+    /// pre-flush set so graceful shutdown durably writes the tenants it
+    /// just flushed, even though the live map is already empty.
+    fn persist_slots_sync(&self, slots: &[Arc<TenantSlot>]) {
+        let Some(p) = &self.persister else {
             return;
         };
-        let snapshot = RegistrySnapshot {
+        let ticket = p.enqueue(|| self.build_snapshot(slots));
+        p.sync(ticket);
+    }
+
+    fn build_snapshot(&self, slots: &[Arc<TenantSlot>]) -> RegistrySnapshot {
+        RegistrySnapshot {
             version: SNAPSHOT_VERSION,
             next_id: self.next_id.load(Ordering::SeqCst),
             tenants: slots
                 .iter()
                 .map(|s| lock_recover(&s.durable).clone())
                 .collect(),
-        };
-        // Persistence failures must not fail the request that triggered
-        // them (the in-memory registry stays authoritative); report and
-        // carry on.
-        if let Err(e) = write_snapshot(dir, &snapshot) {
-            eprintln!("dot-serve: failed to persist registry state: {e}");
         }
     }
 
@@ -511,7 +678,7 @@ impl Registry {
                 durable: Mutex::new(durable),
             }));
             drop(tenants);
-            self.persist();
+            self.persist_sync();
             Ok((id, name))
         }
     }
@@ -563,6 +730,7 @@ impl Registry {
             }));
         }
         let trace = expand_trace(&state.schema, &state.baseline, std::slice::from_ref(step))?;
+        let mut durability = None;
         for observed in &trace {
             #[cfg(feature = "test-hooks")]
             if slot.name.contains("__slow__") {
@@ -612,21 +780,33 @@ impl Registry {
             }
             if applied {
                 // A migration landed: this tick is a durability point.
-                // Refresh the snapshot and persist right away, so even a
-                // `kill -9` later in the step resumes from the migrated
-                // layout — at worst the quiet ticks after it are re-fed.
+                // Refresh the snapshot and enqueue it right away — the
+                // writer thread races the rest of the step, so even a
+                // `kill -9` before the step ends usually resumes from the
+                // migrated layout — at worst the ticks after it are
+                // re-fed. Only memory work happens here; the tenant never
+                // waits on the disk under its own lock.
                 refresh_durable(&slot, state);
-                self.persist();
+                durability = Some(self.persist());
             }
             if let Some(e) = failed {
                 return Err(e.into());
             }
         }
-        Ok(TenantCounters {
+        let counters = TenantCounters {
             ticks: state.controller.ticks(),
             triggers: state.triggers,
             applications: state.applications,
-        })
+        };
+        drop(state);
+        // The terminal frame is the durability barrier: once the client
+        // sees this step's counters, its applied plans are on disk. The
+        // wait happens after the tenant lock is released, so a slow disk
+        // stalls only this client, never the tenant's queue.
+        if let (Some(ticket), Some(p)) = (durability, &self.persister) {
+            p.sync(ticket);
+        }
+        Ok(counters)
     }
 
     /// Unregister a tenant, flushing its final summary.
@@ -639,7 +819,7 @@ impl Registry {
                 .ok_or(ProtocolError::UnknownTenant { tenant })?;
             tenants.remove(idx)
         };
-        self.persist();
+        self.persist_sync();
         Ok(summarize(&slot))
     }
 
@@ -681,19 +861,30 @@ impl Registry {
                 summarize_locked(slot, &state)
             })
             .collect();
-        self.persist_slots(&slots);
+        self.persist_slots_sync(&slots);
         summaries
     }
 }
 
-/// Atomic snapshot write: a temp file renamed into place, so a crash
-/// mid-write can never leave a truncated `registry.json`.
+/// Atomic, durable snapshot write: a temp file synced and renamed into
+/// place, so a crash mid-write can never leave a truncated
+/// `registry.json` — and the fsyncs extend that past process death to
+/// power loss (the bytes reach stable storage before the rename
+/// publishes them; the rename reaches the directory before the write is
+/// declared done). Called only from the persister's writer thread, which
+/// is what makes the shared temp path race-free.
 fn write_snapshot(dir: &Path, snapshot: &RegistrySnapshot) -> io::Result<()> {
     let json = serde_json::to_string(snapshot)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
     let tmp = dir.join(format!("{STATE_FILE}.tmp"));
-    std::fs::write(&tmp, json.as_bytes())?;
-    std::fs::rename(&tmp, dir.join(STATE_FILE))
+    let mut file = std::fs::File::create(&tmp)?;
+    file.write_all(json.as_bytes())?;
+    file.sync_all()?;
+    drop(file);
+    std::fs::rename(&tmp, dir.join(STATE_FILE))?;
+    #[cfg(unix)]
+    std::fs::File::open(dir)?.sync_all()?;
+    Ok(())
 }
 
 /// Refresh a tenant's durable snapshot from its live state (caller holds
@@ -828,5 +1019,106 @@ mod tests {
         // The rejected attach must not have advanced the counter (a
         // restored registry would mint a colliding id otherwise).
         assert_eq!(registry.next_id.load(Ordering::SeqCst), 4);
+    }
+
+    fn temp_state_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("dot-serve-registry-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn open(dir: &Path) -> io::Result<Registry> {
+        Registry::open(RegistryConfig {
+            state_dir: Some(dir.to_path_buf()),
+            ..RegistryConfig::default()
+        })
+    }
+
+    #[test]
+    fn concurrent_durability_points_keep_the_snapshot_parseable_and_fresh() {
+        // Regression: durability points used to write the shared temp
+        // file from whichever worker thread they fired on, so two racing
+        // persists could truncate each other mid-rename (an unreadable
+        // `registry.json`) or publish a stale snapshot over a newer one.
+        // The single-writer persister serializes them: every read below
+        // parses, and the final snapshot is the freshest state.
+        let dir = temp_state_dir("race");
+        let registry = Arc::new(open(&dir).expect("open"));
+        // A pre-solved layout makes each attach cheap (no solver sweep),
+        // so the hammer exercises persistence, not provisioning.
+        let layout = registry.provision(&spec(), None).expect("provision").layout;
+
+        let workers: Vec<_> = (0..4)
+            .map(|t| {
+                let registry = Arc::clone(&registry);
+                let layout = layout.clone();
+                let dir = dir.clone();
+                thread::spawn(move || {
+                    for i in 0..6 {
+                        let (id, _) = registry
+                            .attach(
+                                Some(format!("t{t}-{i}")),
+                                &spec(),
+                                Some(layout.clone()),
+                                None,
+                            )
+                            .expect("attach");
+                        // Attach replied, so its snapshot is on disk —
+                        // and however many sibling persists are racing,
+                        // the published file always parses.
+                        let text = std::fs::read_to_string(dir.join(STATE_FILE))
+                            .expect("snapshot exists once attach replied");
+                        let snapshot: RegistrySnapshot =
+                            serde_json::from_str(&text).expect("snapshot parses mid-hammer");
+                        assert_eq!(snapshot.version, SNAPSHOT_VERSION);
+                        if i % 2 == 0 {
+                            registry.detach(id).expect("detach");
+                        }
+                    }
+                })
+            })
+            .collect();
+        for worker in workers {
+            worker.join().expect("worker");
+        }
+
+        // Last write wins and it is the *newest* state: a reopened
+        // registry restores exactly the live survivors.
+        let (live, _, _) = registry.stats();
+        assert_eq!(live, 4 * 3, "half of each worker's attaches detached");
+        drop(registry);
+        let reopened = open(&dir).expect("reopen");
+        let (restored, _, _) = reopened.stats();
+        assert_eq!(restored, live, "the final snapshot is the freshest");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restore_rejects_duplicate_tenant_ids() {
+        // The daemon never writes colliding ids, so a duplicate is a
+        // hand-edited or corrupted snapshot: startup fails loud (like a
+        // version mismatch) instead of serving whichever twin is first.
+        let dir = temp_state_dir("dup");
+        {
+            let registry = open(&dir).expect("open");
+            registry
+                .attach(Some("twin".to_owned()), &spec(), None, None)
+                .expect("attach");
+        }
+        let path = dir.join(STATE_FILE);
+        let mut snapshot: RegistrySnapshot =
+            serde_json::from_str(&std::fs::read_to_string(&path).expect("read")).expect("parse");
+        let twin = snapshot.tenants[0].clone();
+        snapshot.tenants.push(twin);
+        std::fs::write(&path, serde_json::to_string(&snapshot).expect("encode")).expect("write");
+
+        let err = match open(&dir) {
+            Ok(_) => panic!("duplicate ids must fail startup"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("duplicate tenant id 1"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
