@@ -4,8 +4,9 @@
 //! criterion benches use — cold solve, warm replan, quiescent controller
 //! tick (against the two-full-estimate tick it replaced), fleet cache hit
 //! rate, the `dot-serve` daemon's concurrent observe-tick throughput, the
-//! registry restore latency from a persisted multi-tenant snapshot, and
-//! the dominance-pruned vs. estimate-everything sweeps on every
+//! registry restore latency from a persisted multi-tenant snapshot, the
+//! scripted vs. measured telemetry observe tick, and the dominance-pruned
+//! vs. estimate-everything sweeps on every
 //! conformance workload family — and writes the medians to a
 //! `BENCH_<pr>.json` at the repo root. Committing the file per PR gives the
 //! repo a perf trajectory that reviews and CI can hold regressions against.
@@ -13,7 +14,7 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p dot-bench --bin distill                 # write BENCH_8.json
+//! cargo run --release -p dot-bench --bin distill                 # write BENCH_9.json
 //! cargo run --release -p dot-bench --bin distill -- --out <path> # write elsewhere
 //! cargo run --release -p dot-bench --bin distill -- --check <path> # validate a file
 //! ```
@@ -42,7 +43,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Where the trajectory for this PR lives, relative to the repo root.
-const DEFAULT_PATH: &str = "BENCH_8.json";
+const DEFAULT_PATH: &str = "BENCH_9.json";
 /// Timed samples per measurement (a warmup run precedes them).
 const SAMPLES: usize = 5;
 /// `--check`: a pruned sweep may be up to this factor slower than the
@@ -69,6 +70,7 @@ struct Trajectory {
     /// Timed samples behind each median.
     samples: usize,
     hot_paths: HotPaths,
+    telemetry: TelemetryNumbers,
     fleet: FleetNumbers,
     daemon: DaemonNumbers,
     restore: RestoreNumbers,
@@ -87,6 +89,19 @@ struct HotPaths {
     /// The tick cost this replaced: two full TOC estimates of the observed
     /// problem (deployed layout + premium reference).
     tick_two_full_estimates_ms: f64,
+}
+
+/// Telemetry-tick medians: one quiescent controller observation fed from a
+/// scripted source (declared signature, no execution) vs a measured source
+/// (one simulated test run of the stream folded into the signature) — the
+/// price of observing what actually ran instead of what was declared.
+#[derive(Debug, Serialize, Deserialize)]
+struct TelemetryNumbers {
+    /// Median scripted-source tick, ms (signature from declared weights).
+    tick_scripted_ms: f64,
+    /// Median measured-source tick, ms (simulate the stream under the
+    /// deployed layout, fold the run, derive the signature, observe).
+    tick_measured_ms: f64,
 }
 
 #[derive(Debug, Serialize, Deserialize)]
@@ -226,6 +241,85 @@ fn measure_hot_paths() -> HotPaths {
         warm_replan_ms,
         tick_quiescent_ms,
         tick_two_full_estimates_ms,
+    }
+}
+
+/// Telemetry-tick medians on the TPC-C fixture: the same sub-threshold
+/// noisy observation, once with the declared signature (scripted path) and
+/// once measured — a seeded test run simulated under the deployed layout
+/// each tick, folded into a `MeasuredProfile`, its signature handed to
+/// `observe_with_signature`. Both controllers anchor so every timed tick
+/// is quiescent (the steady-state telemetry regime; a trigger would time
+/// the replanner instead).
+fn measure_telemetry() -> TelemetryNumbers {
+    use dot_workloads::telemetry::{MeasuredSource, ScriptedSource};
+
+    let schema = tpcc::schema(2.0);
+    let pool = catalog::box2();
+    let baseline = tpcc::workload(&schema);
+    let deployed = Advisor::builder(&schema, &pool, &baseline)
+        .sla(0.5)
+        .build()
+        .expect("baseline session")
+        .recommend("dot")
+        .expect("baseline layout")
+        .layout;
+    let noisy = drift::shift_read_write(&baseline, 0.02);
+
+    let mut scripted = Controller::new(
+        &schema,
+        &pool,
+        &baseline,
+        deployed.clone(),
+        0.5,
+        ControllerConfig::default(),
+    )
+    .expect("controller opens");
+    let first = scripted
+        .run_source(&mut ScriptedSource::new(vec![noisy.clone()]))
+        .expect("first tick");
+    assert!(!first[0].triggered(), "noise must not trigger");
+    let tick_scripted_ms = median_ms(|| {
+        let mut source = ScriptedSource::new(vec![noisy.clone()]);
+        let outcomes = scripted.run_source(&mut source).expect("tick");
+        assert!(!outcomes[0].triggered(), "noise must not trigger");
+        black_box(outcomes);
+    });
+
+    // The measured controller anchors on the measured baseline, so the
+    // declared-vs-measured weighting gap does not score as drift; each
+    // timed tick simulates under a fresh seed (seeded noise wobble stays
+    // far below the threshold).
+    let source = MeasuredSource::new(&schema, &pool, Vec::new(), 0);
+    let mut measured = Controller::new(
+        &schema,
+        &pool,
+        &baseline,
+        deployed.clone(),
+        0.5,
+        ControllerConfig::default(),
+    )
+    .expect("controller opens")
+    .with_baseline_signature(source.measure(&noisy, &deployed, 0).signature());
+    let mut tick_seed = 0u64;
+    let mut observe_measured = |seed: u64| {
+        let profile = source.measure(&noisy, &deployed, seed);
+        measured
+            .observe_with_signature(&noisy, profile.signature())
+            .expect("tick")
+    };
+    let first = observe_measured(0);
+    assert!(!first.triggered(), "the measured baseline must stay quiet");
+    let tick_measured_ms = median_ms(|| {
+        tick_seed += 1;
+        let outcome = observe_measured(tick_seed);
+        assert!(!outcome.triggered(), "seeded wobble must not trigger");
+        black_box(outcome);
+    });
+
+    TelemetryNumbers {
+        tick_scripted_ms,
+        tick_measured_ms,
     }
 }
 
@@ -541,10 +635,11 @@ fn measure_pruning() -> Vec<PruningCell> {
 
 fn distill(path: &str) {
     let trajectory = Trajectory {
-        schema_version: 3,
-        pr: 8,
+        schema_version: 4,
+        pr: 9,
         samples: SAMPLES,
         hot_paths: measure_hot_paths(),
+        telemetry: measure_telemetry(),
         fleet: measure_fleet(),
         daemon: measure_daemon(),
         restore: measure_restore(),
@@ -566,6 +661,12 @@ fn summarize(t: &Trajectory) {
         h.tick_quiescent_ms,
         h.tick_two_full_estimates_ms,
         h.tick_two_full_estimates_ms / h.tick_quiescent_ms.max(1e-9),
+    );
+    println!(
+        "distill: telemetry tick {:.4} ms scripted vs {:.4} ms measured ({:.1}x)",
+        t.telemetry.tick_scripted_ms,
+        t.telemetry.tick_measured_ms,
+        t.telemetry.tick_measured_ms / t.telemetry.tick_scripted_ms.max(1e-9),
     );
     println!(
         "distill: fleet hit rate {:.1}% over {} tenants",
@@ -624,6 +725,25 @@ fn check(path: &str) {
             "{path}: quiescent tick ({} ms) must undercut the two-full-estimate \
              tick it replaced ({} ms)",
             h.tick_quiescent_ms, h.tick_two_full_estimates_ms
+        ));
+    }
+    let tel = &t.telemetry;
+    for (name, v) in [
+        ("tick_scripted_ms", tel.tick_scripted_ms),
+        ("tick_measured_ms", tel.tick_measured_ms),
+    ] {
+        if !v.is_finite() || v <= 0.0 {
+            fail(&format!("{path}: {name} = {v} is not a positive median"));
+        }
+    }
+    // A measured tick simulates a test run the scripted tick skips; it may
+    // never be meaningfully *cheaper* than the scripted path (the 0.8
+    // factor is machine-noise headroom on sub-millisecond medians).
+    if tel.tick_measured_ms < tel.tick_scripted_ms * 0.8 {
+        fail(&format!(
+            "{path}: measured telemetry tick ({} ms) undercuts the scripted \
+             tick ({} ms) — the simulation cost went missing",
+            tel.tick_measured_ms, tel.tick_scripted_ms
         ));
     }
     if !t.fleet.hit_rate.is_finite() || t.fleet.hit_rate <= 0.0 {

@@ -77,6 +77,7 @@ use crate::toc::{CachedEstimator, ProblemDelta, TocEstimate};
 use dot_dbms::{EngineConfig, Layout, Schema};
 use dot_storage::StoragePool;
 use dot_workloads::drift::{self, WorkloadSignature};
+use dot_workloads::telemetry::TelemetrySource;
 use dot_workloads::Workload;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -539,6 +540,18 @@ impl Controller {
         self
     }
 
+    /// Replace the baseline signature drift is scored against. A session
+    /// driven by a measured [`TelemetrySource`] opens with the *measured*
+    /// baseline of the deployed layout
+    /// ([`MeasuredSource::measure`](dot_workloads::telemetry::MeasuredSource::measure)):
+    /// measured and declared signatures weigh query classes differently,
+    /// so scoring measured observations against the constructor's declared
+    /// baseline would read spurious drift on a perfectly quiet stream.
+    pub fn with_baseline_signature(mut self, baseline: WorkloadSignature) -> Self {
+        self.baseline = baseline;
+        self
+    }
+
     /// Snapshot the control-loop state for persistence. Resuming a fresh
     /// controller (same problem inputs) from this checkpoint continues the
     /// event log bit-identically — see [`with_checkpoint`](Self::with_checkpoint).
@@ -615,8 +628,27 @@ impl Controller {
 
     /// Ingest one observed workload profile: score it, maybe trigger, and
     /// return this tick's events (also appended to [`events`](Self::events))
-    /// plus the replan answer when one ran.
+    /// plus the replan answer when one ran. The drift signature is the
+    /// *declared* one ([`drift::signature`]); telemetry sources that
+    /// measure their signatures go through
+    /// [`observe_with_signature`](Self::observe_with_signature).
     pub fn observe(&mut self, observed: &Workload) -> Result<TickOutcome, ProvisionError> {
+        self.observe_with_signature(observed, drift::signature(observed))
+    }
+
+    /// [`observe`](Self::observe) with an externally derived signature:
+    /// the caller supplies what drift is scored with (a measured signature
+    /// from a [`TelemetrySource`], or the declared one), while everything
+    /// else — SLA pressure, triggers, replans, re-baselining onto
+    /// `signature` when a plan lands — is unchanged. Passing
+    /// `drift::signature(observed)` reproduces [`observe`](Self::observe)
+    /// exactly, which is how the scripted source keeps golden trajectories
+    /// bit-identical.
+    pub fn observe_with_signature(
+        &mut self,
+        observed: &Workload,
+        signature: WorkloadSignature,
+    ) -> Result<TickOutcome, ProvisionError> {
         let tick = self.tick;
 
         let mut builder = Advisor::builder(&self.schema, &self.pool, observed).sla(self.sla);
@@ -635,7 +667,6 @@ impl Controller {
         let advisor = builder.build()?;
         self.tick += 1;
 
-        let signature = drift::signature(observed);
         let distance = self.baseline.distance(&signature);
         let problem = advisor.problem();
         // Incremental hot path: when the observation differs from the
@@ -811,6 +842,23 @@ impl Controller {
     /// collecting every tick's outcome. Stops at the first typed error.
     pub fn run_trace(&mut self, trace: &[Workload]) -> Result<Vec<TickOutcome>, ProvisionError> {
         trace.iter().map(|w| self.observe(w)).collect()
+    }
+
+    /// Drain a [`TelemetrySource`] through
+    /// [`observe_with_signature`](Self::observe_with_signature), collecting
+    /// every tick's outcome. Each tick the source is handed the layout
+    /// *currently* deployed — so a measured source profiles execution under
+    /// every layout the loop itself migrates to mid-stream. Stops at the
+    /// first typed error.
+    pub fn run_source(
+        &mut self,
+        source: &mut dyn TelemetrySource,
+    ) -> Result<Vec<TickOutcome>, ProvisionError> {
+        let mut outcomes = Vec::new();
+        while let Some(tick) = source.next_observation(&self.deployed) {
+            outcomes.push(self.observe_with_signature(&tick.workload, tick.signature)?);
+        }
+        Ok(outcomes)
     }
 }
 
@@ -1113,6 +1161,81 @@ mod tests {
         // Tick 2: pressure climbs past the latch point — it pierces.
         let t2 = c.observe(&heavier).unwrap();
         assert!(t2.triggered(), "worsening pressure must re-arm the latch");
+    }
+
+    #[test]
+    fn scripted_source_reproduces_run_trace_bit_identically() {
+        // The telemetry seam must be invisible for scripted observations:
+        // draining a ScriptedSource through run_source yields exactly the
+        // event log run_trace produces — the contract that keeps every
+        // committed golden trajectory valid under the source abstraction.
+        let (schema, pool, baseline) = setup();
+        let deployed = deployed_for(&schema, &pool, &baseline);
+        let trace = vec![
+            drift::shift_read_write(&baseline, 0.05),
+            drift::analytical_phase(&schema),
+            baseline.clone(),
+        ];
+        let mut direct = Controller::new(
+            &schema,
+            &pool,
+            &baseline,
+            deployed.clone(),
+            0.5,
+            ControllerConfig::default(),
+        )
+        .unwrap();
+        direct.run_trace(&trace).unwrap();
+
+        let mut sourced = Controller::new(
+            &schema,
+            &pool,
+            &baseline,
+            deployed,
+            0.5,
+            ControllerConfig::default(),
+        )
+        .unwrap();
+        let mut source = dot_workloads::telemetry::ScriptedSource::new(trace);
+        sourced.run_source(&mut source).unwrap();
+        assert_eq!(sourced.events(), direct.events());
+        assert_eq!(sourced.deployed(), direct.deployed());
+        assert_eq!(sourced.baseline(), direct.baseline());
+    }
+
+    #[test]
+    fn measured_source_with_measured_baseline_is_quiet_on_a_quiet_stream() {
+        // A measured session opens with the measured baseline (same seed
+        // as the first tick): the first observation then scores zero
+        // drift, and the stream stays quiet — no spurious trigger from the
+        // declared-vs-measured weighting mismatch.
+        let (schema, pool, baseline) = setup();
+        let deployed = deployed_for(&schema, &pool, &baseline);
+        let source = dot_workloads::telemetry::MeasuredSource::new(
+            &schema,
+            &pool,
+            vec![baseline.clone()],
+            11,
+        );
+        let measured = source.measure(&baseline, &deployed, 11).signature();
+        let mut c = Controller::new(
+            &schema,
+            &pool,
+            &baseline,
+            deployed,
+            0.5,
+            ControllerConfig::default(),
+        )
+        .unwrap()
+        .with_baseline_signature(measured);
+        let mut source = source;
+        let outcomes = c.run_source(&mut source).unwrap();
+        assert_eq!(outcomes.len(), 1);
+        assert!(!outcomes[0].triggered());
+        let ControlEvent::Observed { distance, .. } = outcomes[0].events[0] else {
+            panic!("expected Observed");
+        };
+        assert_eq!(distance, 0.0, "tick 0 re-measures the baseline exactly");
     }
 
     #[test]

@@ -94,7 +94,11 @@
 //!   planning direction §7 sketches as future work);
 //! * [`tenancy`] — multi-tenant colocation: several databases with distinct
 //!   SLAs jointly provisioned on one box through per-query SLA caps (the
-//!   paper's acknowledged limitation, §1).
+//!   paper's acknowledged limitation, §1);
+//! * [`traces`] — parameterized drift-trace generators (diurnal cycles,
+//!   flash crowds, tenant-onboarding waves, correlated multi-tenant drift)
+//!   producing the [`controller::TraceStep`] sequences the controller and
+//!   fleet supervisor replay.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -115,6 +119,7 @@ pub mod report;
 pub mod sweep;
 pub mod tenancy;
 pub mod toc;
+pub mod traces;
 
 pub use advisor::{Advisor, ProvisionError, Recommendation, Solver};
 pub use constraints::Constraints;

@@ -1,0 +1,429 @@
+//! Trace generators beyond the paper's drift pairs: diurnal cycles, flash
+//! crowds, tenant-onboarding waves, and correlated multi-tenant drift, all
+//! producing first-class [`TraceStep`] scripts.
+//!
+//! The paper evaluates provisioning against workload *snapshots*; its §6
+//! future-work and the HTAP literature describe the traffic shapes real
+//! deployments see between snapshots. Each generator here emits the same
+//! [`TraceStep`] vocabulary the CLI's `--trace` files, the fleet's
+//! [`SuperviseTenantRequest`](crate::fleet::SuperviseTenantRequest), and
+//! the scenario simulator speak — so a generated trace drops into
+//! `dot-cli supervise` (via `--trace-gen`), [`supervise_fleet`]
+//! (per-tenant `trace` fields), or a golden scenario unchanged.
+//!
+//! Everything is deterministic and pure: the same parameters always
+//! produce the same script (per-tenant variation in [`correlated_fleet`]
+//! comes from the tenant index, never from a clock or RNG), so generated
+//! trajectories pin down to goldens exactly like hand-written ones.
+//!
+//! [`supervise_fleet`]: crate::fleet::supervise_fleet
+//!
+//! ```
+//! use dot_core::traces;
+//!
+//! // One 8-tick day oscillating 0.4 toward reads and back, twice.
+//! let steps = traces::diurnal(-0.4, 8, 2)?;
+//! assert_eq!(steps.len(), 16);
+//! // The same script from a spec string (the CLI's --trace-gen surface).
+//! assert_eq!(traces::generate("diurnal:amplitude=-0.4,period=8,days=2")?, steps);
+//! # Ok::<(), dot_core::advisor::ProvisionError>(())
+//! ```
+
+use crate::advisor::ProvisionError;
+use crate::controller::{TraceStep, MAX_TRACE_TICKS};
+
+fn invalid(what: String) -> ProvisionError {
+    ProvisionError::InvalidRequest {
+        reason: format!("trace generator: {what}"),
+    }
+}
+
+fn check_len(ticks: usize) -> Result<(), ProvisionError> {
+    if ticks == 0 || ticks > MAX_TRACE_TICKS {
+        return Err(invalid(format!(
+            "generated trace of {ticks} ticks must be within 1..={MAX_TRACE_TICKS}"
+        )));
+    }
+    Ok(())
+}
+
+fn baseline_step(repeat: usize) -> TraceStep {
+    TraceStep {
+        shift: None,
+        scale: None,
+        phase: None,
+        repeat: Some(repeat),
+    }
+}
+
+fn shift_step(shift: f64) -> TraceStep {
+    TraceStep {
+        shift: (shift != 0.0).then_some(shift),
+        scale: None,
+        phase: None,
+        repeat: None,
+    }
+}
+
+fn scale_step(scale: f64) -> TraceStep {
+    TraceStep {
+        shift: None,
+        scale: (scale != 1.0).then_some(scale),
+        phase: None,
+        repeat: None,
+    }
+}
+
+/// A diurnal read/write cycle: the shift climbs linearly from the baseline
+/// to `amplitude` over the first half of each `period`-tick day and falls
+/// back over the second half, for `days` consecutive days. Negative
+/// amplitudes drift toward reads (the analytical "daytime reporting"
+/// shape), positive toward writes. One tick per script step; the whole
+/// trace is `period × days` ticks.
+///
+/// The waveform is a triangle, not a sinusoid: every sample is an exact
+/// small-integer ratio of `amplitude`, so generated goldens never depend
+/// on a platform's transcendental-function rounding.
+pub fn diurnal(
+    amplitude: f64,
+    period: usize,
+    days: usize,
+) -> Result<Vec<TraceStep>, ProvisionError> {
+    if !(amplitude > -1.0 && amplitude < 1.0) || amplitude == 0.0 {
+        return Err(invalid(format!(
+            "diurnal amplitude {amplitude} must be in (-1, 1) and nonzero"
+        )));
+    }
+    if period < 2 {
+        return Err(invalid(format!(
+            "diurnal period {period} must be >= 2 ticks"
+        )));
+    }
+    if days == 0 {
+        return Err(invalid("diurnal days must be >= 1".to_owned()));
+    }
+    check_len(period.saturating_mul(days))?;
+    let rise = period / 2;
+    let fall = period - rise;
+    let mut day = Vec::with_capacity(period);
+    for k in 0..period {
+        let unit = if k <= rise {
+            k as f64 / rise as f64
+        } else {
+            (period - k) as f64 / fall as f64
+        };
+        day.push(shift_step(amplitude * unit));
+    }
+    Ok(day.iter().cloned().cycle().take(period * days).collect())
+}
+
+/// A flash crowd: `quiet` baseline ticks, a sudden demand spike at
+/// `peak_scale` held for `spike` ticks, then a linear decay back to the
+/// baseline over `decay` ticks. The whole trace is
+/// `quiet + spike + decay` ticks.
+pub fn flash_crowd(
+    peak_scale: f64,
+    quiet: usize,
+    spike: usize,
+    decay: usize,
+) -> Result<Vec<TraceStep>, ProvisionError> {
+    if !(peak_scale.is_finite() && peak_scale > 1.0) {
+        return Err(invalid(format!(
+            "flash-crowd peak scale {peak_scale} must be finite and > 1"
+        )));
+    }
+    if spike == 0 {
+        return Err(invalid("flash-crowd spike must hold >= 1 tick".to_owned()));
+    }
+    check_len(quiet + spike + decay)?;
+    let mut steps = Vec::with_capacity(quiet + spike + decay);
+    if quiet > 0 {
+        steps.push(baseline_step(quiet));
+    }
+    let mut spike_step = scale_step(peak_scale);
+    spike_step.repeat = Some(spike);
+    steps.push(spike_step);
+    for i in 1..=decay {
+        let scale = 1.0 + (peak_scale - 1.0) * ((decay - i) as f64 / decay as f64);
+        steps.push(scale_step(scale));
+    }
+    Ok(steps)
+}
+
+/// A tenant-onboarding wave: demand steps up by `growth` at each of
+/// `waves` onboarding events, each new level held for `hold` ticks —
+/// the staircase a provider sees as cohorts of tenants land on a shared
+/// box. The whole trace is `waves × hold` ticks; the scale at wave `w`
+/// (1-based) is `growth^w`.
+pub fn onboarding_wave(
+    waves: usize,
+    hold: usize,
+    growth: f64,
+) -> Result<Vec<TraceStep>, ProvisionError> {
+    if !(growth.is_finite() && growth > 1.0) {
+        return Err(invalid(format!(
+            "onboarding growth {growth} must be finite and > 1"
+        )));
+    }
+    if waves == 0 || hold == 0 {
+        return Err(invalid(format!(
+            "onboarding waves ({waves}) and hold ({hold}) must be >= 1"
+        )));
+    }
+    check_len(waves.saturating_mul(hold))?;
+    let mut steps = Vec::with_capacity(waves);
+    let mut scale = 1.0;
+    for _ in 0..waves {
+        scale *= growth;
+        let mut step = scale_step(scale);
+        step.repeat = Some(hold);
+        steps.push(step);
+    }
+    Ok(steps)
+}
+
+/// Correlated multi-tenant drift: every tenant rides the same base trace,
+/// lagged by `lag` ticks per tenant index and with per-tenant drift
+/// magnitude damped by 1% per index step (cycling every five tenants) —
+/// the "one marketing event hits every tenant, but not at the same minute
+/// or with the same force" shape. Tenant 0 gets the base trace verbatim.
+///
+/// The variation is a pure function of the tenant index, so a fleet run
+/// is exactly reproducible; shifts stay inside their open interval
+/// because damping only shrinks them.
+pub fn correlated_fleet(
+    tenants: usize,
+    lag: usize,
+    base: &[TraceStep],
+) -> Result<Vec<Vec<TraceStep>>, ProvisionError> {
+    if tenants == 0 {
+        return Err(invalid("correlated fleet needs >= 1 tenant".to_owned()));
+    }
+    if base.is_empty() {
+        return Err(invalid(
+            "correlated fleet needs a non-empty base trace".to_owned(),
+        ));
+    }
+    let base_ticks: usize = base.iter().map(|s| s.repeat.unwrap_or(1)).sum();
+    check_len(base_ticks + lag.saturating_mul(tenants - 1))?;
+    let mut fleet = Vec::with_capacity(tenants);
+    for t in 0..tenants {
+        let damp = 1.0 - (t % 5) as f64 * 0.01;
+        let mut trace = Vec::with_capacity(base.len() + 1);
+        if t * lag > 0 {
+            trace.push(baseline_step(t * lag));
+        }
+        for step in base {
+            let mut step = step.clone();
+            step.shift = step.shift.map(|s| s * damp);
+            trace.push(step);
+        }
+        fleet.push(trace);
+    }
+    Ok(fleet)
+}
+
+/// Build a generated trace from a spec string — the `dot-cli supervise
+/// --trace-gen` surface. A spec is `name` or `name:key=value,...`:
+///
+/// * `diurnal` — keys `amplitude` (default `-0.4`), `period` (`8`),
+///   `days` (`1`); see [`diurnal`];
+/// * `flash-crowd` — keys `peak` (`4`), `quiet` (`2`), `spike` (`2`),
+///   `decay` (`3`); see [`flash_crowd`];
+/// * `onboarding` — keys `waves` (`3`), `hold` (`2`), `growth` (`1.6`);
+///   see [`onboarding_wave`].
+///
+/// Unknown generator names, unknown keys, and unparseable values are typed
+/// [`ProvisionError::InvalidRequest`]s naming the offender.
+pub fn generate(spec: &str) -> Result<Vec<TraceStep>, ProvisionError> {
+    let (name, params) = match spec.split_once(':') {
+        Some((n, p)) => (n, p),
+        None => (spec, ""),
+    };
+    let mut pairs = Vec::new();
+    for kv in params.split(',').filter(|s| !s.is_empty()) {
+        let (key, value) = kv
+            .split_once('=')
+            .ok_or_else(|| invalid(format!("spec {spec:?}: parameter {kv:?} is not key=value")))?;
+        pairs.push((key.trim(), value.trim()));
+    }
+    let lookup = |key: &str, default: f64| -> Result<f64, ProvisionError> {
+        match pairs.iter().find(|(k, _)| *k == key) {
+            Some((_, v)) => v
+                .parse::<f64>()
+                .map_err(|_| invalid(format!("spec {spec:?}: {key}={v} is not a number"))),
+            None => Ok(default),
+        }
+    };
+    let as_count = |key: &str, v: f64| -> Result<usize, ProvisionError> {
+        if v.fract() != 0.0 || v < 0.0 || v > MAX_TRACE_TICKS as f64 {
+            return Err(invalid(format!(
+                "spec {spec:?}: {key}={v} is not a tick count"
+            )));
+        }
+        Ok(v as usize)
+    };
+    let known: &[&str] = match name {
+        "diurnal" => &["amplitude", "period", "days"],
+        "flash-crowd" => &["peak", "quiet", "spike", "decay"],
+        "onboarding" => &["waves", "hold", "growth"],
+        other => {
+            return Err(invalid(format!(
+                "unknown generator {other:?} (known: diurnal, flash-crowd, onboarding)"
+            )))
+        }
+    };
+    if let Some((key, _)) = pairs.iter().find(|(k, _)| !known.contains(k)) {
+        return Err(invalid(format!(
+            "spec {spec:?}: unknown key {key:?} (known: {})",
+            known.join(", ")
+        )));
+    }
+    match name {
+        "diurnal" => diurnal(
+            lookup("amplitude", -0.4)?,
+            as_count("period", lookup("period", 8.0)?)?,
+            as_count("days", lookup("days", 1.0)?)?,
+        ),
+        "flash-crowd" => flash_crowd(
+            lookup("peak", 4.0)?,
+            as_count("quiet", lookup("quiet", 2.0)?)?,
+            as_count("spike", lookup("spike", 2.0)?)?,
+            as_count("decay", lookup("decay", 3.0)?)?,
+        ),
+        _ => onboarding_wave(
+            as_count("waves", lookup("waves", 3.0)?)?,
+            as_count("hold", lookup("hold", 2.0)?)?,
+            lookup("growth", 1.6)?,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::expand_trace;
+    use dot_workloads::tpcc;
+
+    fn ticks(steps: &[TraceStep]) -> usize {
+        steps.iter().map(|s| s.repeat.unwrap_or(1)).sum()
+    }
+
+    #[test]
+    fn diurnal_is_a_symmetric_triangle_that_expands() {
+        let steps = diurnal(-0.4, 8, 2).unwrap();
+        assert_eq!(ticks(&steps), 16);
+        // Day boundaries return to the baseline (no shift at all).
+        assert_eq!(steps[0].shift, None);
+        assert_eq!(steps[8].shift, None);
+        // The peak sits mid-day at the full amplitude.
+        assert_eq!(steps[4].shift, Some(-0.4));
+        // Rising and falling flanks mirror each other.
+        assert_eq!(steps[2].shift, steps[6].shift);
+        // The second day repeats the first exactly.
+        assert_eq!(&steps[..8], &steps[8..]);
+        // And the script expands through the controller's validator.
+        let schema = tpcc::schema(1.0);
+        let baseline = tpcc::workload(&schema);
+        let trace = expand_trace(&schema, &baseline, &steps).unwrap();
+        assert_eq!(trace.len(), 16);
+    }
+
+    #[test]
+    fn odd_diurnal_periods_cover_every_tick() {
+        let steps = diurnal(0.3, 7, 1).unwrap();
+        assert_eq!(ticks(&steps), 7);
+        for s in &steps {
+            if let Some(shift) = s.shift {
+                assert!(shift > 0.0 && shift <= 0.3, "{shift}");
+            }
+        }
+    }
+
+    #[test]
+    fn flash_crowd_spikes_and_decays_to_baseline() {
+        let steps = flash_crowd(4.0, 2, 2, 3).unwrap();
+        assert_eq!(ticks(&steps), 7);
+        assert_eq!(steps[0], baseline_step(2));
+        assert_eq!(steps[1].scale, Some(4.0));
+        assert_eq!(steps[1].repeat, Some(2));
+        assert_eq!(steps[2].scale, Some(3.0));
+        assert_eq!(steps[3].scale, Some(2.0));
+        // The final decay tick is exactly the baseline again.
+        assert_eq!(steps[4].scale, None);
+        // Zero quiet ticks drop the leading hold entirely.
+        let immediate = flash_crowd(2.0, 0, 1, 0).unwrap();
+        assert_eq!(ticks(&immediate), 1);
+        assert_eq!(immediate[0].scale, Some(2.0));
+    }
+
+    #[test]
+    fn onboarding_wave_compounds_growth() {
+        let steps = onboarding_wave(3, 2, 1.5).unwrap();
+        assert_eq!(ticks(&steps), 6);
+        assert_eq!(steps[0].scale, Some(1.5));
+        assert_eq!(steps[1].scale, Some(2.25));
+        assert_eq!(steps[2].scale, Some(3.375));
+        assert!(steps.iter().all(|s| s.repeat == Some(2)));
+    }
+
+    #[test]
+    fn correlated_fleet_lags_and_damps_deterministically() {
+        let base = diurnal(-0.4, 4, 1).unwrap();
+        let fleet = correlated_fleet(3, 2, &base).unwrap();
+        assert_eq!(fleet.len(), 3);
+        // Tenant 0: the base trace verbatim.
+        assert_eq!(fleet[0], base);
+        // Tenant 1: a 2-tick baseline hold, then the damped base trace
+        // (the base's mid-day peak sits at index 2, so index 3 here).
+        assert_eq!(fleet[1][0], baseline_step(2));
+        assert_eq!(ticks(&fleet[1]), ticks(&base) + 2);
+        assert_eq!(fleet[1][3].shift, Some(-0.4 * 0.99));
+        // Tenant 2 lags twice as far and damps twice as hard.
+        assert_eq!(fleet[2][0], baseline_step(4));
+        assert_eq!(fleet[2][3].shift, Some(-0.4 * 0.98));
+        // Pure function of the index: regenerating is bit-identical.
+        assert_eq!(correlated_fleet(3, 2, &base).unwrap(), fleet);
+    }
+
+    #[test]
+    fn generate_parses_specs_and_rejects_malformed_ones() {
+        assert_eq!(generate("diurnal").unwrap(), diurnal(-0.4, 8, 1).unwrap());
+        assert_eq!(
+            generate("diurnal:amplitude=0.2,period=4,days=3").unwrap(),
+            diurnal(0.2, 4, 3).unwrap()
+        );
+        assert_eq!(
+            generate("flash-crowd:peak=2.5,quiet=1,spike=1,decay=2").unwrap(),
+            flash_crowd(2.5, 1, 1, 2).unwrap()
+        );
+        assert_eq!(
+            generate("onboarding:waves=2,hold=3,growth=2").unwrap(),
+            onboarding_wave(2, 3, 2.0).unwrap()
+        );
+        for (spec, needle) in [
+            ("lunar", "unknown generator"),
+            ("diurnal:amp=0.4", "unknown key"),
+            ("diurnal:amplitude", "key=value"),
+            ("diurnal:amplitude=big", "not a number"),
+            ("diurnal:period=2.5", "not a tick count"),
+            ("diurnal:amplitude=1.5", "amplitude"),
+            ("flash-crowd:peak=0.5", "peak"),
+            ("onboarding:growth=0.9", "growth"),
+        ] {
+            let err = generate(spec).unwrap_err();
+            let ProvisionError::InvalidRequest { reason } = err else {
+                panic!("{spec}: expected InvalidRequest");
+            };
+            assert!(reason.contains(needle), "{spec}: {reason}");
+        }
+    }
+
+    #[test]
+    fn generators_respect_the_trace_cap() {
+        assert!(diurnal(0.5, MAX_TRACE_TICKS + 2, 1).is_err());
+        assert!(onboarding_wave(MAX_TRACE_TICKS, 2, 1.5).is_err());
+        let base = vec![baseline_step(MAX_TRACE_TICKS)];
+        assert!(correlated_fleet(2, 1, &base).is_err());
+    }
+}

@@ -48,13 +48,44 @@ pub struct RunResult {
     pub stats: PlanStats,
 }
 
+/// Typed failure of [`RunResult::query_time_ms`]: the stream ran no query
+/// by the requested name. Carries every name the stream *did* run, so a
+/// caller's error message can point at the near-miss instead of silently
+/// treating a typo as "query was free".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnknownQueryError {
+    /// The name that matched nothing.
+    pub name: String,
+    /// The query names the stream ran, in workload order.
+    pub known: Vec<String>,
+}
+
+impl std::fmt::Display for UnknownQueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "no query {:?} in this run (ran: {})",
+            self.name,
+            self.known.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownQueryError {}
+
 impl RunResult {
-    /// Response time of the named query (first match), if present.
-    pub fn query_time_ms(&self, name: &str) -> Option<f64> {
+    /// Response time of the named query (first match). An unknown name is
+    /// a typed [`UnknownQueryError`] — never a silent `None` a caller can
+    /// swallow as a zero-cost query.
+    pub fn query_time_ms(&self, name: &str) -> Result<f64, UnknownQueryError> {
         self.queries
             .iter()
             .find(|q| q.name == name)
             .map(|q| q.time_ms)
+            .ok_or_else(|| UnknownQueryError {
+                name: name.to_owned(),
+                known: self.queries.iter().map(|q| q.name.clone()).collect(),
+            })
     }
 }
 
@@ -220,8 +251,15 @@ mod tests {
     fn query_time_lookup() {
         let (s, pool, layout, cfg, queries) = setup();
         let r = estimate_workload(&queries, &s, &layout, &pool, &cfg);
-        assert!(r.query_time_ms("scan_a").is_some());
-        assert!(r.query_time_ms("nope").is_none());
+        assert!(r.query_time_ms("scan_a").unwrap() > 0.0);
+        let err = r.query_time_ms("nope").unwrap_err();
+        assert_eq!(err.name, "nope");
+        assert_eq!(err.known, ["scan_a", "scan_b"]);
+        let shown = err.to_string();
+        assert!(
+            shown.contains("nope") && shown.contains("scan_a"),
+            "{shown}"
+        );
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! The `simulate_workload` seed contract, mirroring `measure_toc`'s: the
+//! same `(queries, schema, layout, pool, cfg, seed)` tuple is bit-identical
+//! across repeated runs and across any number of concurrent workers — the
+//! measured-telemetry pipeline folds these results into controller
+//! observations, so any run-to-run or scheduler-dependent wobble here would
+//! fork golden trajectories.
+
+use dot_dbms::exec::{self, RunResult};
+use dot_dbms::query::{Op, QuerySpec, ReadOp, Rel, ScanSpec, UpdateOp};
+use dot_dbms::{EngineConfig, Layout, Schema, SchemaBuilder};
+use dot_storage::{catalog, StoragePool};
+
+fn setup() -> (Schema, StoragePool, Layout, EngineConfig, Vec<QuerySpec>) {
+    let s = SchemaBuilder::new("determinism")
+        .table("fact", 2_000_000.0, 120.0)
+        .primary_index(8.0)
+        .table("dim", 100_000.0, 100.0)
+        .primary_index(8.0)
+        .build();
+    let pool = catalog::box2();
+    let layout = Layout::uniform(pool.most_expensive(), s.object_count());
+    let cfg = EngineConfig::dss();
+    let fact = s.table_by_name("fact").unwrap().id;
+    let dim = s.table_by_name("dim").unwrap().id;
+    let pk = s.primary_index_of(fact).unwrap().id;
+    let queries = vec![
+        QuerySpec::read("scan_fact", ReadOp::of(Rel::Scan(ScanSpec::full(fact)))).with_weight(3.0),
+        QuerySpec::read(
+            "probe_fact",
+            ReadOp::of(Rel::Scan(ScanSpec::indexed(fact, 0.001, pk))),
+        ),
+        QuerySpec::read("scan_dim", ReadOp::of(Rel::Scan(ScanSpec::full(dim)))),
+        QuerySpec::transaction(
+            "upd_fact",
+            vec![Op::Update(UpdateOp {
+                table: fact,
+                rows: 200.0,
+                via: Some(pk),
+                updates_indexed_key: false,
+            })],
+        ),
+    ];
+    (s, pool, layout, cfg, queries)
+}
+
+#[test]
+fn repeated_runs_with_one_seed_are_bit_identical() {
+    let (s, pool, layout, cfg, queries) = setup();
+    let first = exec::simulate_workload(&queries, &s, &layout, &pool, &cfg, 42);
+    for _ in 0..5 {
+        let again = exec::simulate_workload(&queries, &s, &layout, &pool, &cfg, 42);
+        assert_eq!(again, first, "same seed must be bit-identical");
+    }
+    // A different seed perturbs the noise, so the contract is non-vacuous.
+    let other = exec::simulate_workload(&queries, &s, &layout, &pool, &cfg, 43);
+    assert_ne!(other.stream_time_ms, first.stream_time_ms);
+}
+
+#[test]
+fn simulation_is_deterministic_across_thread_counts() {
+    // The seed contract: the same inputs are bit-identical whether computed
+    // serially or by any number of concurrent workers — the fleet and the
+    // measured telemetry source both simulate from worker threads, and the
+    // results must not depend on the pool size or interleaving.
+    let (s, pool, layout, cfg, queries) = setup();
+    let serial = exec::simulate_workload(&queries, &s, &layout, &pool, &cfg, 7);
+    for workers in [1usize, 2, 8] {
+        let runs: Vec<RunResult> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| exec::simulate_workload(&queries, &s, &layout, &pool, &cfg, 7))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("simulate worker"))
+                .collect()
+        });
+        for run in runs {
+            assert_eq!(run, serial, "{workers} workers drifted from serial");
+        }
+    }
+}
+
+#[test]
+fn per_query_timings_and_totals_agree_across_seeds_structurally() {
+    // Whatever the seed, the run's structure is fixed: the same query
+    // names in workload order, weights preserved, and the stream total
+    // equal to the weighted per-query sum (the fold the telemetry pipeline
+    // relies on).
+    let (s, pool, layout, cfg, queries) = setup();
+    for seed in [0u64, 1, 99, u64::MAX] {
+        let run = exec::simulate_workload(&queries, &s, &layout, &pool, &cfg, seed);
+        let names: Vec<&str> = run.queries.iter().map(|q| q.name.as_str()).collect();
+        assert_eq!(names, ["scan_fact", "probe_fact", "scan_dim", "upd_fact"]);
+        let total: f64 = run.queries.iter().map(|q| q.time_ms * q.weight).sum();
+        assert!(
+            (run.stream_time_ms - total).abs() <= 1e-9 * total.max(1.0),
+            "seed {seed}: stream total {} != weighted sum {total}",
+            run.stream_time_ms
+        );
+    }
+}

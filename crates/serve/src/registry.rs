@@ -16,7 +16,7 @@
 //! - **Persistence** — with a `state_dir` configured, the registry
 //!   snapshots itself to `registry.json` on attach, detach, every
 //!   applied migration, and graceful shutdown. All disk I/O belongs to
-//!   one dedicated writer thread (the [`Persister`]): callers enqueue a
+//!   one dedicated writer thread (the private `Persister`): callers enqueue a
 //!   snapshot built under the persister's lock — so a later enqueue can
 //!   never carry an older view of the registry — and the writer performs
 //!   the fsync'd tmp-file + rename sequence serially, so two durability

@@ -28,8 +28,11 @@ use dot_dbms::query::{Op, QuerySpec, ReadOp, Rel, ScanSpec};
 use dot_dbms::Schema;
 use serde::{Deserialize, Serialize};
 
-/// True when any operation of the query writes (insert or update).
-fn writes(q: &QuerySpec) -> bool {
+/// True when any operation of the query writes (insert or update) — the
+/// read/write classification behind [`signature`]'s write fraction, shared
+/// with the measured-telemetry fold ([`crate::telemetry`]) so declared and
+/// measured signatures agree on what counts as a write.
+pub fn writes(q: &QuerySpec) -> bool {
     q.ops
         .iter()
         .any(|op| matches!(op, Op::Insert(_) | Op::Update(_)))

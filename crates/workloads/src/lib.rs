@@ -29,7 +29,12 @@
 //!   scaling, the analytical↔transactional phase flip) feeding the
 //!   re-provisioning planner, plus the [`drift::profile_distance`] metric
 //!   (read/write mix × demand × class weights) an online controller
-//!   thresholds on to *detect* drift.
+//!   thresholds on to *detect* drift;
+//! * [`telemetry`] — measured observations: simulate a query stream under
+//!   the deployed layout, fold the per-query costs into a
+//!   [`telemetry::MeasuredProfile`], and derive signatures from measured
+//!   plan costs — behind one [`telemetry::TelemetrySource`] trait so
+//!   scripted and measured observation streams are interchangeable.
 //!
 //! ## Worked example: build a workload, check its SLA machinery
 //!
@@ -74,6 +79,7 @@
 pub mod drift;
 pub mod spec;
 pub mod synth;
+pub mod telemetry;
 pub mod tpcc;
 pub mod tpch;
 pub mod ycsb;

@@ -1,0 +1,466 @@
+//! Measured workload telemetry: derive controller observations from what
+//! the engine *ran*, not from what the workload *declares*.
+//!
+//! The drift machinery in [`crate::drift`] fingerprints a workload by its
+//! declared weights — fine for scripted scenarios, but the paper's online
+//! re-provisioning story (and the HTAP literature it leans on) detects
+//! mix shifts from **observed execution**. This module closes that gap:
+//!
+//! 1. run a generated query stream through
+//!    [`dot_dbms::exec::simulate_workload`] under the *currently deployed*
+//!    layout ("a sample test run of the workload", §3.4);
+//! 2. fold the per-query [`RunResult`] costs into a [`MeasuredProfile`];
+//! 3. derive a [`WorkloadSignature`] from measured plan costs — each query
+//!    class weighted by the share of stream time it actually consumed —
+//!    instead of declared weights.
+//!
+//! Both paths sit behind one [`TelemetrySource`] trait so a controller
+//! consumes scripted and measured observations interchangeably:
+//! [`ScriptedSource`] reproduces the declared-signature pipeline bit for
+//! bit (golden trajectories never move), while [`MeasuredSource`] feeds
+//! the same control loop from simulated execution. Everything is
+//! deterministic: the simulator's noise is seeded, and one seed per tick
+//! is derived from the source's base seed — the same trace, seed, and
+//! starting layout always produce the same observation stream.
+//!
+//! ```
+//! use dot_dbms::Layout;
+//! use dot_storage::catalog;
+//! use dot_workloads::telemetry::{MeasuredSource, ScriptedSource, TelemetrySource};
+//! use dot_workloads::tpcc;
+//!
+//! let schema = tpcc::schema(1.0);
+//! let pool = catalog::box2();
+//! let w = tpcc::workload(&schema);
+//! let deployed = Layout::uniform(pool.most_expensive(), schema.object_count());
+//!
+//! // Scripted: the declared signature, exactly as `drift::signature`.
+//! let mut scripted = ScriptedSource::new(vec![w.clone()]);
+//! let tick = scripted.next_observation(&deployed).unwrap();
+//! assert_eq!(tick.signature, dot_workloads::drift::signature(&w));
+//!
+//! // Measured: the signature weighs classes by measured stream-time share.
+//! let mut measured = MeasuredSource::new(&schema, &pool, vec![w], 42);
+//! let tick = measured.next_observation(&deployed).unwrap();
+//! let profile = tick.profile.expect("measured ticks carry a profile");
+//! assert!(profile.stream_time_ms > 0.0);
+//! assert!(measured.next_observation(&deployed).is_none());
+//! ```
+
+use crate::drift::{self, ClassWeight, WorkloadSignature};
+use crate::spec::{PerfMetric, Workload};
+use dot_dbms::exec::{self, RunResult, UnknownQueryError};
+use dot_dbms::{EngineConfig, Layout, Schema};
+use dot_storage::StoragePool;
+use serde::{Deserialize, Serialize};
+
+/// One query class's measured behaviour within a profiled stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeasuredQuery {
+    /// Query-class name.
+    pub name: String,
+    /// Measured response time of one execution, ms.
+    pub time_ms: f64,
+    /// Repetitions within the stream.
+    pub weight: f64,
+    /// Whether the class bears writes (shared classification with
+    /// [`drift::writes`], so declared and measured signatures agree on
+    /// what counts as a write).
+    pub writes: bool,
+}
+
+impl MeasuredQuery {
+    /// The class's measured service demand: `time_ms × weight` — the
+    /// stream time it actually consumed.
+    pub fn demand_ms(&self) -> f64 {
+        self.time_ms * self.weight
+    }
+}
+
+/// Per-query measured plan costs of one simulated test run, folded from a
+/// [`RunResult`] — the raw material a measured [`WorkloadSignature`] is
+/// derived from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeasuredProfile {
+    /// Per-class measurements, in workload order.
+    pub queries: Vec<MeasuredQuery>,
+    /// Total measured stream time, ms (`Σ time × weight`).
+    pub stream_time_ms: f64,
+    /// Tasks completed by one pass of all concurrent streams (declared:
+    /// `concurrency × tasks_per_stream` — a test run does not change how
+    /// much work a pass represents, only how long it takes).
+    pub tasks_per_pass: f64,
+    /// The noise seed the run was simulated with (provenance; two profiles
+    /// of one workload differ only through it).
+    pub seed: u64,
+}
+
+impl MeasuredProfile {
+    /// Fold a run into a profile, classifying each ran query against the
+    /// workload it was generated from. A run query whose name the workload
+    /// does not declare is a typed [`UnknownQueryError`] — a mismatched
+    /// (workload, run) pair, never a silently misclassified class.
+    pub fn from_run(
+        workload: &Workload,
+        run: &RunResult,
+        seed: u64,
+    ) -> Result<MeasuredProfile, UnknownQueryError> {
+        let mut queries = Vec::with_capacity(run.queries.len());
+        for q in &run.queries {
+            let spec = workload
+                .queries
+                .iter()
+                .find(|w| w.name == q.name)
+                .ok_or_else(|| UnknownQueryError {
+                    name: q.name.clone(),
+                    known: workload.queries.iter().map(|w| w.name.clone()).collect(),
+                })?;
+            queries.push(MeasuredQuery {
+                name: q.name.clone(),
+                time_ms: q.time_ms,
+                weight: q.weight,
+                writes: drift::writes(spec),
+            });
+        }
+        Ok(MeasuredProfile {
+            queries,
+            stream_time_ms: run.stream_time_ms,
+            tasks_per_pass: workload.concurrency as f64 * workload.tasks_per_stream,
+            seed,
+        })
+    }
+
+    /// The measured drift-detection signature: class weights are each
+    /// class's share of *measured stream time* (service demand), and the
+    /// write fraction is the demand share of write-bearing classes —
+    /// versus [`drift::signature`], which uses declared weights. A class
+    /// that got cheap under the deployed layout shrinks in the measured
+    /// signature even at constant declared weight; that is the point.
+    pub fn signature(&self) -> WorkloadSignature {
+        let total: f64 = self.queries.iter().map(MeasuredQuery::demand_ms).sum();
+        let write: f64 = self
+            .queries
+            .iter()
+            .filter(|q| q.writes)
+            .map(MeasuredQuery::demand_ms)
+            .sum();
+        let mut class_weights: Vec<ClassWeight> = Vec::new();
+        for q in &self.queries {
+            let share = if total > 0.0 {
+                q.demand_ms() / total
+            } else {
+                0.0
+            };
+            match class_weights.iter_mut().find(|c| c.class == q.name) {
+                Some(c) => c.weight += share,
+                None => class_weights.push(ClassWeight {
+                    class: q.name.clone(),
+                    weight: share,
+                }),
+            }
+        }
+        class_weights.sort_by(|a, b| a.class.cmp(&b.class));
+        WorkloadSignature {
+            write_fraction: if total > 0.0 { write / total } else { 0.0 },
+            tasks_per_pass: self.tasks_per_pass,
+            class_weights,
+        }
+    }
+}
+
+/// One telemetry observation: the workload the controller's advisor
+/// session opens over, the signature drift is scored with, and — for
+/// measured sources — the profile the signature was derived from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryTick {
+    /// The observed workload (what the replan, if triggered, plans for).
+    pub workload: Workload,
+    /// The signature the controller scores drift with.
+    pub signature: WorkloadSignature,
+    /// The measured profile behind the signature (`None` for scripted
+    /// sources, whose signature is declared).
+    pub profile: Option<MeasuredProfile>,
+}
+
+/// A stream of controller observations. The controller passes the layout
+/// it currently has deployed, so measured sources profile execution under
+/// the layout actually serving the workload — including every layout the
+/// loop itself migrates to mid-stream.
+pub trait TelemetrySource {
+    /// Advance one tick; `None` ends the stream.
+    fn next_observation(&mut self, deployed: &Layout) -> Option<TelemetryTick>;
+}
+
+/// The scripted source: replays a workload sequence with *declared*
+/// signatures, reproducing [`drift::signature`]-based control bit for bit
+/// (the golden-trajectory contract).
+#[derive(Debug, Clone)]
+pub struct ScriptedSource {
+    sequence: std::vec::IntoIter<Workload>,
+}
+
+impl ScriptedSource {
+    /// A source replaying `sequence` in order.
+    pub fn new(sequence: Vec<Workload>) -> ScriptedSource {
+        ScriptedSource {
+            sequence: sequence.into_iter(),
+        }
+    }
+}
+
+impl TelemetrySource for ScriptedSource {
+    fn next_observation(&mut self, _deployed: &Layout) -> Option<TelemetryTick> {
+        let workload = self.sequence.next()?;
+        let signature = drift::signature(&workload);
+        Some(TelemetryTick {
+            signature,
+            profile: None,
+            workload,
+        })
+    }
+}
+
+/// The measured source: each tick simulates its workload's query stream
+/// under the currently deployed layout and derives the signature from the
+/// measured plan costs. Deterministic per (sequence, base seed, layout
+/// history): tick `t` simulates with seed `base_seed + t`.
+#[derive(Debug, Clone)]
+pub struct MeasuredSource {
+    schema: Schema,
+    pool: StoragePool,
+    engine: Option<EngineConfig>,
+    base_seed: u64,
+    tick: u64,
+    sequence: std::vec::IntoIter<Workload>,
+}
+
+impl MeasuredSource {
+    /// A source simulating `sequence` in order with noise seeds derived
+    /// from `seed`. The engine configuration defaults per workload metric
+    /// (DSS for response time, OLTP for throughput), exactly as an advisor
+    /// session picks it.
+    pub fn new(
+        schema: &Schema,
+        pool: &StoragePool,
+        sequence: Vec<Workload>,
+        seed: u64,
+    ) -> MeasuredSource {
+        MeasuredSource {
+            schema: schema.clone(),
+            pool: pool.clone(),
+            engine: None,
+            base_seed: seed,
+            tick: 0,
+            sequence: sequence.into_iter(),
+        }
+    }
+
+    /// Force one engine configuration on every simulation (the default
+    /// picks per workload metric).
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
+    fn engine_for(&self, workload: &Workload) -> EngineConfig {
+        self.engine.unwrap_or(match workload.metric {
+            PerfMetric::ResponseTime => EngineConfig::dss(),
+            PerfMetric::Throughput => EngineConfig::oltp(),
+        })
+    }
+
+    /// Measure one workload under a layout with an explicit seed, without
+    /// advancing the source. This is how a session obtains its *measured
+    /// baseline* signature before opening a controller: a measured
+    /// observation scored against a declared baseline would read spurious
+    /// drift on a perfectly quiet stream, because the two weighting
+    /// schemes differ even on identical workloads.
+    pub fn measure(&self, workload: &Workload, deployed: &Layout, seed: u64) -> MeasuredProfile {
+        let cfg = self.engine_for(workload);
+        let run = exec::simulate_workload(
+            &workload.queries,
+            &self.schema,
+            deployed,
+            &self.pool,
+            &cfg,
+            seed,
+        );
+        MeasuredProfile::from_run(workload, &run, seed)
+            .expect("a run simulated from this workload declares every query")
+    }
+}
+
+impl TelemetrySource for MeasuredSource {
+    fn next_observation(&mut self, deployed: &Layout) -> Option<TelemetryTick> {
+        let workload = self.sequence.next()?;
+        let seed = self.base_seed.wrapping_add(self.tick);
+        self.tick += 1;
+        let profile = self.measure(&workload, deployed, seed);
+        Some(TelemetryTick {
+            signature: profile.signature(),
+            profile: Some(profile),
+            workload,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{synth, tpcc};
+    use dot_storage::catalog;
+
+    fn setup() -> (Schema, StoragePool, Workload, Layout) {
+        let schema = synth::bench_schema(1_000_000.0, 120.0);
+        let pool = catalog::box2();
+        let w = synth::mixed_workload(&schema);
+        let deployed = Layout::uniform(pool.most_expensive(), schema.object_count());
+        (schema, pool, w, deployed)
+    }
+
+    #[test]
+    fn scripted_source_reproduces_declared_signatures() {
+        let (schema, _, w, deployed) = setup();
+        let seq = vec![
+            w.clone(),
+            drift::shift_read_write(&w, 0.3),
+            drift::analytical_phase(&schema),
+        ];
+        let mut source = ScriptedSource::new(seq.clone());
+        for expected in &seq {
+            let tick = source.next_observation(&deployed).expect("scripted tick");
+            assert_eq!(&tick.workload, expected);
+            assert_eq!(tick.signature, drift::signature(expected));
+            assert!(tick.profile.is_none());
+        }
+        assert!(source.next_observation(&deployed).is_none());
+    }
+
+    #[test]
+    fn measured_profile_folds_the_run_and_classifies_writes() {
+        let (schema, pool, w, deployed) = setup();
+        let cfg = EngineConfig::dss();
+        let run = exec::simulate_workload(&w.queries, &schema, &deployed, &pool, &cfg, 5);
+        let profile = MeasuredProfile::from_run(&w, &run, 5).expect("matched run");
+        assert_eq!(profile.queries.len(), w.queries.len());
+        for (m, q) in profile.queries.iter().zip(&w.queries) {
+            assert_eq!(m.name, q.name);
+            assert_eq!(m.weight, q.weight);
+            assert_eq!(m.writes, drift::writes(q));
+        }
+        assert_eq!(profile.stream_time_ms, run.stream_time_ms);
+        assert_eq!(
+            profile.tasks_per_pass,
+            w.concurrency as f64 * w.tasks_per_stream
+        );
+        // The profile round-trips through serde (supervision reports may
+        // carry it).
+        let json = serde_json::to_string(&profile).unwrap();
+        let back: MeasuredProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, profile);
+    }
+
+    #[test]
+    fn mismatched_run_is_a_typed_error() {
+        let (schema, pool, w, deployed) = setup();
+        let cfg = EngineConfig::dss();
+        let run = exec::simulate_workload(&w.queries, &schema, &deployed, &pool, &cfg, 5);
+        let other = drift::analytical_phase(&schema);
+        let err = MeasuredProfile::from_run(&other, &run, 5).unwrap_err();
+        assert!(other.queries.iter().all(|q| q.name != err.name));
+        assert_eq!(
+            err.known,
+            other
+                .queries
+                .iter()
+                .map(|q| q.name.clone())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn measured_signature_weighs_classes_by_stream_time_share() {
+        let (schema, pool, w, deployed) = setup();
+        let mut source = MeasuredSource::new(&schema, &pool, vec![w.clone()], 9);
+        let tick = source.next_observation(&deployed).expect("measured tick");
+        let profile = tick.profile.expect("profile present");
+        let sig = tick.signature;
+        // Shares sum to one and match the demand fold.
+        let sum: f64 = sig.class_weights.iter().map(|c| c.weight).sum();
+        assert!((sum - 1.0).abs() < 1e-9, "shares sum to {sum}");
+        let total: f64 = profile.queries.iter().map(MeasuredQuery::demand_ms).sum();
+        for c in &sig.class_weights {
+            let demand: f64 = profile
+                .queries
+                .iter()
+                .filter(|q| q.name == c.class)
+                .map(MeasuredQuery::demand_ms)
+                .sum();
+            assert!((c.weight - demand / total).abs() < 1e-12, "{}", c.class);
+        }
+        assert!((0.0..=1.0).contains(&sig.write_fraction));
+        // Measured and declared weighting genuinely differ: the seq-scan
+        // class is slow per execution, so its measured share exceeds its
+        // declared share.
+        let declared = drift::signature(&w);
+        assert_ne!(
+            sig.class_weights, declared.class_weights,
+            "measured shares must reweigh the declared mix"
+        );
+        // Demand axis stays declared.
+        assert_eq!(sig.tasks_per_pass, declared.tasks_per_pass);
+    }
+
+    #[test]
+    fn measured_source_is_deterministic_and_layout_sensitive() {
+        let (schema, pool, w, premium) = setup();
+        let seq = vec![w.clone(), w.clone()];
+        let run = |layout: &Layout| {
+            let mut s = MeasuredSource::new(&schema, &pool, seq.clone(), 77);
+            let mut ticks = Vec::new();
+            while let Some(t) = s.next_observation(layout) {
+                ticks.push(t);
+            }
+            ticks
+        };
+        // Same seed, same layout: bit-identical observation stream.
+        assert_eq!(run(&premium), run(&premium));
+        // Consecutive ticks use distinct seeds, so their noise differs.
+        let ticks = run(&premium);
+        assert_ne!(
+            ticks[0].profile.as_ref().unwrap().stream_time_ms,
+            ticks[1].profile.as_ref().unwrap().stream_time_ms
+        );
+        // A cheaper layout changes measured times — the deployed layout is
+        // part of the measurement, which is what lets the control loop see
+        // its own migrations.
+        let hdd = Layout::uniform(
+            pool.class_by_name("HDD").expect("box2 has an HDD tier").id,
+            schema.object_count(),
+        );
+        assert_ne!(
+            run(&premium)[0].profile.as_ref().unwrap().stream_time_ms,
+            run(&hdd)[0].profile.as_ref().unwrap().stream_time_ms
+        );
+    }
+
+    #[test]
+    fn measured_baseline_is_quiet_against_its_own_measurement() {
+        // The motivating contract of `measure`: scoring a measured
+        // observation against the measured baseline of the same workload,
+        // layout, and seed reads zero drift.
+        let schema = tpcc::schema(1.0);
+        let pool = catalog::box2();
+        let w = tpcc::workload(&schema);
+        let deployed = Layout::uniform(pool.most_expensive(), schema.object_count());
+        let source = MeasuredSource::new(&schema, &pool, Vec::new(), 3);
+        let baseline = source.measure(&w, &deployed, 3).signature();
+        let again = source.measure(&w, &deployed, 3).signature();
+        assert_eq!(baseline.distance(&again), 0.0);
+        // A different noise seed moves the measured mix a little, but far
+        // less than a real drift would.
+        let noisy = source.measure(&w, &deployed, 4).signature();
+        let wobble = baseline.distance(&noisy);
+        assert!(wobble < 0.05, "noise wobble {wobble} should be small");
+    }
+}

@@ -20,6 +20,9 @@
 //!         [--json]                     emit the ReplanEnvelope (provenance + plan)
 //! dot-cli supervise <problem.json>     run the online controller over a trace
 //!         --trace <trace.json>         scripted observations (TraceStep array)
+//!         --trace-gen <spec>           generate the trace instead, e.g.
+//!                                      "diurnal:amplitude=-0.4,period=8,days=3"
+//!                                      (see `dot_core::traces::generate`)
 //!         [--current <layout.json>]    deployed layout (default: provision the
 //!                                      problem's baseline with the solver)
 //!         [--solver <id>]              replan target solver (default "dot")
@@ -612,6 +615,13 @@ fn print_replan_report(req: &Request, advisor: &Advisor<'_>, rec: &ReplanRecomme
     );
 }
 
+/// Where `supervise` gets its trace: a scripted JSON file (`--trace`) or a
+/// generator spec (`--trace-gen`, parsed by [`dot_core::traces::generate`]).
+enum TraceSource {
+    File(String),
+    Generated(String),
+}
+
 /// The keys a trace step accepts (see `dot_core::controller::TraceStep`).
 const TRACE_KEYS: [&str; 4] = ["shift", "scale", "phase", "repeat"];
 
@@ -644,7 +654,7 @@ fn load_trace(path: &str) -> Result<Vec<TraceStep>, ProvisionError> {
 #[allow(clippy::too_many_arguments)] // mirrors the flag surface
 fn cmd_supervise(
     path: &str,
-    trace_path: &str,
+    trace_source: &TraceSource,
     current_path: Option<&str>,
     solver: &str,
     budget: &MigrationBudget,
@@ -654,7 +664,10 @@ fn cmd_supervise(
     stream: bool,
 ) -> Result<(), ProvisionError> {
     let req = load(path)?;
-    let trace = load_trace(trace_path)?;
+    let trace = match trace_source {
+        TraceSource::File(path) => load_trace(path)?,
+        TraceSource::Generated(spec) => dot_core::traces::generate(spec)?,
+    };
     let mut config = ControllerConfig {
         solver: solver.to_owned(),
         budget: *budget,
@@ -939,7 +952,8 @@ fn usage() -> ExitCode {
          dot-cli fleet <manifest.json> [--solver <id>] [--json]\n\
          dot-cli replan <problem.json> --current <layout.json> [--solver <id>]\n\
          \x20               [--budget-bytes <n>] [--budget-seconds <n>] [--budget-cents <n>] [--json]\n\
-         dot-cli supervise <problem.json> --trace <trace.json> [--current <layout.json>]\n\
+         dot-cli supervise <problem.json> (--trace <trace.json> | --trace-gen <spec>)\n\
+         \x20               [--current <layout.json>]\n\
          \x20               [--solver <id>] [--drift-threshold <x>] [--cooldown <n>]\n\
          \x20               [--budget-bytes <n>] [--budget-seconds <n>] [--budget-cents <n>]\n\
          \x20               [--json | --stream]\n\
@@ -953,7 +967,7 @@ fn usage() -> ExitCode {
 /// Every accepted flag, with whether it consumes the next argument (the
 /// scanner needs this to step over values that themselves start with `--`
 /// would-be flags).
-const KNOWN_FLAGS: [(&str, bool); 10] = [
+const KNOWN_FLAGS: [(&str, bool); 11] = [
     ("--json", false),
     ("--stream", false),
     ("--solver", true),
@@ -962,6 +976,7 @@ const KNOWN_FLAGS: [(&str, bool); 10] = [
     ("--budget-seconds", true),
     ("--budget-cents", true),
     ("--trace", true),
+    ("--trace-gen", true),
     ("--drift-threshold", true),
     ("--cooldown", true),
 ];
@@ -988,6 +1003,7 @@ fn allowed_flags(subcommand: &str) -> &'static [&'static str] {
             "--solver",
             "--current",
             "--trace",
+            "--trace-gen",
             "--drift-threshold",
             "--cooldown",
             "--budget-bytes",
@@ -1081,6 +1097,10 @@ fn main() -> ExitCode {
         Ok(v) => v,
         Err(code) => return code,
     };
+    let trace_gen_flag = match value_flag("--trace-gen") {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
     // Numeric knobs share one parse-or-usage-error path, generic over the
     // value type (f64 thresholds/budgets, u64 tick counts).
     fn parse_flag<T: std::str::FromStr>(
@@ -1164,25 +1184,37 @@ fn main() -> ExitCode {
                 return usage();
             }
         },
-        Some("supervise") => match (args.get(2).filter(|a| !a.starts_with("--")), &trace_flag) {
-            (Some(path), Some(trace)) => cmd_supervise(
-                path,
-                trace,
-                current_flag.as_deref(),
-                solver_flag.as_deref().unwrap_or("dot"),
-                &budget,
-                drift_threshold,
-                cooldown,
-                json,
-                stream,
-            ),
-            _ => {
-                eprintln!(
-                    "error: supervise needs a baseline problem file and --trace <trace.json>"
-                );
-                return usage();
+        Some("supervise") => {
+            let source = match (&trace_flag, &trace_gen_flag) {
+                (Some(path), None) => Some(TraceSource::File(path.clone())),
+                (None, Some(spec)) => Some(TraceSource::Generated(spec.clone())),
+                (Some(_), Some(_)) => {
+                    eprintln!("error: --trace and --trace-gen are mutually exclusive");
+                    return ExitCode::FAILURE;
+                }
+                (None, None) => None,
+            };
+            match (args.get(2).filter(|a| !a.starts_with("--")), source) {
+                (Some(path), Some(source)) => cmd_supervise(
+                    path,
+                    &source,
+                    current_flag.as_deref(),
+                    solver_flag.as_deref().unwrap_or("dot"),
+                    &budget,
+                    drift_threshold,
+                    cooldown,
+                    json,
+                    stream,
+                ),
+                _ => {
+                    eprintln!(
+                        "error: supervise needs a baseline problem file and --trace \
+                         <trace.json> or --trace-gen <spec>"
+                    );
+                    return usage();
+                }
             }
-        },
+        }
         Some("explain") => match args.get(2) {
             Some(path) => cmd_explain(path),
             None => return usage(),

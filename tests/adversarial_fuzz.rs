@@ -1,0 +1,81 @@
+//! Adversarial fuzzing of the online re-provisioning controller: search
+//! hostile drift traces — oscillation at the hysteresis boundary, ramps
+//! creeping under the threshold, pressure spikes inside the cool-down
+//! window — for contract violations (flapping, missed triggers,
+//! budget-violating replans, misattributed defers).
+//!
+//! Every case replays a generated trace and checks the full event log
+//! against an independent re-implementation of the anti-flap contract
+//! (`tests/adversarial/mod.rs`). A failing case is shrunk to a minimal
+//! trace and written to `tests/golden/adversarial/found-<name>.json`; the
+//! panic message names the file so it can be committed as a regression
+//! (replayed forever by `adversarial_regressions`).
+//!
+//! Case count: `ADVERSARIAL_CASES` env override; otherwise 64 under
+//! `cfg(debug_assertions)` and 256 in release — CI runs both tiers.
+
+mod adversarial;
+
+use adversarial::{generate_case, run_case, shrink, verdict_of, violation_of, RegressionCase};
+
+fn case_count() -> u64 {
+    if let Ok(cases) = std::env::var("ADVERSARIAL_CASES") {
+        return cases
+            .parse()
+            .expect("ADVERSARIAL_CASES must be a case count");
+    }
+    if cfg!(debug_assertions) {
+        64
+    } else {
+        256
+    }
+}
+
+#[test]
+fn hostile_traces_cannot_break_the_anti_flap_contract() {
+    let mut checked = 0u64;
+    for case_index in 0..case_count() {
+        let case = generate_case(case_index);
+        if let Some(violation) = violation_of(&case) {
+            let minimal = shrink(&case);
+            let violation = violation_of(&minimal).unwrap_or(violation);
+            let record = RegressionCase {
+                verdict: run_case(&minimal)
+                    .as_deref()
+                    .map(verdict_of)
+                    .unwrap_or_else(|_| verdict_of(&[])),
+                case: minimal.clone(),
+            };
+            let dir = adversarial::regression_dir();
+            std::fs::create_dir_all(&dir).expect("create regression dir");
+            let path = dir.join(format!("found-{}.json", minimal.name));
+            let json = serde_json::to_string_pretty(&record).expect("case serializes");
+            std::fs::write(&path, json + "\n").expect("write regression case");
+            panic!(
+                "case {case_index} ({}): {violation}\nminimal trace written to {} — \
+                 fix the controller, then commit the file so the case replays forever",
+                minimal.name,
+                path.display()
+            );
+        }
+        checked += 1;
+    }
+    assert_eq!(checked, case_count());
+}
+
+#[test]
+fn hostile_replays_are_deterministic() {
+    // A sample across all three families: the same hostile case must
+    // produce the identical event log on every replay (the property the
+    // golden trajectories rely on, checked here under adversarial inputs).
+    for case_index in [0, 1, 2, 7, 13] {
+        let case = generate_case(case_index);
+        let first = run_case(&case).expect("hostile traces stay valid");
+        let second = run_case(&case).expect("hostile traces stay valid");
+        assert_eq!(
+            first, second,
+            "case {case_index} ({}) replayed differently",
+            case.name
+        );
+    }
+}

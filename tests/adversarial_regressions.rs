@@ -1,0 +1,66 @@
+//! Replay every committed hostile-trace regression under
+//! `tests/golden/adversarial/`: each file carries one shrunk
+//! [`adversarial::HostileCase`] plus the pinned [`adversarial::Verdict`]
+//! its replay must reproduce — triggers at the same ticks, the same
+//! defer counts, the same migrations. The anti-flap contract
+//! (`adversarial::check_invariants`) is re-checked on every replay, so a
+//! controller change that breaks an invariant *or* silently changes a
+//! pinned trajectory fails here before the fuzzer ever runs.
+//!
+//! To re-pin verdicts after an intentional behaviour change:
+//! `UPDATE_GOLDEN=1 cargo test --test adversarial_regressions`.
+
+mod adversarial;
+
+use adversarial::{check_invariants, run_case, verdict_of, RegressionCase};
+
+fn regression_files() -> Vec<std::path::PathBuf> {
+    let dir = adversarial::regression_dir();
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("read {}: {e}", dir.display()))
+        .map(|entry| entry.expect("read dir entry").path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn committed_hostile_traces_replay_to_their_pinned_verdicts() {
+    let files = regression_files();
+    assert!(
+        !files.is_empty(),
+        "no committed regression cases under tests/golden/adversarial/"
+    );
+    for path in files {
+        let text = std::fs::read_to_string(&path).expect("read regression case");
+        let record: RegressionCase =
+            serde_json::from_str(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let events = run_case(&record.case)
+            .unwrap_or_else(|e| panic!("{}: replay failed: {e:?}", path.display()));
+        if let Err(violation) = check_invariants(&events, &record.case.config) {
+            panic!(
+                "{}: contract violation on replay: {violation}",
+                path.display()
+            );
+        }
+        let verdict = verdict_of(&events);
+        if std::env::var_os("UPDATE_GOLDEN").is_some() {
+            let updated = RegressionCase {
+                case: record.case,
+                verdict,
+            };
+            let json = serde_json::to_string_pretty(&updated).expect("case serializes");
+            std::fs::write(&path, json + "\n").expect("write regression case");
+            continue;
+        }
+        assert_eq!(
+            verdict,
+            record.verdict,
+            "{}: the controller's behaviour on this hostile trace drifted from \
+             the pinned verdict; if intentional, regenerate with UPDATE_GOLDEN=1 \
+             cargo test --test adversarial_regressions",
+            path.display()
+        );
+    }
+}

@@ -96,6 +96,21 @@ pub fn scenarios() -> Vec<Scenario> {
                 step(None, Some(-0.05), 1),
             ],
         },
+        // Two generated days of a read-heavy diurnal cycle: the peak
+        // crosses the threshold, the trough drifts back, and day two must
+        // replay day one's decisions against whatever baseline the
+        // controller re-anchored on (`dot_core::traces::diurnal`).
+        Scenario {
+            name: "diurnal",
+            steps: dot_core::traces::diurnal(-0.5, 6, 2).expect("valid diurnal spec"),
+        },
+        // A generated flash crowd: quiet, a 4x demand spike held two
+        // ticks, then a linear decay back to baseline
+        // (`dot_core::traces::flash_crowd`).
+        Scenario {
+            name: "flash",
+            steps: dot_core::traces::flash_crowd(4.0, 2, 2, 3).expect("valid flash spec"),
+        },
     ]
 }
 
@@ -107,6 +122,9 @@ pub fn config() -> ControllerConfig {
     }
 }
 
+// The telemetry suite replays through `Controller::run_source` instead of
+// these helpers, so they are dead code in that binary.
+#[allow(dead_code)]
 fn replay(steps: &[TraceStep], cache: Option<&Arc<CachedEstimator>>) -> Vec<ControlEvent> {
     let schema = tpcc::schema(2.0);
     let pool = catalog::box2();
@@ -129,6 +147,7 @@ fn replay(steps: &[TraceStep], cache: Option<&Arc<CachedEstimator>>) -> Vec<Cont
 }
 
 /// Replay a trajectory under the given cache mode and return its log.
+#[allow(dead_code)]
 pub fn run(steps: &[TraceStep], mode: CacheMode) -> Vec<ControlEvent> {
     match mode {
         CacheMode::Off => replay(steps, None),

@@ -98,6 +98,39 @@ fn oscillation_matches_the_golden_log_without_flapping() {
 }
 
 #[test]
+fn diurnal_cycle_matches_the_golden_log() {
+    check("diurnal");
+    // Beyond the snapshot: a diurnal cycle must not flap — the cool-down
+    // spacing holds across day boundaries too.
+    let scenario = scenarios()
+        .into_iter()
+        .find(|s| s.name == "diurnal")
+        .expect("known scenario");
+    let log = run(&scenario.steps, CacheMode::Off);
+    let trigger_ticks: Vec<u64> = log
+        .iter()
+        .filter_map(|e| match e {
+            ControlEvent::Triggered { tick, .. } => Some(*tick),
+            _ => None,
+        })
+        .collect();
+    assert!(!trigger_ticks.is_empty(), "the diurnal peak must trigger");
+    for pair in trigger_ticks.windows(2) {
+        assert!(
+            pair[1] - pair[0] >= scenario::config().cooldown_ticks,
+            "triggers at ticks {} and {} violate the cool-down",
+            pair[0],
+            pair[1]
+        );
+    }
+}
+
+#[test]
+fn flash_crowd_matches_the_golden_log() {
+    check("flash");
+}
+
+#[test]
 fn noise_only_matches_the_golden_log_and_stays_quiet() {
     check("noise");
     let scenario = scenarios()

@@ -793,6 +793,47 @@ fn supervise_usage_and_malformed_traces_fail_with_typed_codes() {
 }
 
 #[test]
+fn supervise_trace_gen_generates_and_replays_a_trace() {
+    // `--trace-gen` swaps the trace file for a generator spec; a flash
+    // crowd spikes demand hard enough to trigger at least one replan.
+    let problem = problem_file("supervise_gen.json", OLTP_PROBLEM);
+    let out = cli()
+        .arg("supervise")
+        .arg(&problem)
+        .args(["--trace-gen", "flash-crowd:peak=4,quiet=1,spike=2,decay=2"])
+        .output()
+        .expect("run dot-cli");
+    let text = stdout_of(&out);
+    for expected in ["supervising", "observed", "trigger(s)"] {
+        assert!(text.contains(expected), "missing {expected:?} in:\n{text}");
+    }
+
+    // The two trace sources are exclusive: naming both is a usage error.
+    let trace = problem_file("supervise_gen_trace.json", SUPERVISE_TRACE);
+    let out = cli()
+        .arg("supervise")
+        .arg(&problem)
+        .args(["--trace", trace.to_str().unwrap()])
+        .args(["--trace-gen", "diurnal"])
+        .output()
+        .expect("run dot-cli");
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("mutually exclusive"), "{err}");
+
+    // A malformed spec is a typed invalid request naming the generator.
+    let out = cli()
+        .arg("supervise")
+        .arg(&problem)
+        .args(["--trace-gen", "lunar:phase=full"])
+        .output()
+        .expect("run dot-cli");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("lunar"), "{err}");
+}
+
+#[test]
 fn explain_prints_plans_for_the_premium_layout() {
     let path = problem_file("explain.json", DSS_PROBLEM);
     let out = cli()
