@@ -5,8 +5,9 @@
 //! tick (against the two-full-estimate tick it replaced), fleet cache hit
 //! rate, the `dot-serve` daemon's concurrent observe-tick throughput, the
 //! registry restore latency from a persisted multi-tenant snapshot, the
-//! scripted vs. measured telemetry observe tick, and the dominance-pruned
-//! vs. estimate-everything sweeps on every
+//! scripted vs. measured telemetry observe tick, the scheduled-vs-
+//! sequential migration makespan on the tiered-downgrade family, and the
+//! dominance-pruned vs. estimate-everything sweeps on every
 //! conformance workload family — and writes the medians to a
 //! `BENCH_<pr>.json` at the repo root. Committing the file per PR gives the
 //! repo a perf trajectory that reviews and CI can hold regressions against.
@@ -14,7 +15,7 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p dot-bench --bin distill                 # write BENCH_9.json
+//! cargo run --release -p dot-bench --bin distill                 # write BENCH_10.json
 //! cargo run --release -p dot-bench --bin distill -- --out <path> # write elsewhere
 //! cargo run --release -p dot-bench --bin distill -- --check <path> # validate a file
 //! ```
@@ -23,9 +24,10 @@
 //! an invariant the code promises: the quiescent tick must undercut the
 //! two-full-estimate tick it replaced, the daemon must sustain a positive
 //! concurrent tick rate, a persisted registry must restore its tenants in
-//! bounded time, every conformance family must prune a nonzero number of
-//! candidates, and the pruned sweeps must not run meaningfully slower
-//! than their estimate-everything counterparts.
+//! bounded time, the scheduled migration makespan must never exceed the
+//! sequential copy it packs, every conformance family must prune a nonzero
+//! number of candidates, and the pruned sweeps must not run meaningfully
+//! slower than their estimate-everything counterparts.
 
 use dot_core::advisor::Advisor;
 use dot_core::controller::{Controller, ControllerConfig, TraceStep};
@@ -43,7 +45,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Where the trajectory for this PR lives, relative to the repo root.
-const DEFAULT_PATH: &str = "BENCH_9.json";
+const DEFAULT_PATH: &str = "BENCH_10.json";
 /// Timed samples per measurement (a warmup run precedes them).
 const SAMPLES: usize = 5;
 /// `--check`: a pruned sweep may be up to this factor slower than the
@@ -71,6 +73,7 @@ struct Trajectory {
     samples: usize,
     hot_paths: HotPaths,
     telemetry: TelemetryNumbers,
+    scheduler: SchedulerNumbers,
     fleet: FleetNumbers,
     daemon: DaemonNumbers,
     restore: RestoreNumbers,
@@ -102,6 +105,31 @@ struct TelemetryNumbers {
     /// Median measured-source tick, ms (simulate the stream under the
     /// deployed layout, fold the run, derive the signature, observe).
     tick_measured_ms: f64,
+}
+
+/// Migration-schedule numbers on the tiered-downgrade family (four
+/// index-free tables on the five-class catalog, hot table overpaying on
+/// H-SSD): the wave-packed makespan against the sequential copy it
+/// replaces, plus the same plan re-packed under an in-flight SLA of 0.32
+/// — the committed golden's extra-wave scenario.
+#[derive(Debug, Serialize, Deserialize)]
+struct SchedulerNumbers {
+    /// Transfer steps in the plan.
+    steps: usize,
+    /// Waves after unconstrained next-fit packing.
+    waves: usize,
+    /// Wall-clock of the packed schedule (max transfer per wave, summed).
+    makespan_seconds: f64,
+    /// What the same steps cost copied one at a time.
+    sequential_seconds: f64,
+    /// Waves once `sla_during_migration = 0.32` splits the packed wave.
+    sla_waves: usize,
+    /// Makespan under that in-flight SLA (≥ the unconstrained makespan,
+    /// ≤ the sequential copy).
+    sla_makespan_seconds: f64,
+    /// Median wall time of one scheduled replan, ms (plan + pack + both
+    /// feasibility estimates).
+    replan_scheduled_ms: f64,
 }
 
 #[derive(Debug, Serialize, Deserialize)]
@@ -320,6 +348,85 @@ fn measure_telemetry() -> TelemetryNumbers {
     TelemetryNumbers {
         tick_scripted_ms,
         tick_measured_ms,
+    }
+}
+
+/// Scheduled-vs-sequential migration numbers on the tiered-downgrade
+/// family — the same fixture `tests/schedule_golden.rs` pins. The
+/// unconstrained plan must pack transfers onto disjoint device lanes and
+/// beat the sequential copy; the 0.32 in-flight SLA splits the packed
+/// wave and pushes the makespan back toward (never past) sequential.
+fn measure_scheduler() -> SchedulerNumbers {
+    use dot_core::replan::{MigrationBudget, ReplanOptions};
+    use dot_dbms::query::{QuerySpec, ReadOp, Rel, ScanSpec};
+    use dot_dbms::{Layout, SchemaBuilder};
+    use dot_storage::ClassId;
+    use dot_workloads::Workload;
+
+    let mut b = SchemaBuilder::new("tiered");
+    for (name, rows, bytes) in [
+        ("hot", 800_000.0, 120.0),
+        ("warm", 1_200_000.0, 120.0),
+        ("cool", 2_000_000.0, 120.0),
+        ("cold", 3_000_000.0, 120.0),
+    ] {
+        b = b.table(name, rows, bytes);
+    }
+    let schema = b.build();
+    let weights = [400.0, 60.0, 6.0, 1.0];
+    let queries = schema
+        .tables()
+        .iter()
+        .zip(weights)
+        .map(|(t, w)| {
+            QuerySpec::read(
+                &format!("scan_{}", t.name),
+                ReadOp::of(Rel::Scan(ScanSpec::full(t.id))),
+            )
+            .with_weight(w)
+        })
+        .collect();
+    let workload = Workload::dss("tiered", queries);
+    let pool = catalog::full_pool();
+    let current = Layout::from_assignment(vec![ClassId(4), ClassId(2), ClassId(3), ClassId(0)]);
+
+    let advisor = Advisor::builder(&schema, &pool, &workload)
+        .sla(0.4)
+        .build()
+        .expect("tiered session");
+    let unconstrained = advisor
+        .replan_scheduled(&current, "dot", &ReplanOptions::default())
+        .expect("unconstrained schedule");
+    let sla_opts = ReplanOptions {
+        budget: MigrationBudget::unbounded(),
+        sla_during_migration: Some(0.32),
+    };
+    let constrained = advisor
+        .replan_scheduled(&current, "dot", &sla_opts)
+        .expect("SLA-constrained schedule");
+
+    let replan_scheduled_ms = median_ms(|| {
+        black_box(
+            advisor
+                .replan_scheduled(&current, "dot", &sla_opts)
+                .expect("scheduled replan"),
+        );
+    });
+
+    let sched = &unconstrained.plan.schedule;
+    let sla_sched = &constrained.plan.schedule;
+    assert_eq!(
+        unconstrained.plan.final_layout, constrained.plan.final_layout,
+        "the in-flight SLA must change the packing, never the destination"
+    );
+    SchedulerNumbers {
+        steps: unconstrained.plan.steps.len(),
+        waves: sched.waves.len(),
+        makespan_seconds: sched.makespan_seconds,
+        sequential_seconds: sched.sequential_seconds,
+        sla_waves: sla_sched.waves.len(),
+        sla_makespan_seconds: sla_sched.makespan_seconds,
+        replan_scheduled_ms,
     }
 }
 
@@ -635,11 +742,12 @@ fn measure_pruning() -> Vec<PruningCell> {
 
 fn distill(path: &str) {
     let trajectory = Trajectory {
-        schema_version: 4,
-        pr: 9,
+        schema_version: 5,
+        pr: 10,
         samples: SAMPLES,
         hot_paths: measure_hot_paths(),
         telemetry: measure_telemetry(),
+        scheduler: measure_scheduler(),
         fleet: measure_fleet(),
         daemon: measure_daemon(),
         restore: measure_restore(),
@@ -667,6 +775,19 @@ fn summarize(t: &Trajectory) {
         t.telemetry.tick_scripted_ms,
         t.telemetry.tick_measured_ms,
         t.telemetry.tick_measured_ms / t.telemetry.tick_scripted_ms.max(1e-9),
+    );
+    let s = &t.scheduler;
+    println!(
+        "distill: schedule {} steps in {} wave(s) — makespan {:.1} s vs {:.1} s \
+         sequential; SLA 0.32 repacks to {} wave(s) at {:.1} s \
+         (scheduled replan {:.2} ms)",
+        s.steps,
+        s.waves,
+        s.makespan_seconds,
+        s.sequential_seconds,
+        s.sla_waves,
+        s.sla_makespan_seconds,
+        s.replan_scheduled_ms,
     );
     println!(
         "distill: fleet hit rate {:.1}% over {} tenants",
@@ -744,6 +865,47 @@ fn check(path: &str) {
             "{path}: measured telemetry tick ({} ms) undercuts the scripted \
              tick ({} ms) — the simulation cost went missing",
             tel.tick_measured_ms, tel.tick_scripted_ms
+        ));
+    }
+    let s = &t.scheduler;
+    if s.steps == 0 || s.waves == 0 || s.sla_waves == 0 {
+        fail(&format!(
+            "{path}: the scheduler trajectory must pack a non-empty plan \
+             ({} steps, {} waves, {} SLA waves)",
+            s.steps, s.waves, s.sla_waves
+        ));
+    }
+    for (name, v) in [
+        ("makespan_seconds", s.makespan_seconds),
+        ("sequential_seconds", s.sequential_seconds),
+        ("sla_makespan_seconds", s.sla_makespan_seconds),
+        ("replan_scheduled_ms", s.replan_scheduled_ms),
+    ] {
+        if !v.is_finite() || v <= 0.0 {
+            fail(&format!("{path}: scheduler {name} = {v} is not positive"));
+        }
+    }
+    // The scheduler's whole promise: packing may only shrink the wall
+    // clock, and an in-flight SLA may only give some of that shrink back.
+    let tol = 1e-9 * s.sequential_seconds.max(1.0);
+    if s.makespan_seconds > s.sequential_seconds + tol {
+        fail(&format!(
+            "{path}: scheduled makespan ({} s) exceeds the sequential copy \
+             ({} s)",
+            s.makespan_seconds, s.sequential_seconds
+        ));
+    }
+    if s.sla_makespan_seconds > s.sequential_seconds + tol {
+        fail(&format!(
+            "{path}: SLA-constrained makespan ({} s) exceeds the sequential \
+             copy ({} s)",
+            s.sla_makespan_seconds, s.sequential_seconds
+        ));
+    }
+    if s.sla_waves < s.waves {
+        fail(&format!(
+            "{path}: the in-flight SLA must never merge waves ({} < {})",
+            s.sla_waves, s.waves
         ));
     }
     if !t.fleet.hit_rate.is_finite() || t.fleet.hit_rate <= 0.0 {

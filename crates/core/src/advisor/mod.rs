@@ -579,6 +579,36 @@ impl<'a> Advisor<'a> {
         crate::replan::plan_migration(&self.context(), current, target, budget)
     }
 
+    /// [`replan_with`](Self::replan_with) with the full option set: the
+    /// budget's wall-clock ceiling caps the *scheduled* makespan, and
+    /// [`ReplanOptions::sla_during_migration`](crate::replan::ReplanOptions)
+    /// constrains the in-flight estimate of every wave. See
+    /// [`crate::replan`]'s module docs for the wave model.
+    pub fn replan_scheduled(
+        &self,
+        current: &Layout,
+        solver: &str,
+        opts: &crate::replan::ReplanOptions,
+    ) -> Result<crate::replan::ReplanRecommendation, ProvisionError> {
+        let target = self.recommend(solver)?;
+        crate::replan::plan_migration_with(&self.context(), current, target, opts)
+    }
+
+    /// Spread the migration over recurring maintenance windows of
+    /// `window_seconds` each by plan continuation: every window replans
+    /// from the previous window's final layout with the window length as
+    /// its wall-clock ceiling. See [`crate::replan::plan_windowed_rollout`].
+    pub fn replan_rollout(
+        &self,
+        current: &Layout,
+        solver: &str,
+        opts: &crate::replan::ReplanOptions,
+        window_seconds: f64,
+    ) -> Result<crate::replan::WindowedRollout, ProvisionError> {
+        let target = self.recommend(solver)?;
+        crate::replan::plan_windowed_rollout(&self.context(), current, target, opts, window_seconds)
+    }
+
     /// Evaluate an arbitrary labelled layout against this session's
     /// constraints — the figure-bar path of the experiment harness, which
     /// needs numbers even for layouts that violate the SLA. Routed through

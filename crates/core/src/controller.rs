@@ -104,6 +104,14 @@ pub struct ControllerConfig {
     pub solver: String,
     /// Migration budget every triggered plan honors.
     pub budget: MigrationBudget,
+    /// Recurring maintenance window: every `n` ticks, a controller whose
+    /// last applied plan was [`MigrationDecision::Partial`] re-triggers to
+    /// continue the rollout from the deployed (partial) layout — even with
+    /// drift and SLA pressure quiet. `None` (the default) disables the
+    /// window; a deferred rollout then waits for the next drift/SLA
+    /// trigger, as before this knob existed.
+    #[serde(default)]
+    pub window_ticks: Option<u64>,
 }
 
 impl Default for ControllerConfig {
@@ -115,6 +123,7 @@ impl Default for ControllerConfig {
             cooldown_ticks: 3,
             solver: "dot".to_owned(),
             budget: MigrationBudget::unbounded(),
+            window_ticks: None,
         }
     }
 }
@@ -138,6 +147,12 @@ impl ControllerConfig {
         if self.solver.is_empty() {
             return Err(ProvisionError::InvalidRequest {
                 reason: "controller solver id is empty".to_owned(),
+            });
+        }
+        if self.window_ticks == Some(0) {
+            return Err(ProvisionError::InvalidRequest {
+                reason: "controller window_ticks must be at least 1 (use null to disable)"
+                    .to_owned(),
             });
         }
         self.budget.validate()
@@ -168,6 +183,13 @@ pub enum TriggerReason {
         distance: f64,
         /// The observed pressure.
         pressure: f64,
+    },
+    /// A maintenance window opened with a partial rollout pending: the
+    /// controller replans from the deployed layout to continue it, with
+    /// drift and SLA pressure both quiet.
+    Window {
+        /// The configured window period ([`ControllerConfig::window_ticks`]).
+        every_ticks: u64,
     },
 }
 
@@ -226,6 +248,14 @@ pub enum ControlEvent {
         savings_cents_per_hour: f64,
         /// Hours until the savings repay the bill (`0` for empty plans).
         break_even_hours: f64,
+        /// Parallel waves the plan's transfer schedule packs into
+        /// (`0` for plans that move nothing).
+        #[serde(default)]
+        waves: usize,
+        /// Scheduled wall-clock of the migration: the wave critical path,
+        /// never more than the sequential copy time.
+        #[serde(default)]
+        makespan_seconds: f64,
     },
     /// An over-threshold observation was suppressed by an anti-flap guard.
     Deferred {
@@ -423,6 +453,13 @@ pub struct ControllerCheckpoint {
     pub baseline: WorkloadSignature,
     /// The layout deployed as of the checkpoint.
     pub deployed: Layout,
+    /// Whether the last applied plan was partial, leaving a rollout for
+    /// the next maintenance window to continue. Absent in checkpoints
+    /// written before maintenance windows existed — those resumed sessions
+    /// simply wait for the next drift/SLA trigger, which is what they
+    /// would have done anyway.
+    #[serde(default)]
+    pub pending_rollout: bool,
 }
 
 /// Shared by [`Controller::new`] and [`Controller::with_checkpoint`]: a
@@ -478,6 +515,9 @@ pub struct Controller {
     /// pressure beyond this re-arms the controller (see `observe`).
     latched_pressure: f64,
     last_trigger: Option<u64>,
+    /// True after a `Partial` plan lands, until a later plan completes the
+    /// rollout — the arming condition of the maintenance-window trigger.
+    pending_rollout: bool,
     events: Vec<ControlEvent>,
 }
 
@@ -511,6 +551,7 @@ impl Controller {
             armed: true,
             latched_pressure: 0.0,
             last_trigger: None,
+            pending_rollout: false,
             events: Vec::new(),
         })
     }
@@ -563,6 +604,7 @@ impl Controller {
             last_trigger: self.last_trigger,
             baseline: self.baseline.clone(),
             deployed: self.deployed.clone(),
+            pending_rollout: self.pending_rollout,
         }
     }
 
@@ -584,6 +626,7 @@ impl Controller {
         self.last_trigger = checkpoint.last_trigger;
         self.baseline = checkpoint.baseline.clone();
         self.deployed = checkpoint.deployed.clone();
+        self.pending_rollout = checkpoint.pending_rollout;
         self.anchor = None;
         self.events.clear();
         Ok(self)
@@ -736,8 +779,20 @@ impl Controller {
             self.armed = true;
         }
 
+        // A maintenance window opens every `window_ticks` ticks, but only
+        // pulls the trigger while a partial rollout is pending — a quiet,
+        // fully-deployed tenant sails through its windows untouched. The
+        // window shares the drift/SLA anti-flap guards (cool-down, latch),
+        // so a `Stay`-latched rollout does not get re-litigated every
+        // window until the latch clears.
+        let window_due = self.pending_rollout
+            && self
+                .config
+                .window_ticks
+                .is_some_and(|n| tick > 0 && tick % n == 0);
+
         let mut replan = None;
-        if drift_over || sla_over {
+        if drift_over || sla_over || window_due {
             let cooling = self
                 .last_trigger
                 .filter(|last| tick - last < self.config.cooldown_ticks);
@@ -760,8 +815,11 @@ impl Controller {
                         pressure: sla_pressure,
                     },
                     (true, false) => TriggerReason::Drift { distance },
-                    _ => TriggerReason::Sla {
+                    (false, true) => TriggerReason::Sla {
                         pressure: sla_pressure,
+                    },
+                    (false, false) => TriggerReason::Window {
+                        every_ticks: self.config.window_ticks.unwrap_or(0),
                     },
                 };
                 events.push(ControlEvent::Triggered { tick, reason });
@@ -788,6 +846,8 @@ impl Controller {
                     total_cents: rec.plan.total_cents,
                     savings_cents_per_hour: rec.plan.savings_cents_per_hour,
                     break_even_hours: rec.plan.break_even_hours,
+                    waves: rec.plan.schedule.waves.len(),
+                    makespan_seconds: rec.plan.schedule.makespan_seconds,
                 });
                 match rec.plan.decision {
                     MigrationDecision::Migrate | MigrationDecision::Partial { .. } => {
@@ -810,12 +870,20 @@ impl Controller {
                         });
                         self.deployed = rec.plan.final_layout.clone();
                         self.baseline = signature;
+                        // A full migration completes any pending rollout; a
+                        // partial one leaves (or starts) a remainder for
+                        // the next maintenance window.
+                        self.pending_rollout =
+                            matches!(rec.plan.decision, MigrationDecision::Partial { .. });
                     }
                     MigrationDecision::Unchanged => {
                         // The fresh recommendation confirms the deployed
                         // layout serves this profile: adopt it as baseline
                         // so the distance signal resets without a move.
+                        // Any pending rollout is complete — the target the
+                        // windows were walking toward is what's deployed.
                         self.baseline = signature;
+                        self.pending_rollout = false;
                     }
                     MigrationDecision::Stay => {
                         // Migration cannot pay for itself here; latch until
@@ -1256,12 +1324,14 @@ mod tests {
             },
             ControlEvent::Planned {
                 tick: 0,
-                decision: MigrationDecision::Partial { deferred_moves: 2 },
+                decision: MigrationDecision::Partial { deferred_groups: 2 },
                 moves: 3,
                 total_bytes: 1.5e9,
                 total_cents: 0.125,
                 savings_cents_per_hour: 0.25,
                 break_even_hours: 0.5,
+                waves: 2,
+                makespan_seconds: 40.0,
             },
             ControlEvent::Deferred {
                 tick: 1,
@@ -1470,6 +1540,179 @@ mod tests {
         .unwrap();
         assert!(matches!(
             fresh.with_checkpoint(&corrupt),
+            Err(ProvisionError::InvalidRequest { .. })
+        ));
+    }
+
+    /// A budget that admits all but the cheapest step of the full
+    /// phase-flip plan — enough to force a `Partial` verdict on the first
+    /// trigger while leaving the remainder affordable in one more window.
+    fn partial_budget(
+        schema: &Schema,
+        pool: &StoragePool,
+        deployed: &Layout,
+        flipped: &Workload,
+    ) -> MigrationBudget {
+        let advisor = Advisor::builder(schema, pool, flipped)
+            .sla(0.5)
+            .build()
+            .unwrap();
+        let rec = advisor
+            .replan_with(deployed, "dot", &MigrationBudget::unbounded())
+            .unwrap();
+        assert!(
+            rec.plan.steps.len() >= 2,
+            "the flip must move at least two groups for a partial split"
+        );
+        let smallest = rec
+            .plan
+            .steps
+            .iter()
+            .map(|s| s.bytes)
+            .fold(f64::INFINITY, f64::min);
+        MigrationBudget {
+            max_bytes: Some(rec.plan.total_bytes - smallest),
+            ..MigrationBudget::unbounded()
+        }
+    }
+
+    #[test]
+    fn maintenance_window_continues_a_partial_rollout() {
+        let (schema, pool, baseline) = setup();
+        let deployed = deployed_for(&schema, &pool, &baseline);
+        let flipped = drift::analytical_phase(&schema);
+        let config = ControllerConfig {
+            cooldown_ticks: 0,
+            window_ticks: Some(3),
+            budget: partial_budget(&schema, &pool, &deployed, &flipped),
+            ..ControllerConfig::default()
+        };
+        let mut c = Controller::new(&schema, &pool, &baseline, deployed, 0.5, config).unwrap();
+
+        // Tick 0: the flip triggers on drift; the byte budget cuts the
+        // plan short, leaving a rollout pending.
+        let out = c.observe(&flipped).unwrap();
+        assert!(out.triggered());
+        let plan = &out.replan.as_ref().unwrap().plan;
+        assert!(matches!(
+            plan.decision,
+            MigrationDecision::Partial { deferred_groups } if deferred_groups >= 1
+        ));
+
+        // Ticks 1-2: the observation re-baselined, so the same profile is
+        // quiet — and the window (every 3 ticks) has not opened yet.
+        for _ in 0..2 {
+            let out = c.observe(&flipped).unwrap();
+            assert!(!out.triggered());
+            assert_eq!(out.events.len(), 1, "observed only");
+        }
+
+        // Tick 3: the maintenance window opens with a rollout pending and
+        // continues it from the partially-migrated layout.
+        let out = c.observe(&flipped).unwrap();
+        assert!(out.triggered());
+        assert!(matches!(
+            out.events[1],
+            ControlEvent::Triggered {
+                reason: TriggerReason::Window { every_ticks: 3 },
+                ..
+            }
+        ));
+        let plan = &out.replan.as_ref().unwrap().plan;
+        assert!(
+            matches!(plan.decision, MigrationDecision::Migrate),
+            "the remainder fits the same budget: {:?}",
+            plan.decision
+        );
+
+        // Ticks 4-6: the rollout completed, so the next window (tick 6)
+        // passes without pulling the trigger.
+        for tick in 4..=6 {
+            let out = c.observe(&flipped).unwrap();
+            assert!(!out.triggered(), "tick {tick} must stay quiet");
+        }
+    }
+
+    #[test]
+    fn pending_rollout_survives_a_checkpoint_resume() {
+        let (schema, pool, baseline) = setup();
+        let deployed = deployed_for(&schema, &pool, &baseline);
+        let flipped = drift::analytical_phase(&schema);
+        let config = ControllerConfig {
+            cooldown_ticks: 0,
+            window_ticks: Some(2),
+            budget: partial_budget(&schema, &pool, &deployed, &flipped),
+            ..ControllerConfig::default()
+        };
+        let mut c = Controller::new(
+            &schema,
+            &pool,
+            &baseline,
+            deployed.clone(),
+            0.5,
+            config.clone(),
+        )
+        .unwrap();
+        c.observe(&flipped).unwrap();
+        let checkpoint = c.checkpoint();
+        assert!(checkpoint.pending_rollout, "tick 0 left a partial rollout");
+
+        // The wire encoding round-trips the flag; a checkpoint written
+        // before the field existed (the key removed) parses as false.
+        let json = serde_json::to_string(&checkpoint).unwrap();
+        let restored: ControllerCheckpoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(restored, checkpoint);
+        let mut value = serde::Serialize::to_value(&checkpoint);
+        if let serde::Value::Object(entries) = &mut value {
+            entries.retain(|(k, _)| k != "pending_rollout");
+        }
+        let legacy = <ControllerCheckpoint as serde::Deserialize>::from_value(&value).unwrap();
+        assert!(!legacy.pending_rollout);
+
+        // The resumed twin picks the rollout up at its next window tick.
+        let mut resumed = Controller::new(&schema, &pool, &baseline, deployed, 0.5, config)
+            .unwrap()
+            .with_checkpoint(&restored)
+            .unwrap();
+        let quiet = resumed.observe(&flipped).unwrap();
+        assert!(!quiet.triggered(), "tick 1 is off-window");
+        let windowed = resumed.observe(&flipped).unwrap();
+        assert!(windowed.triggered(), "tick 2 opens the window");
+        assert!(matches!(
+            windowed.events[1],
+            ControlEvent::Triggered {
+                reason: TriggerReason::Window { every_ticks: 2 },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn window_without_pending_rollout_stays_quiet() {
+        let (schema, pool, baseline) = setup();
+        let deployed = deployed_for(&schema, &pool, &baseline);
+        let config = ControllerConfig {
+            window_ticks: Some(1),
+            ..ControllerConfig::default()
+        };
+        let mut c = Controller::new(&schema, &pool, &baseline, deployed, 0.5, config).unwrap();
+        for _ in 0..4 {
+            let out = c.observe(&baseline).unwrap();
+            assert!(!out.triggered());
+            assert_eq!(out.events.len(), 1, "a quiet tenant sails through windows");
+        }
+    }
+
+    #[test]
+    fn zero_window_ticks_is_a_typed_config_error() {
+        let (schema, pool, baseline) = setup();
+        let deployed = deployed_for(&schema, &pool, &baseline);
+        let config = ControllerConfig {
+            window_ticks: Some(0),
+            ..ControllerConfig::default()
+        };
+        assert!(matches!(
+            Controller::new(&schema, &pool, &baseline, deployed, 0.5, config),
             Err(ProvisionError::InvalidRequest { .. })
         ));
     }

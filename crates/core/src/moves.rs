@@ -47,6 +47,19 @@ impl Move {
     }
 }
 
+/// `num / den`, clamped to a finite value: `0.0` when the quotient is
+/// `inf`/NaN (a zero or subnormal denominator). Scores and priority keys
+/// built from this never poison a sort — daemon ticks sort candidate moves
+/// on these keys, and an abort there would take the tenant down with it.
+pub(crate) fn finite_ratio(num: f64, den: f64) -> f64 {
+    let ratio = num / den;
+    if ratio.is_finite() {
+        ratio
+    } else {
+        0.0
+    }
+}
+
 /// Enumerate all moves `m(g, p)` for every group and placement, scored and
 /// sorted ascending by `σ` (Procedure 2). The identity placement (all
 /// objects staying on `d_1`) is skipped — it saves nothing.
@@ -86,14 +99,13 @@ pub fn enumerate_moves(problem: &Problem<'_>, profile: &WorkloadProfile) -> Vec<
                 placement: p,
                 delta_time_ms,
                 delta_cost,
-                score: delta_time_ms / delta_cost,
+                score: finite_ratio(delta_time_ms, delta_cost),
             });
         }
     }
     moves.sort_by(|a, b| {
         a.score
-            .partial_cmp(&b.score)
-            .expect("scores are finite")
+            .total_cmp(&b.score)
             .then(a.group_index.cmp(&b.group_index))
             .then(a.placement.cmp(&b.placement))
     });

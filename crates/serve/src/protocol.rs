@@ -161,6 +161,11 @@ pub enum Response {
         triggers: usize,
         /// Plans applied over the tenant's lifetime.
         applications: usize,
+        /// The transfer schedule of the tenant's most recent plan (`None`
+        /// until a replan runs). Absent on frames from daemons predating
+        /// the wave scheduler.
+        #[serde(default)]
+        schedule: Option<ScheduleSummary>,
     },
     /// A tenant was unregistered; its final summary.
     Detached {
@@ -191,6 +196,19 @@ pub enum Response {
         /// Why.
         error: ProtocolError,
     },
+}
+
+/// How the most recent plan's transfers pack into parallel waves — the
+/// schedule digest `Observe` streams surface next to the tenant counters,
+/// so operators can see the in-flight wall-clock a migration commits the
+/// tenant to without parsing the full plan.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleSummary {
+    /// Parallel transfer waves in the plan (`0` for plans moving nothing).
+    pub waves: usize,
+    /// The wave critical path in seconds — never more than the sequential
+    /// copy time.
+    pub makespan_seconds: f64,
 }
 
 /// A tenant's lifetime summary, flushed on detach and on shutdown.

@@ -37,7 +37,7 @@
 //!   instead of `.unwrap()`-crashing the daemon, so one tenant's bug
 //!   never disturbs another tenant or the process.
 
-use crate::protocol::{ProblemSpec, ProtocolError, TenantId, TenantSummary};
+use crate::protocol::{ProblemSpec, ProtocolError, ScheduleSummary, TenantId, TenantSummary};
 use dot_core::advisor::{Advisor, ProvisionError, Recommendation};
 use dot_core::controller::{
     expand_trace, ControlEvent, ControlProvenance, Controller, ControllerCheckpoint,
@@ -271,6 +271,9 @@ struct TenantState {
     triggers: usize,
     applications: usize,
     last_trigger: Option<TriggerReason>,
+    /// Schedule digest of the most recent `Planned` event (not persisted:
+    /// a restored tenant reports `None` until its next replan).
+    last_schedule: Option<ScheduleSummary>,
     attached: Instant,
     /// Wall-clock milliseconds accumulated by earlier incarnations of a
     /// restored tenant (summaries report lifetime, not since-restart).
@@ -322,6 +325,9 @@ pub struct TenantCounters {
     pub triggers: usize,
     /// Plans applied over the tenant's lifetime.
     pub applications: usize,
+    /// The most recent plan's transfer-schedule digest (`None` until a
+    /// replan runs; fleet-total counters carry `None` too).
+    pub last_schedule: Option<ScheduleSummary>,
 }
 
 /// Why an `Observe` stream stopped early.
@@ -478,6 +484,7 @@ impl Registry {
                 triggers: snap.triggers,
                 applications: snap.applications,
                 last_trigger: snap.last_trigger.clone(),
+                last_schedule: None,
                 attached: Instant::now(),
                 prior_elapsed_ms: snap.elapsed_ms,
             }),
@@ -670,6 +677,7 @@ impl Registry {
                     triggers: 0,
                     applications: 0,
                     last_trigger: None,
+                    last_schedule: None,
                     attached: Instant::now(),
                     prior_elapsed_ms: 0,
                 }),
@@ -770,6 +778,16 @@ impl Registry {
                         state.triggers += 1;
                         state.last_trigger = Some(reason.clone());
                     }
+                    ControlEvent::Planned {
+                        waves,
+                        makespan_seconds,
+                        ..
+                    } => {
+                        state.last_schedule = Some(ScheduleSummary {
+                            waves: *waves,
+                            makespan_seconds: *makespan_seconds,
+                        });
+                    }
                     ControlEvent::Applied { .. } => {
                         state.applications += 1;
                         applied = true;
@@ -797,6 +815,7 @@ impl Registry {
             ticks: state.controller.ticks(),
             triggers: state.triggers,
             applications: state.applications,
+            last_schedule: state.last_schedule,
         };
         drop(state);
         // The terminal frame is the durability barrier: once the client
@@ -832,6 +851,7 @@ impl Registry {
             ticks: 0,
             triggers: 0,
             applications: 0,
+            last_schedule: None,
         };
         for slot in &slots {
             let state = lock_recover(&slot.state);

@@ -457,6 +457,7 @@ fn serve_request(
                     ticks: counters.ticks,
                     triggers: counters.triggers,
                     applications: counters.applications,
+                    schedule: counters.last_schedule,
                 },
                 Err(ObserveFailure::Protocol(error)) => Response::Error { error },
                 Err(ObserveFailure::Io(e)) => return Err(e),

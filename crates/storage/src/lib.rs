@@ -16,7 +16,10 @@
 //! * RAID-0 composition of identical devices behind a controller ([`raid`]);
 //! * the concrete device catalog of the paper — HDD, HDD RAID 0, low-end SSD,
 //!   L-SSD RAID 0, high-end SSD — and the two experimental machines
-//!   ("Box 1" / "Box 2") built from them ([`catalog`]).
+//!   ("Box 1" / "Box 2") built from them ([`catalog`]);
+//! * per-device-pair contention for bulk migration transfers — a transfer
+//!   occupies one source and one target class, disjoint pairs overlap
+//!   ([`transfer`]).
 //!
 //! Everything above this crate consumes only [`StorageClass`] values grouped
 //! in a [`StoragePool`]: a price vector, a capacity vector, and a latency
@@ -50,11 +53,13 @@ pub mod io;
 pub mod pool;
 pub mod profile;
 pub mod raid;
+pub mod transfer;
 
 pub use device::{ClassId, DeviceKind, DeviceSpec, StorageClass};
 pub use io::{IoCounts, IoType, IO_TYPES};
 pub use pool::StoragePool;
 pub use profile::IoProfile;
+pub use transfer::TransferLanes;
 
 /// Errors produced by the storage layer.
 #[derive(Debug, Clone, PartialEq)]

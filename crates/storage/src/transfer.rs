@@ -1,0 +1,160 @@
+//! Per-device-pair contention for bulk transfers.
+//!
+//! A migration copies an object off one storage class and onto another as a
+//! single bulk stream (`StorageClass::bulk_read_seconds` on the source,
+//! [`bulk_write_seconds`](crate::StorageClass::bulk_write_seconds) on the
+//! target — Table 1's single-thread anchors). While that stream runs it
+//! *occupies* both devices: a second transfer touching either class would
+//! halve both streams' bandwidth and gain nothing, so the scheduler never
+//! co-schedules two transfers that share a class. Transfers on **disjoint**
+//! `(source, target)` pairs contend for nothing and overlap freely — that
+//! overlap is what turns a flat sequential copy list into parallel waves
+//! whose makespan is the critical path, not the sum.
+//!
+//! [`TransferLanes`] is the occupancy tracker behind that rule: one boolean
+//! lane per storage class, claimed and released as transfers are packed
+//! into a wave. It is deliberately panic-free — out-of-range class ids are
+//! reported as "never free" rather than aborting, because the planner above
+//! it runs inside daemon ticks that must not die on user-supplied layouts.
+//!
+//! ```
+//! use dot_storage::{transfer::TransferLanes, ClassId};
+//!
+//! let mut lanes = TransferLanes::new(3);
+//! assert!(lanes.try_claim_pair(ClassId(0), ClassId(2))); // HDD -> H-SSD
+//! assert!(!lanes.try_claim_pair(ClassId(2), ClassId(1))); // H-SSD is busy
+//! assert!(lanes.try_claim_pair(ClassId(1), ClassId(1))); // disjoint pair
+//! lanes.clear(); // next wave
+//! assert!(lanes.try_claim_pair(ClassId(2), ClassId(1)));
+//! ```
+
+use crate::device::ClassId;
+
+/// Occupancy of every storage class during one scheduling wave: each class
+/// is a *lane* that at most one bulk transfer may hold at a time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransferLanes {
+    busy: Vec<bool>,
+}
+
+impl TransferLanes {
+    /// All lanes free, one per storage class of the pool.
+    pub fn new(classes: usize) -> Self {
+        TransferLanes {
+            busy: vec![false; classes],
+        }
+    }
+
+    /// Number of lanes (storage classes).
+    pub fn len(&self) -> usize {
+        self.busy.len()
+    }
+
+    /// True when the tracker has no lanes at all.
+    pub fn is_empty(&self) -> bool {
+        self.busy.is_empty()
+    }
+
+    /// Is this class currently free? Out-of-range ids are never free — the
+    /// caller fed a foreign id, and "cannot schedule" is the safe answer.
+    pub fn is_free(&self, class: ClassId) -> bool {
+        self.busy.get(class.0).is_some_and(|b| !b)
+    }
+
+    /// Claim one transfer's `(source, target)` pair if **both** lanes are
+    /// free (a transfer from a class onto itself needs only the one lane).
+    /// Returns `false` — claiming nothing — when either lane is busy or
+    /// out of range.
+    pub fn try_claim_pair(&mut self, source: ClassId, target: ClassId) -> bool {
+        self.try_claim_set(&[source, target])
+    }
+
+    /// Atomically claim every class in `classes` (duplicates collapse to
+    /// one lane): all lanes are claimed, or — if any is busy or out of
+    /// range — none are. This is the group-move shape: one migration step
+    /// relocates a whole object group, occupying each distinct source and
+    /// target class of its objects for the step's duration.
+    pub fn try_claim_set(&mut self, classes: &[ClassId]) -> bool {
+        if !classes
+            .iter()
+            .all(|&c| self.busy.get(c.0).is_some_and(|b| !b))
+        {
+            return false;
+        }
+        for &c in classes {
+            self.busy[c.0] = true;
+        }
+        true
+    }
+
+    /// Release every lane: the wave completed, the next one packs fresh.
+    pub fn clear(&mut self) {
+        self.busy.iter_mut().for_each(|b| *b = false);
+    }
+
+    /// The classes currently held by in-flight transfers, in id order.
+    pub fn busy_classes(&self) -> impl Iterator<Item = ClassId> + '_ {
+        self.busy
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| ClassId(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_pairs_overlap_shared_classes_do_not() {
+        let mut lanes = TransferLanes::new(4);
+        assert!(lanes.try_claim_pair(ClassId(0), ClassId(1)));
+        // Sharing either endpoint conflicts.
+        assert!(!lanes.try_claim_pair(ClassId(0), ClassId(2)));
+        assert!(!lanes.try_claim_pair(ClassId(2), ClassId(1)));
+        // A fully disjoint pair coexists.
+        assert!(lanes.try_claim_pair(ClassId(2), ClassId(3)));
+        assert_eq!(
+            lanes.busy_classes().collect::<Vec<_>>(),
+            vec![ClassId(0), ClassId(1), ClassId(2), ClassId(3)]
+        );
+    }
+
+    #[test]
+    fn claim_set_is_atomic() {
+        let mut lanes = TransferLanes::new(3);
+        assert!(lanes.try_claim_pair(ClassId(1), ClassId(1)));
+        // One busy member rejects the whole set and claims nothing.
+        assert!(!lanes.try_claim_set(&[ClassId(0), ClassId(1), ClassId(2)]));
+        assert!(lanes.is_free(ClassId(0)));
+        assert!(lanes.is_free(ClassId(2)));
+        assert!(lanes.try_claim_set(&[ClassId(0), ClassId(2)]));
+    }
+
+    #[test]
+    fn out_of_range_ids_are_never_free_and_never_panic() {
+        let mut lanes = TransferLanes::new(2);
+        assert!(!lanes.is_free(ClassId(7)));
+        assert!(!lanes.try_claim_pair(ClassId(0), ClassId(7)));
+        // The in-range half of the rejected pair stays unclaimed.
+        assert!(lanes.is_free(ClassId(0)));
+    }
+
+    #[test]
+    fn clear_opens_the_next_wave() {
+        let mut lanes = TransferLanes::new(2);
+        assert!(lanes.try_claim_pair(ClassId(0), ClassId(1)));
+        assert!(!lanes.try_claim_pair(ClassId(0), ClassId(1)));
+        lanes.clear();
+        assert!(lanes.try_claim_pair(ClassId(0), ClassId(1)));
+    }
+
+    #[test]
+    fn same_class_transfer_needs_one_lane() {
+        let mut lanes = TransferLanes::new(2);
+        assert!(lanes.try_claim_pair(ClassId(0), ClassId(0)));
+        assert!(lanes.is_free(ClassId(1)));
+        assert!(!lanes.is_free(ClassId(0)));
+    }
+}

@@ -15,8 +15,14 @@
 //!                                      `provision --json` recommendation)
 //!         [--solver <id>]              target solver (default "dot")
 //!         [--budget-bytes <n>]         data-movement ceiling in bytes
-//!         [--budget-seconds <n>]       wall-clock ceiling in seconds
+//!         [--budget-seconds <n>]       scheduled wall-clock ceiling in seconds
+//!                                      (the wave makespan, not the copy sum)
 //!         [--budget-cents <n>]         migration-spend ceiling in cents
+//!         [--sla-during-migration <r>] relative SLA the *in-flight* estimate
+//!                                      must hold while transfer waves run
+//!         [--window-seconds <n>]       split the rollout into recurring
+//!                                      maintenance windows of this length,
+//!                                      replanning between windows
 //!         [--json]                     emit the ReplanEnvelope (provenance + plan)
 //! dot-cli supervise <problem.json>     run the online controller over a trace
 //!         --trace <trace.json>         scripted observations (TraceStep array)
@@ -28,6 +34,9 @@
 //!         [--solver <id>]              replan target solver (default "dot")
 //!         [--drift-threshold <x>]      trigger distance in [0, 1] (default 0.15)
 //!         [--cooldown <n>]             min ticks between triggers (default 3)
+//!         [--window-ticks <n>]         maintenance window: every n ticks,
+//!                                      continue a pending partial rollout
+//!                                      even with drift and SLA quiet
 //!         [--budget-*]                 migration budget, as replan
 //!         [--json]                     emit the serialized SuperviseFleetReport
 //!         [--stream]                   emit JSON-lines ControlEvent frames per
@@ -97,7 +106,9 @@ use dot_core::controller::{
     TriggerReason,
 };
 use dot_core::fleet::{self, FleetConfig, FleetReport, SuperviseTenantRequest, TenantRequest};
-use dot_core::replan::{MigrationBudget, MigrationDecision, ReplanRecommendation};
+use dot_core::replan::{
+    MigrationBudget, MigrationDecision, ReplanOptions, ReplanRecommendation, WindowedRollout,
+};
 use dot_dbms::{explain, planner, EngineConfig, Layout, Schema};
 use dot_storage::StoragePool;
 use dot_workloads::Workload;
@@ -494,11 +505,20 @@ fn load_layout(path: &str) -> Result<Layout, ProvisionError> {
     })
 }
 
+/// The `dot-cli replan --window-seconds --json` output: the maintenance-
+/// window rollout wrapped with the same provenance as [`ReplanEnvelope`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, Deserialize)]
+struct RolloutEnvelope {
+    provenance: ControlProvenance,
+    rollout: WindowedRollout,
+}
+
 fn cmd_replan(
     path: &str,
     current_path: &str,
     solver: &str,
-    budget: &MigrationBudget,
+    opts: &ReplanOptions,
+    window_seconds: Option<f64>,
     json: bool,
 ) -> Result<(), ProvisionError> {
     let start = Instant::now();
@@ -509,7 +529,32 @@ fn cmd_replan(
         .engine(req.engine)
         .refinements(req.refinements)
         .build()?;
-    let rec = advisor.replan_with(&current, solver, budget)?;
+    // A window length splits the plan into recurring maintenance windows:
+    // each window replans from where the previous one left off.
+    if let Some(window) = window_seconds {
+        let rollout = advisor.replan_rollout(&current, solver, opts, window)?;
+        if json {
+            let envelope = RolloutEnvelope {
+                provenance: ControlProvenance {
+                    elapsed_ms: start.elapsed().as_millis() as u64,
+                    trigger: TriggerReason::Manual,
+                },
+                rollout,
+            };
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&envelope).map_err(|e| {
+                    ProvisionError::InvalidRequest {
+                        reason: format!("serialize rollout envelope: {e}"),
+                    }
+                })?
+            );
+            return Ok(());
+        }
+        print_rollout_report(&req, window, &rollout);
+        return Ok(());
+    }
+    let rec = advisor.replan_scheduled(&current, solver, opts)?;
     if json {
         // The one-shot plan shares the control-loop provenance schema; an
         // operator pulling the trigger by hand is the `Manual` stub.
@@ -532,6 +577,44 @@ fn cmd_replan(
     }
     print_replan_report(&req, &advisor, &rec);
     Ok(())
+}
+
+fn print_rollout_report(req: &Request, window_seconds: f64, rollout: &WindowedRollout) {
+    println!(
+        "windowed rollout for workload {:?} on pool {}: {} maintenance window(s) of {:.0} s",
+        req.workload.name,
+        req.pool.name(),
+        rollout.windows.len(),
+        window_seconds,
+    );
+    for (i, rec) in rollout.windows.iter().enumerate() {
+        let s = &rec.plan.schedule;
+        println!(
+            "    window {i}: {} move(s) in {} wave(s), {:.0} s makespan \
+             ({:.0} s sequential), {:.2} GB",
+            rec.plan.steps.len(),
+            s.waves.len(),
+            s.makespan_seconds,
+            s.sequential_seconds,
+            rec.plan.total_bytes / 1e9,
+        );
+    }
+    println!(
+        "rollout {}: {:.2} GB total in {:.0} s of scheduled transfer for {:.3e} cents",
+        if rollout.complete {
+            "reaches the target"
+        } else {
+            "stalls (budget exhausted before the target)"
+        },
+        rollout
+            .windows
+            .iter()
+            .map(|w| w.plan.total_bytes)
+            .sum::<f64>()
+            / 1e9,
+        rollout.total_seconds,
+        rollout.total_cents,
+    );
 }
 
 fn print_replan_report(req: &Request, advisor: &Advisor<'_>, rec: &ReplanRecommendation) {
@@ -568,10 +651,10 @@ fn print_replan_report(req: &Request, advisor: &Advisor<'_>, rec: &ReplanRecomme
         MigrationDecision::Migrate => {
             println!("\nverdict: migrate ({} moves)", rec.plan.steps.len())
         }
-        MigrationDecision::Partial { deferred_moves } => println!(
-            "\nverdict: partial migration ({} moves, {} deferred by the budget)",
+        MigrationDecision::Partial { deferred_groups } => println!(
+            "\nverdict: partial migration ({} moves, {} group(s) deferred by the budget)",
             rec.plan.steps.len(),
-            deferred_moves
+            deferred_groups
         ),
     }
     let schema = &req.schema;
@@ -604,6 +687,20 @@ fn print_replan_report(req: &Request, advisor: &Advisor<'_>, rec: &ReplanRecomme
         rec.plan.savings_cents_per_hour,
         rec.plan.break_even_hours,
     );
+    let sched = &rec.plan.schedule;
+    if !sched.waves.is_empty() {
+        println!(
+            "schedule: {} wave(s), makespan {:.0} s (sequential {:.0} s, {:.0}% of it)",
+            sched.waves.len(),
+            sched.makespan_seconds,
+            sched.sequential_seconds,
+            if sched.sequential_seconds > 0.0 {
+                100.0 * sched.makespan_seconds / sched.sequential_seconds
+            } else {
+                100.0
+            },
+        );
+    }
     let premium = advisor.evaluate_layout("premium", &advisor.problem().premium_layout());
     println!(
         "final layout {:.4} cents/hour (target: {:.4}, all-premium: {:.4})",
@@ -660,6 +757,7 @@ fn cmd_supervise(
     budget: &MigrationBudget,
     drift_threshold: Option<f64>,
     cooldown: Option<u64>,
+    window_ticks: Option<u64>,
     json: bool,
     stream: bool,
 ) -> Result<(), ProvisionError> {
@@ -678,6 +776,9 @@ fn cmd_supervise(
     }
     if let Some(ticks) = cooldown {
         config.cooldown_ticks = ticks;
+    }
+    if window_ticks.is_some() {
+        config.window_ticks = window_ticks;
     }
     config.validate()?;
     // The deployed layout: given, or what the baseline problem recommends.
@@ -850,6 +951,9 @@ fn print_supervise_report(
                     TriggerReason::DriftAndSla { distance, pressure } => {
                         format!("drift {distance:.3} + sla pressure {pressure:.3}")
                     }
+                    TriggerReason::Window { every_ticks } => {
+                        format!("maintenance window (every {every_ticks} ticks)")
+                    }
                 };
                 println!("    tick {tick:>3}  TRIGGERED  {why}");
             }
@@ -868,8 +972,8 @@ fn print_supervise_report(
                         "migrate ({moves} moves, {:.2} GB, break-even {break_even_hours:.3e} h)",
                         total_bytes / 1e9
                     ),
-                    MigrationDecision::Partial { deferred_moves } => format!(
-                        "partial ({moves} moves, {deferred_moves} deferred, {:.2} GB)",
+                    MigrationDecision::Partial { deferred_groups } => format!(
+                        "partial ({moves} moves, {deferred_groups} group(s) deferred, {:.2} GB)",
                         total_bytes / 1e9
                     ),
                 };
@@ -951,10 +1055,12 @@ fn usage() -> ExitCode {
          dot-cli provision <problem.json> [--solver <id>] [--json]\n\
          dot-cli fleet <manifest.json> [--solver <id>] [--json]\n\
          dot-cli replan <problem.json> --current <layout.json> [--solver <id>]\n\
-         \x20               [--budget-bytes <n>] [--budget-seconds <n>] [--budget-cents <n>] [--json]\n\
+         \x20               [--budget-bytes <n>] [--budget-seconds <n>] [--budget-cents <n>]\n\
+         \x20               [--sla-during-migration <r>] [--window-seconds <n>] [--json]\n\
          dot-cli supervise <problem.json> (--trace <trace.json> | --trace-gen <spec>)\n\
          \x20               [--current <layout.json>]\n\
          \x20               [--solver <id>] [--drift-threshold <x>] [--cooldown <n>]\n\
+         \x20               [--window-ticks <n>]\n\
          \x20               [--budget-bytes <n>] [--budget-seconds <n>] [--budget-cents <n>]\n\
          \x20               [--json | --stream]\n\
          dot-cli serve [--listen <addr>] [--unix-socket <path>] [--workers <n>] [--cache-capacity <n>]\n\
@@ -967,7 +1073,7 @@ fn usage() -> ExitCode {
 /// Every accepted flag, with whether it consumes the next argument (the
 /// scanner needs this to step over values that themselves start with `--`
 /// would-be flags).
-const KNOWN_FLAGS: [(&str, bool); 11] = [
+const KNOWN_FLAGS: [(&str, bool); 14] = [
     ("--json", false),
     ("--stream", false),
     ("--solver", true),
@@ -975,6 +1081,9 @@ const KNOWN_FLAGS: [(&str, bool); 11] = [
     ("--budget-bytes", true),
     ("--budget-seconds", true),
     ("--budget-cents", true),
+    ("--sla-during-migration", true),
+    ("--window-seconds", true),
+    ("--window-ticks", true),
     ("--trace", true),
     ("--trace-gen", true),
     ("--drift-threshold", true),
@@ -996,6 +1105,8 @@ fn allowed_flags(subcommand: &str) -> &'static [&'static str] {
             "--budget-bytes",
             "--budget-seconds",
             "--budget-cents",
+            "--sla-during-migration",
+            "--window-seconds",
         ],
         "supervise" => &[
             "--json",
@@ -1006,6 +1117,7 @@ fn allowed_flags(subcommand: &str) -> &'static [&'static str] {
             "--trace-gen",
             "--drift-threshold",
             "--cooldown",
+            "--window-ticks",
             "--budget-bytes",
             "--budget-seconds",
             "--budget-cents",
@@ -1154,6 +1266,34 @@ fn main() -> ExitCode {
             Ok(v) => v,
             Err(code) => return code,
         };
+    let sla_during_migration = match parse_flag::<f64>(
+        value_flag("--sla-during-migration"),
+        "--sla-during-migration",
+        "a relative SLA ratio in (0, 1]",
+    ) {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
+    let window_seconds = match parse_flag::<f64>(
+        value_flag("--window-seconds"),
+        "--window-seconds",
+        "a window length in seconds",
+    ) {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
+    let window_ticks = match parse_flag::<u64>(
+        value_flag("--window-ticks"),
+        "--window-ticks",
+        "a whole number of ticks",
+    ) {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
+    let replan_opts = ReplanOptions {
+        budget,
+        sla_during_migration,
+    };
     let result = match args.get(1).map(String::as_str) {
         Some("catalog") => {
             cmd_catalog();
@@ -1176,7 +1316,8 @@ fn main() -> ExitCode {
                 path,
                 current,
                 solver_flag.as_deref().unwrap_or("dot"),
-                &budget,
+                &replan_opts,
+                window_seconds,
                 json,
             ),
             _ => {
@@ -1203,6 +1344,7 @@ fn main() -> ExitCode {
                     &budget,
                     drift_threshold,
                     cooldown,
+                    window_ticks,
                     json,
                     stream,
                 ),

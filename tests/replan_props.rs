@@ -7,10 +7,18 @@
 //! * a **zero-budget** replan is always the identity plan;
 //! * every set budget ceiling is honored;
 //! * non-empty plans have strictly positive savings and a finite positive
-//!   break-even horizon; empty plans report a zero horizon.
+//!   break-even horizon; empty plans report a zero horizon;
+//! * every enumerated move carries a **finite** score under any drift,
+//!   however degenerate the cost denominators get;
+//! * a scheduled replan under any in-flight SLA ratio — valid, absurd, or
+//!   absent — returns a typed answer, never a panic, and every `Ok`
+//!   schedule keeps the wave-partition and makespan invariants.
 
 use dot_core::advisor::Advisor;
-use dot_core::replan::{toc_rate_cents_per_hour, MigrationBudget, MigrationDecision};
+use dot_core::moves::enumerate_moves;
+use dot_core::replan::{
+    toc_rate_cents_per_hour, MigrationBudget, MigrationDecision, ReplanOptions,
+};
 use dot_dbms::query::{QuerySpec, ReadOp, Rel, ScanSpec};
 use dot_dbms::{Layout, SchemaBuilder};
 use dot_storage::{catalog, ClassId};
@@ -157,6 +165,83 @@ proptest! {
             rec.plan.decision,
             MigrationDecision::Stay | MigrationDecision::Unchanged
         ));
+    }
+
+    /// Procedure 2's move scores stay finite for any schema and drift —
+    /// even when a placement's cost delta degenerates to (near-)zero, the
+    /// guarded ratio must never leak a NaN or infinity into the ordering.
+    #[test]
+    fn move_scores_stay_finite_under_any_drift(
+        schema in arb_schema(),
+        shift in -0.95..0.95f64,
+        scale in 0.02..20.0f64,
+    ) {
+        let base = workload_for(&schema);
+        let drifted = drift::scale_throughput(&drift::shift_read_write(&base, shift), scale);
+        for pool in [catalog::box2(), catalog::full_pool()] {
+            let advisor = Advisor::builder(&schema, &pool, &drifted)
+                .sla(0.25)
+                .build()
+                .expect("session");
+            let cx = advisor.context();
+            for mv in enumerate_moves(cx.problem, cx.profile) {
+                prop_assert!(
+                    mv.score.is_finite(),
+                    "move of group {} to {:?} scored {}",
+                    mv.group_index, mv.placement, mv.score
+                );
+            }
+        }
+    }
+
+    /// A scheduled replan is total: whatever the deployed layout and
+    /// in-flight SLA ratio (including out-of-range ones), it answers with
+    /// a plan or a typed error — and every plan's waves partition the
+    /// steps with a makespan inside the sequential envelope.
+    #[test]
+    fn scheduled_replans_are_total_and_keep_the_envelope(
+        schema in arb_schema(),
+        shift in -0.8..0.8f64,
+        scale in 0.05..10.0f64,
+        current_seed in proptest::collection::vec(0usize..3, 12),
+        sla_ratio in (proptest::bool::ANY, 0.01..1.5f64)
+            .prop_map(|(set, r)| set.then_some(r)),
+    ) {
+        let pool = catalog::box2();
+        let base = workload_for(&schema);
+        let drifted = drift::scale_throughput(&drift::shift_read_write(&base, shift), scale);
+        let current = Layout::from_assignment(
+            (0..schema.object_count())
+                .map(|i| ClassId(current_seed[i % current_seed.len()]))
+                .collect(),
+        );
+        let advisor = Advisor::builder(&schema, &pool, &drifted)
+            .sla(0.25)
+            .build()
+            .expect("session");
+        let opts = ReplanOptions {
+            budget: MigrationBudget::unbounded(),
+            sla_during_migration: sla_ratio,
+        };
+        // `Err` is a legitimate answer (Infeasible for tight ratios,
+        // InvalidRequest for ratios outside (0, 1]); panicking is not.
+        if let Ok(rec) = advisor.replan_scheduled(&current, "dot", &opts) {
+            let sched = &rec.plan.schedule;
+            let flattened: Vec<usize> =
+                sched.waves.iter().flat_map(|w| w.steps.clone()).collect();
+            prop_assert_eq!(flattened, (0..rec.plan.steps.len()).collect::<Vec<_>>());
+            let tol = 1e-9 * sched.sequential_seconds.max(1.0);
+            prop_assert!(
+                sched.makespan_seconds <= sched.sequential_seconds + tol,
+                "makespan {} exceeds sequential {}",
+                sched.makespan_seconds, sched.sequential_seconds
+            );
+            prop_assert!(sched.makespan_seconds.is_finite() && sched.makespan_seconds >= 0.0);
+            for w in &sched.waves {
+                prop_assert!(w.seconds.is_finite() && w.seconds >= 0.0);
+                prop_assert!(w.inflight_rate_cents_per_hour.is_finite());
+            }
+        }
     }
 }
 

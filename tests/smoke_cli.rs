@@ -598,6 +598,204 @@ fn replan_usage_and_malformed_inputs_fail_with_typed_codes() {
     );
 }
 
+#[test]
+fn replan_hostile_current_layouts_fail_typed_not_panic() {
+    // The replan path used to panic (debug) or misplan (release) on
+    // user-supplied layouts that do not fit the problem; both shapes must
+    // be typed invalid requests (exit 2) that name what is wrong.
+    let problem = problem_file("replan_hostile.json", OLTP_PROBLEM);
+
+    // Too few objects for the schema.
+    let short = problem_file("replan_short_layout.json", r#"{ "assignment": [0, 1] }"#);
+    let out = cli()
+        .arg("replan")
+        .arg(&problem)
+        .args(["--current", short.to_str().unwrap()])
+        .output()
+        .expect("run dot-cli");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("objects"),
+        "must name the size mismatch: {err}"
+    );
+
+    // Right object count, but a class id the pool does not have.
+    let n = dot_workloads::tpcc::schema(2.0).object_count();
+    let foreign = problem_file(
+        "replan_foreign_class.json",
+        &format!(
+            r#"{{ "assignment": [{}] }}"#,
+            std::iter::repeat("99")
+                .take(n)
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+    );
+    let out = cli()
+        .arg("replan")
+        .arg(&problem)
+        .args(["--current", foreign.to_str().unwrap()])
+        .output()
+        .expect("run dot-cli");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("classes"),
+        "must name the foreign class: {err}"
+    );
+}
+
+#[test]
+fn replan_inflight_sla_is_honored_or_rejected_typed() {
+    let current = provisioned_layout("replan_sla_loose.json", LOOSE_OLTP_PROBLEM);
+    let drifted = problem_file("replan_sla_tight.json", OLTP_PROBLEM);
+
+    // A ratio outside (0, 1] is an invalid request before any planning.
+    let out = cli()
+        .arg("replan")
+        .arg(&drifted)
+        .args([
+            "--current",
+            current.to_str().unwrap(),
+            "--sla-during-migration",
+            "1.5",
+        ])
+        .output()
+        .expect("run dot-cli");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The deployed loose layout already violates the drifted SLA, so no
+    // wave can keep a high in-flight ratio: a typed infeasibility (exit
+    // 7), carrying the suggested workable ratio.
+    let out = cli()
+        .arg("replan")
+        .arg(&drifted)
+        .args([
+            "--current",
+            current.to_str().unwrap(),
+            "--sla-during-migration",
+            "0.9",
+        ])
+        .output()
+        .expect("run dot-cli");
+    assert_eq!(
+        out.status.code(),
+        Some(7),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("infeasible"), "{err}");
+
+    // A non-numeric ratio is a usage error.
+    let out = cli()
+        .arg("replan")
+        .arg(&drifted)
+        .args([
+            "--current",
+            current.to_str().unwrap(),
+            "--sla-during-migration",
+            "plenty",
+        ])
+        .output()
+        .expect("run dot-cli");
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn replan_window_seconds_reports_a_windowed_rollout() {
+    let current = provisioned_layout("replan_win_loose.json", LOOSE_OLTP_PROBLEM);
+    let drifted = problem_file("replan_win_tight.json", OLTP_PROBLEM);
+    let out = cli()
+        .arg("replan")
+        .arg(&drifted)
+        .args([
+            "--current",
+            current.to_str().unwrap(),
+            "--window-seconds",
+            "6",
+        ])
+        .output()
+        .expect("run dot-cli");
+    let text = stdout_of(&out);
+    for expected in [
+        "windowed rollout",
+        "window 0:",
+        "wave(s)",
+        "rollout reaches the target",
+    ] {
+        assert!(text.contains(expected), "missing {expected:?} in:\n{text}");
+    }
+
+    // --json emits the provenance-stamped rollout, structurally parseable.
+    #[derive(serde::Deserialize)]
+    struct Envelope {
+        provenance: dot_core::controller::ControlProvenance,
+        rollout: dot_core::replan::WindowedRollout,
+    }
+    let out = cli()
+        .arg("replan")
+        .arg(&drifted)
+        .args([
+            "--current",
+            current.to_str().unwrap(),
+            "--window-seconds",
+            "6",
+            "--json",
+        ])
+        .output()
+        .expect("run dot-cli");
+    let text = stdout_of(&out);
+    let envelope: Envelope = serde_json::from_str(&text).expect("rollout envelope deserializes");
+    assert_eq!(
+        envelope.provenance.trigger,
+        dot_core::controller::TriggerReason::Manual
+    );
+    let rollout = envelope.rollout;
+    assert!(rollout.complete, "the rollout must reach the target");
+    assert!(
+        rollout.windows.len() >= 2,
+        "6 s windows must split the flip"
+    );
+    for rec in &rollout.windows {
+        assert!(
+            rec.plan.schedule.makespan_seconds <= 6.0 + 1e-6,
+            "window overran its ceiling: {}",
+            rec.plan.schedule.makespan_seconds
+        );
+    }
+
+    // A non-positive window is a usage error.
+    let out = cli()
+        .arg("replan")
+        .arg(&drifted)
+        .args([
+            "--current",
+            current.to_str().unwrap(),
+            "--window-seconds",
+            "0",
+        ])
+        .output()
+        .expect("run dot-cli");
+    assert!(!out.status.success());
+}
+
 const SUPERVISE_TRACE: &str = r#"[
     { "shift": 0.03 },
     { "phase": "analytical", "repeat": 2 },
@@ -624,6 +822,53 @@ fn supervise_replays_a_trace_and_reports_the_event_log() {
     ] {
         assert!(text.contains(expected), "missing {expected:?} in:\n{text}");
     }
+}
+
+#[test]
+fn supervise_window_ticks_continues_a_budget_cut_rollout() {
+    // A byte budget cuts the flip short at tick 0; the recurring
+    // maintenance window picks the rollout back up without a new drift
+    // signal.
+    let problem = problem_file("supervise_window.json", OLTP_PROBLEM);
+    let trace = problem_file(
+        "supervise_window_trace.json",
+        r#"[ { "phase": "analytical", "repeat": 6 } ]"#,
+    );
+    let out = cli()
+        .arg("supervise")
+        .arg(&problem)
+        .args([
+            "--trace",
+            trace.to_str().unwrap(),
+            "--cooldown",
+            "1",
+            "--window-ticks",
+            "2",
+            "--budget-bytes",
+            "60000000",
+        ])
+        .output()
+        .expect("run dot-cli");
+    let text = stdout_of(&out);
+    for expected in ["partial", "deferred", "maintenance window (every 2 ticks)"] {
+        assert!(text.contains(expected), "missing {expected:?} in:\n{text}");
+    }
+
+    // A zero window is a typed config error, not a silent no-op.
+    let out = cli()
+        .arg("supervise")
+        .arg(&problem)
+        .args(["--trace", trace.to_str().unwrap(), "--window-ticks", "0"])
+        .output()
+        .expect("run dot-cli");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("window_ticks"), "{err}");
 }
 
 #[test]

@@ -3,7 +3,8 @@
 //!
 //! Supports exactly the shapes this workspace uses: non-generic structs
 //! (named, tuple/newtype, unit) and enums (unit, tuple, and struct
-//! variants), the field attributes `#[serde(default)]` / `#[serde(skip)]`,
+//! variants), the field attributes `#[serde(default)]` / `#[serde(skip)]` /
+//! `#[serde(alias = "...")]` (deserialize-time fallback key names),
 //! and the container attribute `#[serde(untagged)]`. The generated impls
 //! target the `Value`-based `Serialize` / `Deserialize` traits of the
 //! vendored `serde` crate and keep serde's externally-tagged enum JSON
@@ -32,6 +33,7 @@ struct Field {
     name: String,
     default: bool,
     skip: bool,
+    aliases: Vec<String>,
 }
 
 enum VariantKind {
@@ -62,8 +64,10 @@ struct Item {
 // Parsing
 // ---------------------------------------------------------------------------
 
-/// Consume leading `#[...]` attributes, returning the words found inside any
-/// `#[serde(...)]` lists (`default`, `skip`, `untagged`, ...).
+/// Consume leading `#[...]` attributes, returning the tokens found inside
+/// any `#[serde(...)]` lists (`default`, `skip`, `untagged`, and the
+/// `alias = "..."` triple — idents, punctuation, and literals all come back
+/// as their token strings so callers can pattern-match key/value forms).
 fn take_attrs(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> Vec<String> {
     let mut words = Vec::new();
     loop {
@@ -78,8 +82,11 @@ fn take_attrs(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIte
                     if path.to_string() == "serde" {
                         if let Some(TokenTree::Group(list)) = inner.next() {
                             for t in list.stream() {
-                                if let TokenTree::Ident(w) = t {
-                                    words.push(w.to_string());
+                                match t {
+                                    TokenTree::Ident(w) => words.push(w.to_string()),
+                                    TokenTree::Punct(p) => words.push(p.as_char().to_string()),
+                                    TokenTree::Literal(l) => words.push(l.to_string()),
+                                    TokenTree::Group(_) => {}
                                 }
                             }
                         }
@@ -89,6 +96,26 @@ fn take_attrs(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIte
             _ => return words,
         }
     }
+}
+
+/// Extract every `alias = "name"` triple from a `#[serde(...)]` token list.
+fn parse_aliases(words: &[String]) -> Vec<String> {
+    let mut aliases = Vec::new();
+    let mut i = 0;
+    while i + 2 < words.len() {
+        if words[i] == "alias" && words[i + 1] == "=" {
+            if let Some(name) = words[i + 2]
+                .strip_prefix('"')
+                .and_then(|s| s.strip_suffix('"'))
+            {
+                aliases.push(name.to_owned());
+            }
+            i += 3;
+        } else {
+            i += 1;
+        }
+    }
+    aliases
 }
 
 /// Skip an optional `pub` / `pub(...)` visibility.
@@ -178,6 +205,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
             name: name.to_string(),
             default: words.iter().any(|w| w == "default"),
             skip: words.iter().any(|w| w == "skip"),
+            aliases: parse_aliases(&words),
         });
     }
 }
@@ -508,8 +536,14 @@ fn named_ctor(ty_name: &str, path: &str, fields: &[Field], map_var: &str) -> Str
         } else {
             format!("return Err(serde::Error::missing_field(\"{ty_name}\", \"{n}\"))")
         };
+        let mut lookup = format!("serde::__get({map_var}, \"{n}\")");
+        for alias in &f.aliases {
+            lookup.push_str(&format!(
+                ".or_else(|| serde::__get({map_var}, \"{alias}\"))"
+            ));
+        }
         inits.push_str(&format!(
-            "{n}: match serde::__get({map_var}, \"{n}\") {{\n\
+            "{n}: match {lookup} {{\n\
              Some(__fv) => serde::Deserialize::from_value(__fv)?,\n\
              None => {missing},\n\
              }},\n"
